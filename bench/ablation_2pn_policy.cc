@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: the two readings of the 2pn tag rule, Eq. (1) (DESIGN.md
+ * Section 5).
+ *
+ *  - 2pn (MonotoneIndex, the literal Eq. (1)): raw index comparison;
+ *    never crosses wrap links; provably deadlock-free with 2^n VCs, but
+ *    paths on tori are not torus-minimal (10.6 mean hops vs 8.03 on
+ *    16^2 uniform).
+ *  - 2pn-minimal (MinimalDirection): torus-minimal paths, but the
+ *    fixed-direction rings reintroduce cycles, so the run is guarded by
+ *    the deadlock watchdog in RecordAndKill mode; deadlock events are
+ *    reported.
+ *
+ * The comparison quantifies how much of 2pn's poor showing in Figure 3 is
+ * path inflation versus the missing priority information.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+    using namespace wormsim::bench;
+
+    Harness h("ablation_2pn_policy",
+              "2pn tag policy: monotone-index vs minimal-direction");
+    h.cfg.traffic = "uniform";
+    h.loads = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+    if (!h.parse(argc, argv))
+        return 0;
+
+    // The minimal-direction policy can genuinely deadlock on tori: guard
+    // it so the sweep completes, and report every event.
+    h.cfg.deadlockAction = DeadlockAction::RecordAndKill;
+    h.cfg.watchdogPatience = 4000;
+
+    setLoggingQuiet(true);
+    SweepResult sweep = h.runSweep({"2pn", "2pn-minimal", "ecube"});
+    setLoggingQuiet(false);
+    SweepRunner::report(sweep,
+                        "2pn tag-policy ablation, uniform traffic "
+                        "(latencies marked * saw a deadlock recovery)",
+                        std::cout);
+
+    std::uint64_t killed = 0;
+    bool minimal_deadlocked = false;
+    for (std::size_t a = 0; a < sweep.algorithms.size(); ++a) {
+        for (const auto &r : sweep.results[a]) {
+            if (r.algorithm == "2pn-minimal") {
+                killed += r.messagesKilled;
+                minimal_deadlocked |= r.deadlockDetected;
+            } else {
+                // The deadlock-free policies must never trip the guard.
+                if (r.deadlockDetected) {
+                    std::cout << "UNEXPECTED deadlock in " << r.algorithm
+                              << "\n";
+                }
+            }
+        }
+    }
+
+    printAnchors(
+        "2pn-policy",
+        {{"2pn (monotone) peak", 0.30, sweep.peakUtilization("2pn")},
+         {"2pn-minimal peak", 0.35, sweep.peakUtilization("2pn-minimal")},
+         {"ecube peak", 0.34, sweep.peakUtilization("ecube")},
+         {"2pn mean hops @0.2 (mesh paths: 10.6)", 10.6,
+          sweep.at("2pn", 0.2).avgHops},
+         {"2pn-minimal mean hops @0.2 (torus: 8.03)", 8.03,
+          sweep.at("2pn-minimal", 0.2).avgHops}});
+
+    std::cout << "deadlock accounting for 2pn-minimal: "
+              << (minimal_deadlocked ? "deadlocks occurred" : "none seen")
+              << ", " << killed << " message(s) killed to recover\n"
+              << "(this is why the literal Eq. (1) reading, which is "
+                 "provably deadlock-free\n with exactly 2^n virtual "
+                 "channels, is wormsim's default)\n";
+    return 0;
+}

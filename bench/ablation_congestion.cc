@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: the input-buffer-limit congestion control (paper Section 3).
+ * Without it, "the network would be unusable once saturation occurs";
+ * with it, saturation latencies stay bounded and throughput holds near
+ * its peak. Sweeps the per-(node, class) injection limit for e-cube and
+ * phop at a saturating load.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+    using namespace wormsim::bench;
+
+    Harness h("ablation_congestion",
+              "injection-limit sweep at a saturating load");
+    h.cfg.traffic = "uniform";
+    h.cfg.offeredLoad = 0.8;
+    if (!h.parse(argc, argv))
+        return 0;
+
+    TextTable t;
+    t.setHeader({"algorithm", "limit", "latency", "achieved util",
+                 "drop fraction", "msgs in flight bound"});
+    CsvWriter csv(std::cout);
+
+    std::vector<SimulationResult> rows;
+    for (const std::string &algo : {"ecube", "phop"}) {
+        for (int limit : {0, 1, 2, 4, 8, 16}) {
+            SimulationConfig cfg = h.cfg;
+            cfg.algorithm = algo;
+            cfg.injectionLimit = limit;
+            SimulationRunner runner(cfg);
+            SimulationResult r = runner.run();
+            WORMSIM_INFORM(r.summary());
+            t.addRow({r.algorithm,
+                      limit == 0 ? std::string("off")
+                                 : std::to_string(limit),
+                      formatFixed(r.avgLatency, 1),
+                      formatFixed(r.achievedUtilization, 3),
+                      formatFixed(r.dropFraction, 3),
+                      limit == 0 ? std::string("unbounded")
+                                 : std::string("bounded")});
+            rows.push_back(std::move(r));
+        }
+    }
+    std::cout << "== congestion-control ablation (offered load "
+              << formatFixed(h.cfg.offeredLoad, 2) << ", uniform) ==\n\n"
+              << t.render() << "\n";
+
+    // With the limit off, nothing is dropped but latency explodes as the
+    // source backlog grows; with it on, latency is bounded and throughput
+    // stays near peak — the behavior the paper's figures rely on.
+    double lat_off = rows[0].avgLatency;  // ecube, limit off
+    double lat_on = rows[3].avgLatency;   // ecube, limit 4 (default)
+    std::cout << "shape checks:\n"
+              << "  limit off -> no drops:            "
+              << (rows[0].dropFraction == 0.0 ? "yes" : "NO") << "\n"
+              << "  limit bounds saturation latency:  "
+              << (lat_on < lat_off ? "yes" : "NO") << " (" << lat_off
+              << " -> " << lat_on << ")\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation: fault tolerance as a function of adaptivity (the context of
+ * Linder & Harden's work the paper's reference [23] builds on).
+ *
+ * Static analysis: the fraction of (src, dst) pairs each algorithm can
+ * still route as random links fail. Non-adaptive e-cube has exactly one
+ * path per pair, so expected survival decays fastest; the fully-adaptive
+ * hop schemes only lose pairs whose *every* minimal path is cut (aligned
+ * pairs through the failed link); the turn-model and tag algorithms sit
+ * between.
+ */
+
+#include <algorithm>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+    using namespace wormsim::bench;
+
+    Harness h("ablation_faults",
+              "routable-pair fraction vs number of failed links");
+    if (!h.parse(argc, argv))
+        return 0;
+
+    Torus topo = Torus::square(8);
+    std::vector<std::string> algos{"ecube", "nlast", "2pn", "nbc"};
+
+    // A fixed random failure order (reproducible).
+    Xoshiro256 rng(42);
+    std::vector<ChannelId> order;
+    for (ChannelId ch = 0; ch < topo.numChannelSlots(); ++ch)
+        order.push_back(ch);
+    for (std::size_t i = order.size() - 1; i > 0; --i)
+        std::swap(order[i], order[uniformInt(rng, i + 1)]);
+
+    TextTable t;
+    std::vector<std::string> header{"failed links"};
+    for (const auto &a : algos)
+        header.push_back(a);
+    t.setHeader(header);
+
+    std::map<std::string, std::vector<double>> fractions;
+    for (int failures : {0, 1, 2, 4, 8, 16}) {
+        FailedLinkSet failed(order.begin(), order.begin() + failures);
+        std::vector<std::string> row{std::to_string(failures)};
+        for (const auto &name : algos) {
+            auto algo = makeRoutingAlgorithm(name);
+            double f = routableFraction(*algo, topo, failed);
+            fractions[name].push_back(f);
+            row.push_back(formatFixed(f, 4));
+        }
+        t.addRow(row);
+    }
+    std::cout << "== routable (src,dst) fraction on " << topo.name()
+              << " under random link failures ==\n\n"
+              << t.render() << "\n";
+
+    // With 16 of 256 links dead:
+    double e = fractions["ecube"].back();
+    double n = fractions["nbc"].back();
+    std::cout << "shape checks:\n"
+              << "  everyone fully routable with no failures: "
+              << (fractions["ecube"].front() == 1.0 &&
+                          fractions["nbc"].front() == 1.0
+                      ? "yes"
+                      : "NO")
+              << "\n"
+              << "  full adaptivity degrades most gracefully: "
+              << (n > e && fractions["nbc"].back() >=
+                               fractions["2pn"].back() - 1e-9 &&
+                          fractions["nbc"].back() >=
+                              fractions["nlast"].back() - 1e-9
+                      ? "yes"
+                      : "NO")
+              << " (nbc " << formatFixed(n, 3) << " vs ecube "
+              << formatFixed(e, 3) << " at 16 failures)\n"
+              << "note: minimal routing caps fault tolerance — aligned\n"
+              << "pairs lose their only admissible direction; Linder &\n"
+              << "Harden's scheme spends extra VCs precisely to lift "
+                 "this.\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation: does the hop schemes' win survive a slower router?
+ *
+ * Paper Section 3.4 cautions that adaptive algorithms "require
+ * complicated routing logic, which could increase the node complexity,
+ * node delay per hop, or both", and Section 1 lists hardware cost as
+ * adaptivity's downside. This bench handicaps the adaptive algorithms
+ * with 1 and 2 extra routing-decision cycles per hop while e-cube keeps
+ * its single-cycle router, and compares latency and peak throughput.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+    using namespace wormsim::bench;
+
+    Harness h("ablation_router_delay",
+              "adaptive algorithms with slower routers vs 1-cycle e-cube");
+    h.cfg.traffic = "uniform";
+    h.loads = {0.1, 0.3, 0.5, 0.7, 0.9};
+    if (!h.parse(argc, argv))
+        return 0;
+
+    struct Row
+    {
+        std::string algo;
+        Cycle delay;
+        SweepResult sweep;
+    };
+    std::vector<Row> rows;
+    for (Cycle delay : {Cycle(0), Cycle(1), Cycle(2)}) {
+        for (const std::string &algo : {"nbc", "nlast"}) {
+            SimulationConfig cfg = h.cfg;
+            cfg.routingDelay = delay;
+            SweepRunner sweeper(cfg);
+            rows.push_back({algo, delay, sweeper.run({algo}, h.loads)});
+        }
+    }
+    SimulationConfig ecfg = h.cfg;
+    SweepRunner esweeper(ecfg);
+    SweepResult ecube = esweeper.run({"ecube"}, h.loads);
+
+    TextTable t;
+    t.setHeader({"algorithm", "router delay", "latency @0.1",
+                 "latency @0.5", "peak util"});
+    auto addRow = [&](const std::string &name, Cycle delay,
+                      const SweepResult &s, const std::string &algo) {
+        t.addRow({name, std::to_string(delay),
+                  formatFixed(s.latencyAt(algo, 0.1), 1),
+                  formatFixed(s.latencyAt(algo, 0.5), 1),
+                  formatFixed(s.peakUtilization(algo), 3)});
+    };
+    addRow("ecube", 0, ecube, "ecube");
+    for (const Row &r : rows)
+        addRow(r.algo, r.delay, r.sweep, r.algo);
+    std::cout << "== router-delay ablation, uniform traffic ==\n\n"
+              << t.render() << "\n";
+
+    auto peak = [&](const std::string &algo, Cycle delay) {
+        for (const Row &r : rows) {
+            if (r.algo == algo && r.delay == delay)
+                return r.sweep.peakUtilization(algo);
+        }
+        return 0.0;
+    };
+    std::cout
+        << "shape checks:\n"
+        << "  nbc with a 3x slower router still beats 1-cycle ecube: "
+        << (peak("nbc", 2) > ecube.peakUtilization("ecube") + 0.05
+                ? "yes"
+                : "NO")
+        << " (" << formatFixed(peak("nbc", 2), 3) << " vs "
+        << formatFixed(ecube.peakUtilization("ecube"), 3) << ")\n"
+        << "  router delay cannot rescue nlast:                      "
+        << (peak("nlast", 0) < ecube.peakUtilization("ecube") ? "yes"
+                                                              : "NO")
+        << "\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: other topologies (paper Section 4: "We are conducting further
+ * simulations of these routing algorithms for multidimensional tori and
+ * meshes").
+ *
+ * Runs a representative trio (ecube, 2pn, nbc) on a 16x16 mesh and an
+ * 8-ary 3-cube torus and checks that the paper's ordering — hop scheme >
+ * e-cube, with partial/tag adaptivity not helping — carries over. On the
+ * mesh, 2pn needs only 2^{n-1}... the tag dimension-0 bit is still used;
+ * wormsim keeps 2^n classes with index-monotone (= minimal) paths.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+    using namespace wormsim::bench;
+
+    Harness h("ablation_topologies",
+              "mesh and 3-D torus runs of ecube/2pn/nbc");
+    h.loads = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+    if (!h.parse(argc, argv))
+        return 0;
+
+    std::vector<std::string> algos{"nbc", "2pn", "ecube"};
+
+    // 16x16 mesh (Glass & Ni's home turf for the turn model).
+    SimulationConfig mesh_cfg = h.cfg;
+    mesh_cfg.mesh = true;
+    SweepRunner mesh_runner(mesh_cfg);
+    SweepResult mesh = mesh_runner.run(algos, h.loads);
+    SweepRunner::report(mesh, "16x16 mesh, uniform traffic", std::cout);
+
+    // 8-ary 3-cube torus (512 nodes).
+    SimulationConfig cube_cfg = h.cfg;
+    cube_cfg.radices = {8, 8, 8};
+    SweepRunner cube_runner(cube_cfg);
+    SweepResult cube = cube_runner.run(algos, h.loads);
+    SweepRunner::report(cube, "8-ary 3-cube torus, uniform traffic",
+                        std::cout);
+
+    printAnchors(
+        "topologies",
+        {{"mesh: nbc peak", 0.6, mesh.peakUtilization("nbc")},
+         {"mesh: ecube peak", 0.3, mesh.peakUtilization("ecube")},
+         {"3-cube: nbc peak", 0.6, cube.peakUtilization("nbc")},
+         {"3-cube: ecube peak", 0.3, cube.peakUtilization("ecube")}});
+
+    std::cout << "shape checks (paper Section 4 expectation):\n"
+              << "  hop scheme still on top on the mesh:    "
+              << (mesh.peakUtilization("nbc") >
+                          mesh.peakUtilization("ecube") &&
+                  mesh.peakUtilization("nbc") >
+                          mesh.peakUtilization("2pn")
+                      ? "yes"
+                      : "NO")
+              << "\n"
+              << "  hop scheme still on top on the 3-cube:  "
+              << (cube.peakUtilization("nbc") >
+                          cube.peakUtilization("ecube") &&
+                  cube.peakUtilization("nbc") >
+                          cube.peakUtilization("2pn")
+                      ? "yes"
+                      : "NO")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Shared scaffolding for the paper-reproduction benchmark binaries.
+ *
+ * Every bench runs in a single-core-friendly "quick" mode by default and a
+ * paper-scale mode under --full (longer warmup, longer sampling periods,
+ * the paper's 10-15-sample convergence budget, and a finer load grid).
+ * Each binary prints the paper's expected numbers next to the measured
+ * ones so EXPERIMENTS.md can be regenerated from bench output alone.
+ */
+
+#ifndef WORMSIM_BENCH_BENCH_COMMON_HH
+#define WORMSIM_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "wormsim/wormsim.hh"
+
+namespace wormsim::bench
+{
+
+/** Option handling and config defaults shared by all benches. */
+class Harness
+{
+  public:
+    /**
+     * @param name binary name for the usage banner
+     * @param description one-line experiment description
+     */
+    Harness(std::string name, std::string description)
+        : parser(std::move(name), std::move(description))
+    {
+        // Quick-mode measurement windows; --full overrides below.
+        cfg.warmupCycles = 4000;
+        cfg.samplePeriod = 3000;
+        cfg.sampleGap = 300;
+        cfg.maxCycles = 18000;
+        cfg.convergence.maxSamples = 4;
+        loads = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+    }
+
+    /**
+     * Parse argv; @retval false when --help was printed (exit 0).
+     * Applies --full scaling after parsing.
+     */
+    bool
+    parse(int argc, const char *const *argv)
+    {
+        cfg.registerOptions(parser);
+        parser.addFlag("full", &full,
+                       "paper-scale run: long warmup/sampling, up to 15 "
+                       "convergence samples, finer load grid");
+        parser.addDoubleList("loads", &loads, "offered loads to sweep");
+        parser.addFlag("quiet", &quiet, "suppress per-point progress");
+        if (!parser.parse(argc, argv))
+            return false;
+        cfg.finishOptions();
+        if (full) {
+            cfg.warmupCycles = 10000;
+            cfg.samplePeriod = 8000;
+            cfg.sampleGap = 800;
+            cfg.maxCycles = 200000;
+            cfg.convergence.maxSamples = 15;
+            loads = {0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45,
+                     0.5,  0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9};
+        }
+        if (quiet)
+            setLoggingQuiet(true);
+        banner();
+        return true;
+    }
+
+    /** Print the effective configuration so outputs are self-contained. */
+    void
+    banner() const
+    {
+        std::cout << "# wormsim bench: "
+                  << (cfg.mesh ? "mesh" : "torus") << " radix "
+                  << (cfg.radices.empty() ? 0 : cfg.radices[0]) << "^"
+                  << cfg.radices.size() << ", " << cfg.messageLength
+                  << "-flit messages, switching "
+                  << switchingModeName(cfg.switching) << ", buffer depth "
+                  << cfg.flitBufferDepth << ", injection limit "
+                  << cfg.injectionLimit << ", seed " << cfg.seed << "\n"
+                  << "# windows: warmup " << cfg.warmupCycles
+                  << ", sample " << cfg.samplePeriod << ", max cycles "
+                  << cfg.maxCycles << ", max samples "
+                  << cfg.convergence.maxSamples
+                  << (full ? " (--full)" : " (quick mode; --full for "
+                                           "paper-scale statistics)")
+                  << "\n\n";
+    }
+
+    /** Run the sweep over @p algorithms with progress logging. */
+    SweepResult
+    runSweep(const std::vector<std::string> &algorithms)
+    {
+        SweepRunner sweeper(cfg);
+        return sweeper.run(algorithms, loads);
+    }
+
+    SimulationConfig cfg;
+    std::vector<double> loads;
+    bool full = false;
+    bool quiet = false;
+    OptionParser parser;
+};
+
+/** One paper-vs-measured comparison row. */
+struct Anchor
+{
+    std::string what;
+    double paper;
+    double measured;
+};
+
+/**
+ * Print the paper-vs-measured anchor table that EXPERIMENTS.md records.
+ * Absolute agreement is not expected (different node model details); the
+ * *shape* — orderings and rough factors — is what the reproduction
+ * checks.
+ */
+inline void
+printAnchors(const std::string &figure, const std::vector<Anchor> &anchors)
+{
+    TextTable t;
+    t.setHeader({"anchor (" + figure + ")", "paper", "measured"});
+    for (const Anchor &a : anchors) {
+        t.addRow({a.what, formatFixed(a.paper, 3),
+                  formatFixed(a.measured, 3)});
+    }
+    std::cout << "paper-vs-measured anchors:\n" << t.render() << "\n";
+}
+
+} // namespace wormsim::bench
+
+#endif // WORMSIM_BENCH_BENCH_COMMON_HH

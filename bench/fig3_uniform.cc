@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 3 reproduction: "Performance of the routing algorithms for
+ * uniform traffic" — average latency and achieved channel utilization
+ * versus offered channel utilization for 16-flit worms on a 16x16 torus,
+ * all six algorithms (nbc, phop, nhop, 2pn, ecube, nlast).
+ *
+ * Paper anchors (Section 3.1): all algorithms share latency at rho <=
+ * 0.25; phop and nbc saturate after 0.6 with peak throughputs 0.72 and
+ * 0.63; nhop saturates around 0.55; e-cube peaks at 0.34 (at offered
+ * 0.4); nlast peaks around 0.25 and is worse than e-cube; 2pn is worse
+ * than e-cube.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+    using namespace wormsim::bench;
+
+    Harness h("fig3_uniform",
+              "Figure 3: uniform traffic on a 16x16 torus, 16-flit worms");
+    h.cfg.traffic = "uniform";
+    if (!h.parse(argc, argv))
+        return 0;
+
+    SweepResult sweep = h.runSweep(paperAlgorithms());
+    SweepRunner::report(sweep, "Figure 3: uniform traffic, 16-flit worms",
+                        std::cout);
+    SweepRunner::charts(sweep, std::cout);
+
+    printAnchors(
+        "fig3",
+        {{"phop peak normalized throughput", 0.72,
+          sweep.peakUtilization("phop")},
+         {"nbc peak normalized throughput", 0.63,
+          sweep.peakUtilization("nbc")},
+         {"nhop peak normalized throughput", 0.60,
+          sweep.peakUtilization("nhop")},
+         {"ecube peak normalized throughput", 0.34,
+          sweep.peakUtilization("ecube")},
+         {"nlast peak normalized throughput", 0.25,
+          sweep.peakUtilization("nlast")},
+         {"2pn peak normalized throughput (< ecube)", 0.30,
+          sweep.peakUtilization("2pn")},
+         {"low-load latency, ecube @0.1 (ml+d-1=23)", 23.0,
+          sweep.latencyAt("ecube", 0.1)},
+         {"low-load latency, nbc @0.1", 23.0,
+          sweep.latencyAt("nbc", 0.1)}});
+
+    std::cout << "shape checks (paper claims):\n"
+              << "  hop schemes beat ecube/nlast/2pn:    "
+              << (sweep.peakUtilization("phop") >
+                          sweep.peakUtilization("ecube") &&
+                  sweep.peakUtilization("nbc") >
+                          sweep.peakUtilization("ecube")
+                      ? "yes"
+                      : "NO")
+              << "\n"
+              << "  ecube beats partially-adaptive nlast: "
+              << (sweep.peakUtilization("ecube") >
+                          sweep.peakUtilization("nlast")
+                      ? "yes"
+                      : "NO")
+              << "\n"
+              << "  fully-adaptive 2pn no better than ecube (latency "
+                 "@0.1/0.2): "
+              << (sweep.latencyAt("2pn", 0.1) >=
+                          sweep.latencyAt("ecube", 0.1) &&
+                  sweep.latencyAt("2pn", 0.2) >=
+                          sweep.latencyAt("ecube", 0.2)
+                      ? "yes"
+                      : "NO")
+              << "\n"
+              << "  2pn peak within noise of ecube peak (paper: below): "
+              << (sweep.peakUtilization("2pn") <=
+                          sweep.peakUtilization("ecube") + 0.05
+                      ? "yes"
+                      : "NO")
+              << "\n";
+    return 0;
+}

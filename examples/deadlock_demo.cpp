@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deadlock demonstration: why Lemma 1 and the Dally–Seitz datelines
+ * matter.
+ *
+ * Runs the intentionally broken "broken-ring" algorithm (single VC class,
+ * plus-direction-only, wrap links included — a textbook ring deadlock) on
+ * a small torus, lets the watchdog confirm the cycle, prints the wait-for
+ * cycle it found, then reruns the same traffic with e-cube (datelines)
+ * and with nhop (monotone hop classes) to show both fixes clearing it.
+ */
+
+#include <iostream>
+
+#include "wormsim/wormsim.hh"
+
+namespace
+{
+
+using namespace wormsim;
+
+struct DemoResult
+{
+    bool deadlocked = false;
+    std::string report;
+    std::uint64_t delivered = 0;
+};
+
+DemoResult
+runDemo(const RoutingAlgorithm &algo, const Torus &topo, Cycle cycles)
+{
+    Xoshiro256 select_rng(1);
+    NetworkParams params;
+    params.watchdogPatience = 300;
+    params.watchdogInterval = 64;
+    params.deadlockAction = DeadlockAction::RecordOnly;
+    params.injectionLimit = 0; // let the backlog build
+    Network net(topo, algo, params, select_rng);
+
+    UniformTraffic traffic(topo);
+    Xoshiro256 dests(7);
+    for (Cycle t = 0; t < cycles; ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (t % 6 == 0)
+                net.offerMessage(n, traffic.pickDest(n, dests), 16, t);
+        }
+        net.step(t);
+        if (net.sawDeadlock())
+            break;
+    }
+    DemoResult r;
+    r.deadlocked = net.sawDeadlock();
+    r.report = net.lastDeadlock().describe();
+    r.delivered = net.counters().messagesDelivered;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+
+    long long radix = 6;
+    long long cycles = 6000;
+    OptionParser parser("deadlock_demo",
+                        "ring deadlock vs the paper's two cures");
+    parser.addInt("radix", &radix, "torus radix");
+    parser.addInt("cycles", &cycles, "max cycles per run");
+    if (!parser.parse(argc, argv))
+        return 0;
+
+    Torus topo({static_cast<int>(radix), static_cast<int>(radix)});
+
+    std::cout
+        << "1) broken-ring: one VC class, fixed + direction, wrap links "
+           "used.\n   Each torus ring's channel-dependency graph is a "
+           "directed cycle;\n   under load the classic wormhole deadlock "
+           "must form.\n\n";
+    BrokenRingRouting broken;
+    DemoResult r = runDemo(broken, topo,
+                           static_cast<Cycle>(cycles));
+    std::cout << "   watchdog: "
+              << (r.deadlocked ? r.report : "no deadlock (raise --cycles)")
+              << "\n   delivered before wedging: " << r.delivered
+              << " messages\n\n";
+
+    std::cout << "2) ecube: same traffic, Dally-Seitz dateline (2 VC "
+                 "classes per link).\n";
+    EcubeRouting ecube;
+    DemoResult e = runDemo(ecube, topo, static_cast<Cycle>(cycles));
+    std::cout << "   watchdog: "
+              << (e.deadlocked ? e.report : "no deadlock") << ", delivered "
+              << e.delivered << " messages\n\n";
+
+    std::cout << "3) nhop: same traffic, monotone negative-hop classes "
+                 "(Lemma 1).\n";
+    NegativeHopRouting nhop;
+    DemoResult n = runDemo(nhop, topo, static_cast<Cycle>(cycles));
+    std::cout << "   watchdog: "
+              << (n.deadlocked ? n.report : "no deadlock") << ", delivered "
+              << n.delivered << " messages\n\n";
+
+    bool as_expected = r.deadlocked && !e.deadlocked && !n.deadlocked;
+    std::cout << (as_expected
+                      ? "Result: the broken algorithm wedged; both "
+                        "deadlock-free constructions survived."
+                      : "Unexpected outcome; see reports above.")
+              << "\n";
+    return as_expected ? 0 : 1;
+}

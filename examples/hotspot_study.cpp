@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Hotspot case study: how a single hot destination degrades each class of
+ * routing algorithm, and how the degradation scales with the hotspot
+ * fraction. Reproduces the flavor of the paper's Section 3.2 discussion
+ * interactively on a small torus.
+ *
+ *   ./hotspot_study [--radix 8] [--load 0.3] ...
+ */
+
+#include <iostream>
+
+#include "wormsim/wormsim.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+
+    SimulationConfig cfg;
+    cfg.radices = {8, 8};
+    cfg.traffic = "hotspot";
+    cfg.offeredLoad = 0.3;
+    cfg.warmupCycles = 3000;
+    cfg.samplePeriod = 3000;
+    cfg.maxCycles = 40000;
+
+    OptionParser parser("hotspot_study",
+                        "hotspot-fraction sweep for three algorithm "
+                        "classes");
+    cfg.registerOptions(parser);
+    if (!parser.parse(argc, argv))
+        return 0;
+    cfg.finishOptions();
+
+    std::cout << "hotspot study on " << cfg.makeTopology()->name()
+              << ", offered load " << cfg.offeredLoad << "\n"
+              << "(non-adaptive ecube vs partially-adaptive nlast vs "
+                 "fully-adaptive nbc)\n\n";
+
+    TextTable t;
+    t.setHeader({"hotspot %", "algorithm", "latency", "achieved util",
+                 "drop fraction"});
+    for (double fraction : {0.0, 0.02, 0.04, 0.08, 0.16}) {
+        for (const std::string &algo : {"ecube", "nlast", "nbc"}) {
+            SimulationConfig point = cfg;
+            point.algorithm = algo;
+            if (fraction == 0.0)
+                point.traffic = "uniform";
+            point.trafficParams.hotspotFraction = fraction;
+            SimulationResult r = SimulationRunner(point).run();
+            t.addRow({formatFixed(fraction * 100.0, 0) + "%", r.algorithm,
+                      formatFixed(r.avgLatency, 1),
+                      formatFixed(r.achievedUtilization, 3),
+                      formatFixed(r.dropFraction, 3)});
+        }
+    }
+    std::cout << t.render() << "\n"
+              << "Expected shape (paper Section 3.2): hotspot traffic "
+                 "causes early saturation\nfor every algorithm; the "
+                 "fully-adaptive hop scheme holds the highest\n"
+                 "throughput, and increasing the hotspot fraction "
+                 "squeezes everyone.\n";
+    return 0;
+}

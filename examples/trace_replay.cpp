@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Trace-driven evaluation (the paper's stated future work): generate a
+ * communication trace, save it, and replay the identical workload under
+ * several routing algorithms, comparing makespan and latency. A trace
+ * file of your own can be supplied with --trace.
+ *
+ * Trace format: text lines "cycle src dst length", `#` comments.
+ */
+
+#include <iostream>
+
+#include "wormsim/wormsim.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+
+    std::string trace_path;
+    long long radix = 8;
+    double rate = 0.02;
+    long long horizon = 4000;
+    OptionParser parser("trace_replay",
+                        "replay one workload trace under all algorithms");
+    parser.addString("trace", &trace_path,
+                     "trace file to replay (default: generate one)");
+    parser.addInt("radix", &radix, "torus radix");
+    parser.addDouble("rate", &rate,
+                     "per-node injection rate for the generated trace");
+    parser.addInt("horizon", &horizon, "generated trace length in cycles");
+    if (!parser.parse(argc, argv))
+        return 0;
+
+    Torus topo({static_cast<int>(radix), static_cast<int>(radix)});
+
+    Trace trace;
+    if (trace_path.empty()) {
+        UniformTraffic traffic(topo);
+        Xoshiro256 rng(2026);
+        trace = TraceGenerator(traffic, rng)
+                    .generate(rate, static_cast<Cycle>(horizon), 16);
+        std::cout << "generated a uniform-traffic trace: " << trace.size()
+                  << " messages over " << trace.horizon() << " cycles\n";
+        trace.save("trace_replay_workload.txt");
+        std::cout << "saved to trace_replay_workload.txt (replayable "
+                     "with --trace)\n\n";
+    } else {
+        trace = Trace::load(trace_path);
+        std::cout << "loaded " << trace.size() << " messages from "
+                  << trace_path << "\n\n";
+    }
+    trace.validate(topo);
+
+    TextTable t;
+    t.setHeader({"algorithm", "delivered", "makespan", "avg latency",
+                 "max latency", "achieved util"});
+    for (const std::string &algo :
+         {"ecube", "nlast", "2pn", "phop", "nhop", "nbc", "nbc-flex"}) {
+        SimulationConfig cfg;
+        cfg.radices = {static_cast<int>(radix), static_cast<int>(radix)};
+        cfg.algorithm = algo;
+        cfg.injectionLimit = 0; // replay everything; compare makespans
+        TraceRunner runner(cfg);
+        TraceReplayResult r = runner.replay(trace);
+        t.addRow({r.algorithm,
+                  std::to_string(r.delivered) + "/" +
+                      std::to_string(r.messages),
+                  std::to_string(r.makespan),
+                  formatFixed(r.avgLatency, 1),
+                  formatFixed(r.maxLatency, 0),
+                  formatFixed(r.achievedUtilization, 3)});
+    }
+    std::cout << t.render() << "\n"
+              << "The same message set, injected at the same cycles, "
+                 "finishes fastest under\nthe priority-carrying "
+                 "fully-adaptive hop schemes — the trace-driven view of\n"
+                 "the paper's rate-driven Figure 3.\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+#include "wormsim/common/chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
+
+namespace wormsim
+{
+
+AsciiChart::AsciiChart(int width, int height)
+    : plotWidth(width), plotHeight(height)
+{
+    WORMSIM_ASSERT(width >= 20 && height >= 8, "chart area too small");
+}
+
+void
+AsciiChart::setAxisLabels(std::string x, std::string y)
+{
+    xLabel = std::move(x);
+    yLabel = std::move(y);
+}
+
+void
+AsciiChart::setYLimit(double y_max)
+{
+    WORMSIM_ASSERT(y_max > 0.0, "y limit must be positive");
+    yMax = y_max;
+    yMaxForced = true;
+}
+
+void
+AsciiChart::addSeries(ChartSeries s)
+{
+    WORMSIM_ASSERT(s.x.size() == s.y.size(),
+                   "series x/y length mismatch");
+    series.push_back(std::move(s));
+}
+
+std::string
+AsciiChart::render() const
+{
+    double x_lo = 0.0, x_hi = 0.0, y_hi = yMax;
+    bool first = true;
+    for (const ChartSeries &s : series) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            if (first) {
+                x_lo = x_hi = s.x[i];
+                first = false;
+            }
+            x_lo = std::min(x_lo, s.x[i]);
+            x_hi = std::max(x_hi, s.x[i]);
+            if (!yMaxForced)
+                y_hi = std::max(y_hi, s.y[i]);
+        }
+    }
+    if (first || x_hi == x_lo || y_hi <= 0.0)
+        return "(no plottable data)\n";
+
+    std::vector<std::string> grid(plotHeight,
+                                  std::string(plotWidth, ' '));
+    for (const ChartSeries &s : series) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            double fx = (s.x[i] - x_lo) / (x_hi - x_lo);
+            double fy = std::min(s.y[i] / y_hi, 1.0);
+            int col = static_cast<int>(std::lround(
+                fx * (plotWidth - 1)));
+            int row = plotHeight - 1 -
+                      static_cast<int>(std::lround(
+                          fy * (plotHeight - 1)));
+            char &cell = grid[row][col];
+            // Overlapping symbols become '#' (like overprinting).
+            cell = (cell == ' ' || cell == s.symbol) ? s.symbol : '#';
+        }
+    }
+
+    std::ostringstream oss;
+    if (!title.empty())
+        oss << title << "\n";
+    std::string ylab = yLabel;
+    oss << formatFixed(y_hi, y_hi < 10 ? 2 : 0)
+        << (yMaxForced ? "+ (clipped)" : "") << " " << ylab << "\n";
+    for (int r = 0; r < plotHeight; ++r)
+        oss << "  |" << grid[r] << "\n";
+    oss << "  +" << std::string(plotWidth, '-') << "\n";
+    oss << "   " << formatFixed(x_lo, 2)
+        << std::string(std::max(1, plotWidth - 10), ' ')
+        << formatFixed(x_hi, 2) << "  " << xLabel << "\n";
+    oss << "  legend:";
+    for (const ChartSeries &s : series)
+        oss << "  " << s.symbol << " " << s.label;
+    oss << "\n";
+    return oss.str();
+}
+
+} // namespace wormsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ASCII line/scatter chart for terminal reproduction of the paper's
+ * figures: offered load on the x-axis, latency or utilization on the
+ * y-axis, one plotting symbol per algorithm (the paper uses o + x * ...).
+ */
+
+#ifndef WORMSIM_COMMON_CHART_HH
+#define WORMSIM_COMMON_CHART_HH
+
+#include <string>
+#include <vector>
+
+namespace wormsim
+{
+
+/** One plotted series. */
+struct ChartSeries
+{
+    std::string label;
+    char symbol = '*';
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/** Renders series into a character grid with axes and a legend. */
+class AsciiChart
+{
+  public:
+    /**
+     * @param width plot-area columns (>= 20)
+     * @param height plot-area rows (>= 8)
+     */
+    AsciiChart(int width = 64, int height = 20);
+
+    /** Chart title printed above the plot. */
+    void setTitle(std::string t) { title = std::move(t); }
+
+    /** Axis labels. */
+    void setAxisLabels(std::string x, std::string y);
+
+    /**
+     * Clamp the y range (e.g. cap saturation latencies so the
+     * pre-saturation region stays readable). By default the range is
+     * fitted to the data.
+     */
+    void setYLimit(double y_max);
+
+    /** Add one series; points with y above the y-limit are clipped to
+     *  the top row (like the paper's off-scale saturation points). */
+    void addSeries(ChartSeries series);
+
+    /** Render the whole chart. */
+    std::string render() const;
+
+  private:
+    int plotWidth;
+    int plotHeight;
+    std::string title;
+    std::string xLabel;
+    std::string yLabel;
+    double yMax = 0.0;
+    bool yMaxForced = false;
+    std::vector<ChartSeries> series;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_COMMON_CHART_HH

@@ -1,0 +1,34 @@
+#include "wormsim/common/csv.hh"
+
+namespace wormsim
+{
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out << ',';
+        out << escape(cells[i]);
+    }
+    out << '\n';
+}
+
+} // namespace wormsim

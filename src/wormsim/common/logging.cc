@@ -1,0 +1,75 @@
+#include "wormsim/common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace wormsim
+{
+
+namespace
+{
+
+bool throwsInsteadOfTerminating = false;
+bool quiet = false;
+
+} // namespace
+
+void
+setLoggingThrows(bool throws)
+{
+    throwsInsteadOfTerminating = throws;
+}
+
+bool
+loggingThrows()
+{
+    return throwsInsteadOfTerminating;
+}
+
+void
+setLoggingQuiet(bool q)
+{
+    quiet = q;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = concat("panic: ", msg, " [", file, ":", line, "]");
+    if (throwsInsteadOfTerminating)
+        throw std::runtime_error(full);
+    std::cerr << full << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = concat("fatal: ", msg, " [", file, ":", line, "]");
+    if (throwsInsteadOfTerminating)
+        throw std::runtime_error(full);
+    std::cerr << full << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace wormsim

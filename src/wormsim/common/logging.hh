@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers in the gem5 spirit.
+ *
+ * panic()  — an internal invariant was violated: a wormsim bug. Aborts.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments). Exits with code 1.
+ * warn()   — something is suspicious but the simulation continues.
+ * inform() — plain status output.
+ *
+ * All of them accept printf-free, iostream-free variadic arguments that are
+ * stringified with operator<<.
+ */
+
+#ifndef WORMSIM_COMMON_LOGGING_HH
+#define WORMSIM_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace wormsim
+{
+
+namespace detail
+{
+
+/** Concatenate all arguments using ostringstream insertion. */
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+/** Terminate with an internal-error message (abort). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with a user-error message (exit(1)). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print a status message to stderr. */
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Test hook: when set, panic/fatal throw std::runtime_error instead of
+ * terminating, so death paths can be unit tested cheaply.
+ */
+void setLoggingThrows(bool throws);
+
+/** @return whether panic/fatal currently throw instead of terminating. */
+bool loggingThrows();
+
+/** Suppress warn()/inform() output (e.g. in quiet benchmarks). */
+void setLoggingQuiet(bool quiet);
+
+} // namespace wormsim
+
+#define WORMSIM_PANIC(...)                                                   \
+    ::wormsim::detail::panicImpl(__FILE__, __LINE__,                         \
+                                 ::wormsim::detail::concat(__VA_ARGS__))
+
+#define WORMSIM_FATAL(...)                                                   \
+    ::wormsim::detail::fatalImpl(__FILE__, __LINE__,                         \
+                                 ::wormsim::detail::concat(__VA_ARGS__))
+
+#define WORMSIM_WARN(...)                                                    \
+    ::wormsim::detail::warnImpl(::wormsim::detail::concat(__VA_ARGS__))
+
+#define WORMSIM_INFORM(...)                                                  \
+    ::wormsim::detail::informImpl(::wormsim::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define WORMSIM_ASSERT(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            WORMSIM_PANIC("assertion failed: " #cond " ", __VA_ARGS__);      \
+        }                                                                    \
+    } while (0)
+
+#endif // WORMSIM_COMMON_LOGGING_HH

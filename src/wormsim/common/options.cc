@@ -1,0 +1,165 @@
+#include "wormsim/common/options.hh"
+
+#include <iostream>
+#include <sstream>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
+
+namespace wormsim
+{
+
+OptionParser::OptionParser(std::string program_name, std::string descr)
+    : programName(std::move(program_name)), description(std::move(descr))
+{
+}
+
+void
+OptionParser::add(Option opt)
+{
+    WORMSIM_ASSERT(find(opt.name) == nullptr,
+                   "duplicate option --", opt.name);
+    options.push_back(std::move(opt));
+}
+
+const OptionParser::Option *
+OptionParser::find(const std::string &name) const
+{
+    for (const auto &opt : options) {
+        if (opt.name == name)
+            return &opt;
+    }
+    return nullptr;
+}
+
+void
+OptionParser::addInt(const std::string &name, long long *target,
+                     const std::string &help)
+{
+    add({name, help, true, std::to_string(*target),
+         [target](const std::string &v) { return parseInt(v, *target); }});
+}
+
+void
+OptionParser::addDouble(const std::string &name, double *target,
+                        const std::string &help)
+{
+    add({name, help, true, formatFixed(*target, 4),
+         [target](const std::string &v) {
+             return parseDouble(v, *target);
+         }});
+}
+
+void
+OptionParser::addBool(const std::string &name, bool *target,
+                      const std::string &help)
+{
+    add({name, help, true, *target ? "true" : "false",
+         [target](const std::string &v) { return parseBool(v, *target); }});
+}
+
+void
+OptionParser::addString(const std::string &name, std::string *target,
+                        const std::string &help)
+{
+    add({name, help, true, *target,
+         [target](const std::string &v) {
+             *target = v;
+             return true;
+         }});
+}
+
+void
+OptionParser::addFlag(const std::string &name, bool *target,
+                      const std::string &help)
+{
+    add({name, help, false, "off",
+         [target](const std::string &) {
+             *target = true;
+             return true;
+         }});
+}
+
+void
+OptionParser::addDoubleList(const std::string &name,
+                            std::vector<double> *target,
+                            const std::string &help)
+{
+    std::vector<std::string> parts;
+    for (double d : *target)
+        parts.push_back(formatFixed(d, 3));
+    add({name, help, true, join(parts, ","),
+         [target](const std::string &v) {
+             std::vector<double> vals;
+             for (const std::string &piece : split(v, ',')) {
+                 double d;
+                 if (!parseDouble(trim(piece), d))
+                     return false;
+                 vals.push_back(d);
+             }
+             *target = std::move(vals);
+             return true;
+         }});
+}
+
+bool
+OptionParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << usage();
+            return false;
+        }
+        if (!startsWith(arg, "--"))
+            WORMSIM_FATAL("unexpected positional argument '", arg, "'");
+
+        std::string name = arg.substr(2);
+        std::string value;
+        bool haveValue = false;
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            haveValue = true;
+        }
+
+        const Option *opt = find(name);
+        if (!opt)
+            WORMSIM_FATAL("unknown option --", name, "\n", usage());
+
+        if (opt->takesValue && !haveValue) {
+            if (i + 1 >= argc)
+                WORMSIM_FATAL("option --", name, " requires a value");
+            value = argv[++i];
+            haveValue = true;
+        }
+        if (!opt->takesValue && haveValue)
+            WORMSIM_FATAL("option --", name, " does not take a value");
+
+        if (!opt->apply(value))
+            WORMSIM_FATAL("invalid value '", value, "' for option --", name);
+    }
+    return true;
+}
+
+std::string
+OptionParser::usage() const
+{
+    std::ostringstream oss;
+    oss << programName << " — " << description << "\n\nOptions:\n";
+    for (const auto &opt : options) {
+        std::string lhs = "  --" + opt.name +
+                          (opt.takesValue ? " <value>" : "");
+        oss << lhs;
+        if (lhs.size() < 30)
+            oss << std::string(30 - lhs.size(), ' ');
+        else
+            oss << "\n" << std::string(30, ' ');
+        oss << opt.help << " [default: " << opt.defaultRepr << "]\n";
+    }
+    oss << "  --help                      show this text\n";
+    return oss.str();
+}
+
+} // namespace wormsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A small declarative command-line option parser used by the example and
+ * benchmark binaries.
+ *
+ * Options are declared with addInt/addDouble/addBool/addString/addFlag and
+ * parsed from `--name value` or `--name=value` syntax. `--help` prints an
+ * auto-generated usage text. Unknown options are fatal (user error).
+ */
+
+#ifndef WORMSIM_COMMON_OPTIONS_HH
+#define WORMSIM_COMMON_OPTIONS_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wormsim
+{
+
+/** Declarative CLI option registry and parser. */
+class OptionParser
+{
+  public:
+    /**
+     * @param program_name name shown in the usage banner
+     * @param description one-line tool description
+     */
+    OptionParser(std::string program_name, std::string description);
+
+    /** Declare an integer option bound to @p target. */
+    void addInt(const std::string &name, long long *target,
+                const std::string &help);
+
+    /** Declare a floating-point option bound to @p target. */
+    void addDouble(const std::string &name, double *target,
+                   const std::string &help);
+
+    /** Declare a boolean option (takes a value) bound to @p target. */
+    void addBool(const std::string &name, bool *target,
+                 const std::string &help);
+
+    /** Declare a string option bound to @p target. */
+    void addString(const std::string &name, std::string *target,
+                   const std::string &help);
+
+    /** Declare a valueless flag that sets @p target to true when present. */
+    void addFlag(const std::string &name, bool *target,
+                 const std::string &help);
+
+    /**
+     * Declare a list-of-doubles option (comma separated) bound to
+     * @p target.
+     */
+    void addDoubleList(const std::string &name, std::vector<double> *target,
+                       const std::string &help);
+
+    /**
+     * Parse argv. On `--help`, prints usage and returns false (the caller
+     * should exit 0). On malformed input, calls WORMSIM_FATAL.
+     *
+     * @retval true when the program should proceed
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** Render the usage text (also printed by `--help`). */
+    std::string usage() const;
+
+  private:
+    struct Option
+    {
+        std::string name;
+        std::string help;
+        bool takesValue;
+        std::string defaultRepr;
+        std::function<bool(const std::string &)> apply;
+    };
+
+    void add(Option opt);
+    const Option *find(const std::string &name) const;
+
+    std::string programName;
+    std::string description;
+    std::vector<Option> options;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_COMMON_OPTIONS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Small string helpers used by the option parser and report writers.
+ */
+
+#ifndef WORMSIM_COMMON_STRING_UTILS_HH
+#define WORMSIM_COMMON_STRING_UTILS_HH
+
+#include <string>
+#include <vector>
+
+namespace wormsim
+{
+
+/** Split @p text on @p sep; empty fields are preserved. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(const std::string &text);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &text);
+
+/** @return true when @p text starts with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/**
+ * Parse a signed integer; the whole string must be consumed.
+ * @param text source text
+ * @param out destination
+ * @retval true on success
+ */
+bool parseInt(const std::string &text, long long &out);
+
+/** Parse a double; the whole string must be consumed. */
+bool parseDouble(const std::string &text, double &out);
+
+/** Parse a boolean: 1/0/true/false/yes/no/on/off (case-insensitive). */
+bool parseBool(const std::string &text, bool &out);
+
+/** Format a double with @p digits significant fraction digits. */
+std::string formatFixed(double value, int digits);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 const std::string &sep);
+
+} // namespace wormsim
+
+#endif // WORMSIM_COMMON_STRING_UTILS_HH

@@ -1,0 +1,89 @@
+#include "wormsim/common/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    WORMSIM_ASSERT(header.empty() || cells.size() == header.size(),
+                   "row width ", cells.size(), " != header width ",
+                   header.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::addRow(std::initializer_list<std::string> cells)
+{
+    addRow(std::vector<std::string>(cells));
+}
+
+bool
+TextTable::looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    for (char c : cell) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != 'e' && c != 'E' && c != '%')
+            return false;
+    }
+    return true;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header.size(), 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i >= widths.size())
+                widths.resize(i + 1, 0);
+            widths[i] = std::max(widths[i], cells[i].size());
+        }
+    };
+    widen(header);
+    for (const auto &row : rows)
+        widen(row);
+
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &cells, bool numeric) {
+        oss << "|";
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            std::size_t pad = widths[i] - cell.size();
+            bool right = numeric && looksNumeric(cell);
+            oss << ' ';
+            if (right)
+                oss << std::string(pad, ' ') << cell;
+            else
+                oss << cell << std::string(pad, ' ');
+            oss << " |";
+        }
+        oss << "\n";
+    };
+    if (!header.empty()) {
+        emit(header, false);
+        oss << "|";
+        for (std::size_t w : widths)
+            oss << std::string(w + 2, '-') << "|";
+        oss << "\n";
+    }
+    for (const auto &row : rows)
+        emit(row, true);
+    return oss.str();
+}
+
+} // namespace wormsim

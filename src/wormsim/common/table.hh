@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harnesses to print the rows
+ * and series the paper reports.
+ */
+
+#ifndef WORMSIM_COMMON_TABLE_HH
+#define WORMSIM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace wormsim
+{
+
+/**
+ * Column-aligned text table. Numeric cells are right-aligned, text cells
+ * left-aligned; a header separator row is inserted automatically.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row (defines the column count). */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: append a row of already-formatted cells. */
+    void addRow(std::initializer_list<std::string> cells);
+
+    /** Render the table with `|` separators and an underline row. */
+    std::string render() const;
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return rows.size(); }
+
+  private:
+    static bool looksNumeric(const std::string &cell);
+
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_COMMON_TABLE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the wormsim library.
+ */
+
+#ifndef WORMSIM_COMMON_TYPES_HH
+#define WORMSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace wormsim
+{
+
+/** Simulation time, in clock cycles. One flit crosses one link per cycle. */
+using Cycle = std::uint64_t;
+
+/** Linear node index into a topology (0 .. numNodes()-1). */
+using NodeId = std::int32_t;
+
+/** Linear unidirectional physical-channel index (0 .. numChannels()-1). */
+using ChannelId = std::int32_t;
+
+/** Virtual-channel class number within a physical channel (0 .. V-1). */
+using VcClass = std::int16_t;
+
+/** Unique, monotonically increasing message identifier. */
+using MessageId = std::uint64_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId kInvalidNode = -1;
+
+/** Sentinel for "no channel". */
+constexpr ChannelId kInvalidChannel = -1;
+
+/** Sentinel for "no virtual channel class". */
+constexpr VcClass kInvalidVc = -1;
+
+/** Sentinel for "never" / unset time. */
+constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+} // namespace wormsim
+
+#endif // WORMSIM_COMMON_TYPES_HH

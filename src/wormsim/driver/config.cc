@@ -1,0 +1,132 @@
+#include "wormsim/driver/config.hh"
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/topology/mesh.hh"
+#include "wormsim/topology/torus.hh"
+
+namespace wormsim
+{
+
+double
+SimulationConfig::injectionRate(double mean_distance, int num_dims) const
+{
+    WORMSIM_ASSERT(mean_distance > 0.0, "mean distance must be positive");
+    double lambda = offeredLoad * 2.0 * num_dims /
+                    (messageLength * mean_distance);
+    WORMSIM_ASSERT(lambda > 0.0 && lambda <= 1.0, "offered load ",
+                   offeredLoad, " implies injection probability ", lambda,
+                   " outside (0,1]");
+    return lambda;
+}
+
+std::unique_ptr<Topology>
+SimulationConfig::makeTopology() const
+{
+    if (mesh)
+        return std::make_unique<Mesh>(radices);
+    return std::make_unique<Torus>(radices);
+}
+
+NetworkParams
+SimulationConfig::networkParams() const
+{
+    NetworkParams p;
+    p.switching = switching;
+    p.flitBufferDepth = flitBufferDepth;
+    p.injectionLimit = injectionLimit;
+    p.routingDelay = routingDelay;
+    p.select = select;
+    p.watchdogPatience = watchdogPatience;
+    p.deadlockAction = deadlockAction;
+    return p;
+}
+
+void
+SimulationConfig::registerOptions(OptionParser &parser)
+{
+    // Seed the option backing fields from the current config so binaries
+    // can pre-set defaults programmatically before parsing.
+    optRadix = radices.empty() ? 16 : radices[0];
+    optDims = static_cast<long long>(radices.size());
+    optLength = messageLength;
+    optBufferDepth = flitBufferDepth;
+    optInjectionLimit = injectionLimit;
+    optRoutingDelay = static_cast<long long>(routingDelay);
+    optWarmup = static_cast<long long>(warmupCycles);
+    optSamplePeriod = static_cast<long long>(samplePeriod);
+    optMaxCycles = static_cast<long long>(maxCycles);
+    optSeed = static_cast<long long>(seed);
+    optHotspotNode = trafficParams.hotspotNode;
+    optLocalRadius = trafficParams.localRadius;
+    optSwitching = switchingModeName(switching);
+
+    parser.addString("algorithm", &algorithm,
+                     "routing algorithm (ecube, nlast, 2pn, phop, nhop, "
+                     "nbc, ...)");
+    parser.addString("traffic", &traffic,
+                     "traffic pattern (uniform, hotspot, local, ...)");
+    parser.addDouble("load", &offeredLoad,
+                     "offered load as a fraction of channel capacity");
+    parser.addInt("radix", &optRadix, "nodes per dimension (k)");
+    parser.addInt("dims", &optDims, "dimensions (n)");
+    parser.addFlag("mesh", &mesh, "use a mesh instead of a torus");
+    parser.addInt("length", &optLength, "message length in flits");
+    parser.addString("switching", &optSwitching,
+                     "switching mode: wh, vct, or saf");
+    parser.addInt("buffer-depth", &optBufferDepth,
+                  "flit buffer depth per virtual channel");
+    parser.addInt("injection-limit", &optInjectionLimit,
+                  "congestion-control limit per (node, class); 0 disables");
+    parser.addInt("routing-delay", &optRoutingDelay,
+                  "extra router-decision cycles per hop");
+    parser.addInt("warmup", &optWarmup, "warmup cycles");
+    parser.addInt("sample-period", &optSamplePeriod,
+                  "cycles per sampling period");
+    parser.addInt("max-cycles", &optMaxCycles, "hard cycle budget");
+    parser.addInt("seed", &optSeed, "master random seed");
+    parser.addInt("hotspot-node", &optHotspotNode,
+                  "hotspot node id (-1 = highest-index node)");
+    parser.addInt("local-radius", &optLocalRadius,
+                  "local-traffic window radius");
+}
+
+void
+SimulationConfig::finishOptions()
+{
+    radices.assign(static_cast<std::size_t>(optDims),
+                   static_cast<int>(optRadix));
+    messageLength = static_cast<int>(optLength);
+    flitBufferDepth = static_cast<int>(optBufferDepth);
+    injectionLimit = static_cast<int>(optInjectionLimit);
+    routingDelay = static_cast<Cycle>(optRoutingDelay);
+    warmupCycles = static_cast<Cycle>(optWarmup);
+    samplePeriod = static_cast<Cycle>(optSamplePeriod);
+    maxCycles = static_cast<Cycle>(optMaxCycles);
+    seed = static_cast<std::uint64_t>(optSeed);
+    trafficParams.hotspotNode = static_cast<NodeId>(optHotspotNode);
+    trafficParams.localRadius = static_cast<int>(optLocalRadius);
+    switching = parseSwitchingMode(optSwitching);
+}
+
+void
+SimulationConfig::validate() const
+{
+    if (radices.empty())
+        WORMSIM_FATAL("need at least one dimension");
+    for (int k : radices) {
+        if (k < 2)
+            WORMSIM_FATAL("radix must be >= 2, got ", k);
+    }
+    if (messageLength < 1)
+        WORMSIM_FATAL("message length must be >= 1 flit");
+    if (offeredLoad <= 0.0 || offeredLoad > 1.5)
+        WORMSIM_FATAL("offered load ", offeredLoad, " out of range (0,1.5]");
+    if (flitBufferDepth < 1)
+        WORMSIM_FATAL("flit buffer depth must be >= 1");
+    if (samplePeriod < 100)
+        WORMSIM_FATAL("sample period unrealistically short");
+    if (maxCycles < warmupCycles + samplePeriod)
+        WORMSIM_FATAL("max-cycles too small for warmup plus one sample");
+}
+
+} // namespace wormsim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * SimulationConfig: everything one simulation point needs, with CLI
+ * bindings shared by the example and bench binaries, and factories for
+ * the topology / routing algorithm / traffic pattern it names.
+ */
+
+#ifndef WORMSIM_DRIVER_CONFIG_HH
+#define WORMSIM_DRIVER_CONFIG_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wormsim/common/options.hh"
+#include "wormsim/network/network.hh"
+#include "wormsim/stats/convergence.hh"
+#include "wormsim/topology/topology.hh"
+#include "wormsim/traffic/registry.hh"
+
+namespace wormsim
+{
+
+/** Full description of one simulation point. */
+struct SimulationConfig
+{
+    // --- network under test ---
+    std::vector<int> radices{16, 16}; ///< the paper's 16x16 torus
+    bool mesh = false;                ///< torus by default
+    std::string algorithm = "ecube";
+    std::string traffic = "uniform";
+    TrafficParams trafficParams;
+
+    // --- workload ---
+    int messageLength = 16;   ///< flits (the paper's fixed 16)
+    double offeredLoad = 0.3; ///< fraction of channel capacity
+
+    // --- fabric ---
+    SwitchingMode switching = SwitchingMode::Wormhole;
+    int flitBufferDepth = 2;
+    VcSelectPolicy select = VcSelectPolicy::LeastBusy;
+    int injectionLimit = 4; ///< congestion control; <= 0 disables
+    Cycle routingDelay = 0; ///< extra router-decision cycles per hop
+    Cycle watchdogPatience = 8192;
+    DeadlockAction deadlockAction = DeadlockAction::Panic;
+
+    // --- measurement ---
+    Cycle warmupCycles = 10000;
+    Cycle samplePeriod = 8000;
+    Cycle sampleGap = 500; ///< stats-off span between samples
+    ConvergencePolicy convergence;
+    Cycle maxCycles = 400000; ///< hard budget (paper's time limit)
+    std::uint64_t seed = 1;
+
+    /**
+     * Per-node, per-cycle injection probability implied by offeredLoad:
+     * lambda = rho * 2n / (m_l * dbar), Eq. (3)/(4) solved for lambda.
+     *
+     * @param mean_distance the traffic pattern's mean minimal distance
+     * @param num_dims n
+     */
+    double injectionRate(double mean_distance, int num_dims) const;
+
+    /** Construct the topology this config describes. */
+    std::unique_ptr<Topology> makeTopology() const;
+
+    /** Fabric parameters for Network construction. */
+    NetworkParams networkParams() const;
+
+    /**
+     * Bind the commonly swept fields to @p parser (e.g. --algorithm,
+     * --traffic, --load, --length, --warmup, --seed, ...). parse() then
+     * fills this config. Call validate() afterwards.
+     */
+    void registerOptions(OptionParser &parser);
+
+    /** Fatal on inconsistent settings (user error). */
+    void validate() const;
+
+  private:
+    // Backing fields for option binding (OptionParser wants long long).
+    long long optRadix = 16;
+    long long optDims = 2;
+    long long optLength = 16;
+    long long optBufferDepth = 2;
+    long long optInjectionLimit = 4;
+    long long optRoutingDelay = 0;
+    long long optWarmup = 10000;
+    long long optSamplePeriod = 8000;
+    long long optMaxCycles = 400000;
+    long long optSeed = 1;
+    long long optHotspotNode = -1;
+    long long optLocalRadius = 3;
+    std::string optSwitching = "wh";
+
+  public:
+    /** Copy parsed option fields into the real config fields. */
+    void finishOptions();
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_DRIVER_CONFIG_HH

@@ -1,0 +1,24 @@
+#include "wormsim/driver/results.hh"
+
+#include <sstream>
+
+#include "wormsim/common/string_utils.hh"
+
+namespace wormsim
+{
+
+std::string
+SimulationResult::summary() const
+{
+    std::ostringstream oss;
+    oss << algorithm << " " << traffic << " load="
+        << formatFixed(offeredLoad, 3) << ": latency="
+        << formatFixed(avgLatency, 1) << " util="
+        << formatFixed(achievedUtilization, 3) << " samples=" << numSamples
+        << " cycles=" << cyclesSimulated;
+    if (deadlockDetected)
+        oss << " DEADLOCK(killed=" << messagesKilled << ")";
+    return oss.str();
+}
+
+} // namespace wormsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Results of one simulation point and of a load sweep.
+ */
+
+#ifndef WORMSIM_DRIVER_RESULTS_HH
+#define WORMSIM_DRIVER_RESULTS_HH
+
+#include <string>
+#include <vector>
+
+#include "wormsim/common/types.hh"
+#include "wormsim/stats/convergence.hh"
+
+namespace wormsim
+{
+
+/** Per-sampling-period measurements (one convergence sample). */
+struct SampleResult
+{
+    double meanLatency = 0.0;       ///< plain mean over deliveries
+    double stratifiedLatency = 0.0; ///< population-weighted estimate
+    double stratifiedError = 0.0;   ///< 95% half-width of the above
+    double utilization = 0.0;       ///< Eq. (4): throughput*ml*dbar/(2n)
+    double rawUtilization = 0.0;    ///< flit transfers / (channels*cycles)
+    double throughput = 0.0;        ///< messages delivered per node-cycle
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    double meanHops = 0.0;
+};
+
+/** Results of one simulation point. */
+struct SimulationResult
+{
+    // identification
+    std::string algorithm;
+    std::string traffic;
+    std::string topology;
+    double offeredLoad = 0.0;
+    double injectionRate = 0.0; ///< per-node per-cycle probability
+    double meanMinDistance = 0.0;
+
+    // headline numbers (averaged over samples)
+    double avgLatency = 0.0;
+    double latencyErrorBound = 0.0; ///< 95% rel. error of the sample means
+    double achievedUtilization = 0.0; ///< Eq. (4) normalized throughput
+    double rawChannelUtilization = 0.0; ///< measured flit transfers share
+    double avgThroughput = 0.0; ///< delivered messages per node per cycle
+    double avgHops = 0.0;
+    double dropFraction = 0.0;  ///< dropped / offered
+    double latencyP50 = 0.0;    ///< median sampled latency
+    double latencyP95 = 0.0;
+    double latencyP99 = 0.0;
+    double channelLoadCv = 0.0; ///< physical-channel load skew (last
+                                ///< sample; see ChannelLoadStats)
+
+    // bookkeeping
+    StopReason stopReason = StopReason::NotDone;
+    int numSamples = 0;
+    Cycle cyclesSimulated = 0;
+    std::uint64_t messagesDelivered = 0;
+    std::uint64_t messagesDropped = 0;
+    bool deadlockDetected = false;
+    std::uint64_t messagesKilled = 0;
+    std::vector<double> vcClassLoadShare; ///< last sample's class balance
+    /**
+     * Mean latency per hop class h = 1.. (index h-1) pooled over the last
+     * sample (0 where the class saw no deliveries) — the strata behind
+     * the paper's convergence check 1.
+     */
+    std::vector<double> hopClassLatency;
+    std::vector<SampleResult> samples;
+
+    /** One-line summary for progress logs. */
+    std::string summary() const;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_DRIVER_RESULTS_HH

@@ -1,0 +1,216 @@
+#include "wormsim/driver/runner.hh"
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/rng/distributions.hh"
+#include "wormsim/routing/registry.hh"
+
+namespace wormsim
+{
+
+SimulationRunner::SimulationRunner(SimulationConfig config)
+    : cfg(std::move(config)), streams(cfg.seed)
+{
+    cfg.validate();
+    topo = cfg.makeTopology();
+    algo = makeRoutingAlgorithm(cfg.algorithm);
+    traffic = makeTrafficPattern(cfg.traffic, *topo, cfg.trafficParams);
+}
+
+SimulationRunner::~SimulationRunner() = default;
+
+void
+SimulationRunner::scheduleArrival(NodeId node)
+{
+    Xoshiro256 &rng = streams.stream("arrival-" + std::to_string(node));
+    Cycle gap = geometric(rng, lambda);
+    sim.scheduleIn(gap, EventPriority::PreCycle, [this, node] {
+        onArrival(node);
+        scheduleArrival(node);
+    });
+}
+
+void
+SimulationRunner::onArrival(NodeId node)
+{
+    if (collecting)
+        ++offeredInSample;
+    NodeId dst = traffic->pickDest(node, streams.stream("destination"));
+    net->offerMessage(node, dst, cfg.messageLength, sim.now());
+    armTick();
+}
+
+void
+SimulationRunner::armTick()
+{
+    if (tickArmed || !net->busy())
+        return;
+    tickArmed = true;
+    sim.scheduleAt(sim.now(), EventPriority::Cycle, [this] { tick(); });
+}
+
+void
+SimulationRunner::tick()
+{
+    net->step(sim.now());
+    if (net->busy())
+        sim.scheduleIn(1, EventPriority::Cycle, [this] { tick(); });
+    else
+        tickArmed = false;
+}
+
+void
+SimulationRunner::runUntil(Cycle t)
+{
+    sim.run(t);
+}
+
+SampleResult
+SimulationRunner::closeSample(Cycle start)
+{
+    Cycle period = sim.now() - start;
+    WORMSIM_ASSERT(period > 0, "empty sampling period");
+    NetworkCounters c = net->counters();
+
+    SampleResult s;
+    s.delivered = c.messagesDelivered;
+    s.dropped = c.messagesDropped;
+    s.meanLatency = latencies.mean();
+    StratifiedEstimate est = strata->estimate();
+    s.stratifiedLatency = est.mean;
+    s.stratifiedError = est.errorBound;
+    s.rawUtilization = static_cast<double>(c.flitTransfers) /
+                       (static_cast<double>(topo->numChannels()) *
+                        static_cast<double>(period));
+    s.throughput = static_cast<double>(c.messagesDelivered) /
+                   (static_cast<double>(topo->numNodes()) *
+                    static_cast<double>(period));
+    // Paper Eq. (4): normalized throughput credits only minimal-path work,
+    // using the traffic pattern's mean minimal distance for every
+    // algorithm (the paper's "average diameter", 8.03 on 16^2 uniform).
+    s.utilization = s.throughput * cfg.messageLength * meanMinDistance /
+                    (2.0 * topo->numDims());
+    s.meanHops = hops.mean();
+    return s;
+}
+
+SimulationResult
+SimulationRunner::run()
+{
+    SimulationResult result;
+    result.algorithm = algo->name();
+    result.traffic = traffic->name();
+    result.topology = topo->name();
+    result.offeredLoad = cfg.offeredLoad;
+    meanMinDistance = traffic->meanDistance();
+    result.meanMinDistance = meanMinDistance;
+    lambda = cfg.injectionRate(meanMinDistance, topo->numDims());
+    result.injectionRate = lambda;
+
+    strata = std::make_unique<StratifiedEstimator>(
+        traffic->hopClassWeights());
+    // Latency histogram: generous range; saturated points overflow cleanly.
+    latencyHist = std::make_unique<Histogram>(
+        0.0, 40.0 * (cfg.messageLength + topo->diameter()), 100);
+
+    net = std::make_unique<Network>(*topo, *algo, cfg.networkParams(),
+                                    streams.stream("vc-select"));
+    net->setDeliveryHook([this](const Message &m, Cycle now) {
+        if (!collecting)
+            return;
+        auto latency = static_cast<double>(now - m.createdAt() + 1);
+        latencies.add(latency);
+        latencyHist->add(latency);
+        hops.add(m.route().hopsTaken);
+        int stratum = m.minDistance() - 1;
+        strata->add(static_cast<std::size_t>(stratum), latency);
+    });
+
+    for (NodeId node = 0; node < topo->numNodes(); ++node)
+        scheduleArrival(node);
+
+    // Warmup to steady state.
+    runUntil(cfg.warmupCycles);
+
+    ConvergenceController ctl(cfg.convergence);
+    StopReason reason = StopReason::NotDone;
+    std::uint64_t totalDelivered = 0;
+    std::uint64_t totalDropped = 0;
+    std::uint64_t totalOffered = 0;
+    std::uint64_t totalKilled = 0;
+    Accumulator utilization;
+    Accumulator rawUtilization;
+    Accumulator throughput;
+    Accumulator hopMeans;
+
+    while (reason == StopReason::NotDone) {
+        // Fresh counters and collectors for this sampling period.
+        net->resetCounters();
+        strata->reset();
+        latencies.reset();
+        hops.reset();
+        offeredInSample = 0;
+
+        collecting = true;
+        Cycle start = sim.now();
+        runUntil(start + cfg.samplePeriod);
+        collecting = false;
+
+        SampleResult s = closeSample(start);
+        StratifiedEstimate est = strata->estimate();
+        totalDelivered += s.delivered;
+        totalDropped += s.dropped;
+        totalOffered += offeredInSample;
+        totalKilled += net->counters().messagesKilled;
+        utilization.add(s.utilization);
+        rawUtilization.add(s.rawUtilization);
+        throughput.add(s.throughput);
+        if (s.delivered > 0)
+            hopMeans.add(s.meanHops);
+        result.vcClassLoadShare = net->vcClassLoadShare();
+        result.channelLoadCv = net->channelLoadStats().cv;
+        result.hopClassLatency.assign(strata->numStrata(), 0.0);
+        for (std::size_t h = 0; h < strata->numStrata(); ++h)
+            result.hopClassLatency[h] = strata->stratum(h).mean();
+        result.samples.push_back(s);
+
+        reason = ctl.addSample(est, s.meanLatency);
+
+        if (reason == StopReason::NotDone) {
+            if (sim.now() + cfg.sampleGap + cfg.samplePeriod >
+                cfg.maxCycles) {
+                reason = StopReason::MaxSamples; // hard time limit
+                break;
+            }
+            // New random streams between samples, then a stats-off gap.
+            streams.advanceEpoch();
+            runUntil(sim.now() + cfg.sampleGap);
+        }
+    }
+
+    result.stopReason = reason;
+    result.numSamples = static_cast<int>(ctl.numSamples());
+    result.cyclesSimulated = sim.now();
+    result.avgLatency = ctl.grandMean();
+    result.latencyErrorBound = ctl.recentRelativeError();
+    result.achievedUtilization = utilization.mean();
+    result.rawChannelUtilization = rawUtilization.mean();
+    result.avgThroughput = throughput.mean();
+    result.avgHops = hopMeans.mean();
+    result.messagesDelivered = totalDelivered;
+    result.messagesDropped = totalDropped;
+    result.dropFraction =
+        totalOffered > 0
+            ? static_cast<double>(totalDropped) /
+                  static_cast<double>(totalOffered)
+            : 0.0;
+    result.deadlockDetected = net->sawDeadlock();
+    result.messagesKilled = totalKilled;
+    if (latencyHist->total() > 0) {
+        result.latencyP50 = latencyHist->quantile(0.50);
+        result.latencyP95 = latencyHist->quantile(0.95);
+        result.latencyP99 = latencyHist->quantile(0.99);
+    }
+    return result;
+}
+
+} // namespace wormsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * SimulationRunner: executes one simulation point end to end, reproducing
+ * the paper's methodology — geometric message generation per node, warmup
+ * to steady state, repeated sampling periods with counter resets and
+ * re-seeded random streams, and the double convergence criterion.
+ */
+
+#ifndef WORMSIM_DRIVER_RUNNER_HH
+#define WORMSIM_DRIVER_RUNNER_HH
+
+#include <memory>
+
+#include "wormsim/driver/config.hh"
+#include "wormsim/driver/results.hh"
+#include "wormsim/network/network.hh"
+#include "wormsim/rng/stream_set.hh"
+#include "wormsim/sim/simulator.hh"
+#include "wormsim/stats/histogram.hh"
+#include "wormsim/traffic/traffic_pattern.hh"
+
+namespace wormsim
+{
+
+/** Runs one configured simulation point. */
+class SimulationRunner
+{
+  public:
+    /** @param config the point to simulate (copied) */
+    explicit SimulationRunner(SimulationConfig config);
+    ~SimulationRunner();
+
+    /** Execute warmup + sampling until convergence; gather the result. */
+    SimulationResult run();
+
+    /**
+     * Latency histogram over all sampled deliveries (valid after run()).
+     */
+    const Histogram &latencyHistogram() const { return *latencyHist; }
+
+    /** The network (valid after run(); for inspection in tests). */
+    const Network &network() const { return *net; }
+
+    /** The traffic pattern in use. */
+    const TrafficPattern &pattern() const { return *traffic; }
+
+  private:
+    void scheduleArrival(NodeId node);
+    void onArrival(NodeId node);
+    void armTick();
+    void tick();
+    void runUntil(Cycle t);
+    SampleResult closeSample(Cycle start);
+
+    SimulationConfig cfg;
+    std::unique_ptr<Topology> topo;
+    std::unique_ptr<RoutingAlgorithm> algo;
+    std::unique_ptr<TrafficPattern> traffic;
+    StreamSet streams;
+    Simulator sim;
+    std::unique_ptr<Network> net;
+
+    double lambda = 0.0; ///< per-node per-cycle injection probability
+    double meanMinDistance = 0.0;
+    bool tickArmed = false;
+    bool collecting = false;
+
+    // per-sample collectors
+    std::unique_ptr<StratifiedEstimator> strata;
+    Accumulator latencies;
+    Accumulator hops;
+    std::unique_ptr<Histogram> latencyHist;
+    std::uint64_t offeredInSample = 0; ///< generation attempts
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_DRIVER_RUNNER_HH

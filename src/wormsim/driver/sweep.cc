@@ -1,0 +1,181 @@
+#include "wormsim/driver/sweep.hh"
+
+#include <cmath>
+
+#include "wormsim/common/chart.hh"
+#include "wormsim/common/csv.hh"
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
+#include "wormsim/common/table.hh"
+#include "wormsim/driver/runner.hh"
+
+namespace wormsim
+{
+
+double
+SweepResult::peakUtilization(const std::string &algorithm) const
+{
+    double peak = 0.0;
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        if (algorithms[a] != algorithm)
+            continue;
+        for (const auto &r : results[a])
+            peak = std::max(peak, r.achievedUtilization);
+    }
+    return peak;
+}
+
+const SimulationResult &
+SweepResult::at(const std::string &algorithm, double load) const
+{
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        if (algorithms[a] != algorithm)
+            continue;
+        std::size_t best = 0;
+        double best_gap = 1e9;
+        for (std::size_t l = 0; l < loads.size(); ++l) {
+            double gap = std::abs(loads[l] - load);
+            if (gap < best_gap) {
+                best_gap = gap;
+                best = l;
+            }
+        }
+        return results[a][best];
+    }
+    WORMSIM_FATAL("algorithm '", algorithm, "' not in sweep");
+}
+
+double
+SweepResult::latencyAt(const std::string &algorithm, double load) const
+{
+    return at(algorithm, load).avgLatency;
+}
+
+SweepRunner::SweepRunner(SimulationConfig base_config)
+    : base(std::move(base_config))
+{
+    progress = [](const SimulationResult &r) {
+        WORMSIM_INFORM(r.summary());
+    };
+}
+
+void
+SweepRunner::setProgress(std::function<void(const SimulationResult &)> cb)
+{
+    progress = std::move(cb);
+}
+
+SweepResult
+SweepRunner::run(const std::vector<std::string> &algorithms,
+                 const std::vector<double> &loads)
+{
+    SweepResult sweep;
+    sweep.algorithms = algorithms;
+    sweep.loads = loads;
+    sweep.results.resize(algorithms.size());
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        for (double load : loads) {
+            SimulationConfig cfg = base;
+            cfg.algorithm = algorithms[a];
+            cfg.offeredLoad = load;
+            SimulationRunner runner(cfg);
+            SimulationResult r = runner.run();
+            if (progress)
+                progress(r);
+            sweep.results[a].push_back(std::move(r));
+        }
+    }
+    return sweep;
+}
+
+void
+SweepRunner::report(const SweepResult &sweep, const std::string &title,
+                    std::ostream &os)
+{
+    os << "== " << title << " ==\n\n";
+
+    auto panel = [&](const std::string &what, auto value) {
+        TextTable t;
+        std::vector<std::string> header{"offered"};
+        for (const auto &a : sweep.algorithms)
+            header.push_back(a);
+        t.setHeader(header);
+        for (std::size_t l = 0; l < sweep.loads.size(); ++l) {
+            std::vector<std::string> row{formatFixed(sweep.loads[l], 2)};
+            for (std::size_t a = 0; a < sweep.algorithms.size(); ++a)
+                row.push_back(value(sweep.results[a][l]));
+            t.addRow(row);
+        }
+        os << what << ":\n" << t.render() << "\n";
+    };
+
+    panel("average latency (cycles)", [](const SimulationResult &r) {
+        std::string cell = formatFixed(r.avgLatency, 1);
+        if (r.deadlockDetected)
+            cell += "*";
+        return cell;
+    });
+    panel("achieved channel utilization", [](const SimulationResult &r) {
+        return formatFixed(r.achievedUtilization, 3);
+    });
+
+    os << "csv:\n";
+    CsvWriter csv(os);
+    csv.writeRow({"algorithm", "traffic", "offered_load", "latency",
+                  "latency_p95", "utilization", "raw_channel_utilization",
+                  "throughput_msgs_node_cycle", "avg_hops",
+                  "drop_fraction", "samples", "converged", "deadlock"});
+    for (std::size_t a = 0; a < sweep.algorithms.size(); ++a) {
+        for (std::size_t l = 0; l < sweep.loads.size(); ++l) {
+            const SimulationResult &r = sweep.results[a][l];
+            csv.writeRow({r.algorithm, r.traffic,
+                          formatFixed(r.offeredLoad, 3),
+                          formatFixed(r.avgLatency, 2),
+                          formatFixed(r.latencyP95, 1),
+                          formatFixed(r.achievedUtilization, 4),
+                          formatFixed(r.rawChannelUtilization, 4),
+                          formatFixed(r.avgThroughput, 6),
+                          formatFixed(r.avgHops, 2),
+                          formatFixed(r.dropFraction, 4),
+                          std::to_string(r.numSamples),
+                          r.stopReason == StopReason::Converged ? "yes"
+                                                                : "no",
+                          r.deadlockDetected ? "yes" : "no"});
+        }
+    }
+    os << "\n";
+}
+
+void
+SweepRunner::charts(const SweepResult &sweep, std::ostream &os,
+                    double latency_ymax)
+{
+    static const char kSymbols[] = {'o', '+', 'x', '*', 'e', 'n',
+                                    'a', 'b', 'c', 'd'};
+    auto panel = [&](const std::string &what, double ymax, auto value) {
+        AsciiChart chart(64, 18);
+        chart.setTitle(what);
+        chart.setAxisLabels("offered channel utilization", what);
+        if (ymax > 0.0)
+            chart.setYLimit(ymax);
+        for (std::size_t a = 0; a < sweep.algorithms.size(); ++a) {
+            ChartSeries s;
+            s.label = sweep.algorithms[a];
+            s.symbol = kSymbols[a % sizeof(kSymbols)];
+            for (std::size_t l = 0; l < sweep.loads.size(); ++l) {
+                s.x.push_back(sweep.loads[l]);
+                s.y.push_back(value(sweep.results[a][l]));
+            }
+            chart.addSeries(std::move(s));
+        }
+        os << chart.render() << "\n";
+    };
+    panel("average latency (cycles)", latency_ymax,
+          [](const SimulationResult &r) { return r.avgLatency; });
+    panel("achieved channel utilization", 0.0,
+          [](const SimulationResult &r) {
+              return r.achievedUtilization;
+          });
+}
+
+} // namespace wormsim

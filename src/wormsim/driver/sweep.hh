@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SweepRunner: runs a grid of (algorithm x offered load) simulation points
+ * and renders them the way the paper's figures report them — average
+ * latency and achieved channel utilization against offered channel
+ * utilization, one series per algorithm.
+ */
+
+#ifndef WORMSIM_DRIVER_SWEEP_HH
+#define WORMSIM_DRIVER_SWEEP_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "wormsim/driver/config.hh"
+#include "wormsim/driver/results.hh"
+
+namespace wormsim
+{
+
+/** Results of a full sweep. */
+struct SweepResult
+{
+    std::vector<std::string> algorithms;
+    std::vector<double> loads;
+    /** results[a][l]: algorithm a at load l. */
+    std::vector<std::vector<SimulationResult>> results;
+
+    /** Peak achieved utilization of one algorithm across the sweep. */
+    double peakUtilization(const std::string &algorithm) const;
+
+    /** Latency of one algorithm at the load closest to @p load. */
+    double latencyAt(const std::string &algorithm, double load) const;
+
+    const SimulationResult &at(const std::string &algorithm,
+                               double load) const;
+};
+
+/** Runs and reports load sweeps. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param base configuration shared by every point (algorithm and
+     *             offeredLoad fields are overwritten per point)
+     */
+    explicit SweepRunner(SimulationConfig base);
+
+    /** Progress callback (default: inform() one line per point). */
+    void setProgress(std::function<void(const SimulationResult &)> cb);
+
+    /**
+     * Run the grid.
+     * @param algorithms series to simulate
+     * @param loads offered loads (fraction of capacity)
+     */
+    SweepResult run(const std::vector<std::string> &algorithms,
+                    const std::vector<double> &loads);
+
+    /**
+     * Print the two panels of a paper figure: a latency table and an
+     * achieved-utilization table (rows = offered load, columns =
+     * algorithms), followed by a machine-readable CSV block.
+     */
+    static void report(const SweepResult &sweep, const std::string &title,
+                       std::ostream &os);
+
+    /**
+     * Render the two panels as ASCII charts in the style of the paper's
+     * figures (one plotting symbol per algorithm, saturation latencies
+     * clipped at @p latency_ymax).
+     */
+    static void charts(const SweepResult &sweep, std::ostream &os,
+                       double latency_ymax = 600.0);
+
+  private:
+    SimulationConfig base;
+    std::function<void(const SimulationResult &)> progress;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_DRIVER_SWEEP_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TraceRunner: replay a communication trace (traffic/trace.hh) through
+ * the network with a chosen routing algorithm and measure per-message
+ * latency, makespan, and delivery statistics. This is the closed-loop
+ * complement to SimulationRunner's open-loop rate-driven methodology and
+ * implements the paper's stated future-work evaluation mode.
+ */
+
+#ifndef WORMSIM_DRIVER_TRACE_RUNNER_HH
+#define WORMSIM_DRIVER_TRACE_RUNNER_HH
+
+#include <memory>
+#include <string>
+
+#include "wormsim/driver/config.hh"
+#include "wormsim/stats/accumulator.hh"
+#include "wormsim/traffic/trace.hh"
+
+namespace wormsim
+{
+
+/** Results of one trace replay. */
+struct TraceReplayResult
+{
+    std::string algorithm;
+    std::size_t messages = 0;        ///< records in the trace
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;       ///< congestion-control refusals
+    Cycle makespan = 0;              ///< last delivery cycle + 1
+    double avgLatency = 0.0;
+    double maxLatency = 0.0;
+    double avgHops = 0.0;
+    double achievedUtilization = 0.0; ///< flit transfers per channel-cycle
+    bool deadlockDetected = false;
+
+    /** One-line summary. */
+    std::string summary() const;
+};
+
+/** Replays traces. */
+class TraceRunner
+{
+  public:
+    /**
+     * @param config network/fabric settings (traffic and load fields are
+     *               ignored; the trace drives injection)
+     */
+    explicit TraceRunner(SimulationConfig config);
+    ~TraceRunner();
+
+    /**
+     * Replay @p trace to completion (all messages delivered or dropped).
+     *
+     * @param trace the workload; validated against the topology
+     * @param drain_budget extra cycles allowed after the last record
+     *        before the run is declared wedged
+     */
+    TraceReplayResult replay(const Trace &trace,
+                             Cycle drain_budget = 1000000);
+
+  private:
+    SimulationConfig cfg;
+    std::unique_ptr<Topology> topo;
+    std::unique_ptr<RoutingAlgorithm> algo;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_DRIVER_TRACE_RUNNER_HH

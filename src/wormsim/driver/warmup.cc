@@ -1,0 +1,72 @@
+#include "wormsim/driver/warmup.hh"
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/network/network.hh"
+#include "wormsim/rng/distributions.hh"
+#include "wormsim/rng/stream_set.hh"
+#include "wormsim/routing/registry.hh"
+#include "wormsim/stats/accumulator.hh"
+#include "wormsim/stats/steady_state.hh"
+
+namespace wormsim
+{
+
+WarmupSuggestion
+suggestWarmup(const SimulationConfig &cfg, Cycle probe_cycles, Cycle window)
+{
+    WORMSIM_ASSERT(window >= 1, "window must be >= 1 cycle");
+    WORMSIM_ASSERT(probe_cycles >= 20 * window,
+                   "probe too short for a meaningful MSER series");
+
+    auto topo = cfg.makeTopology();
+    auto algo = makeRoutingAlgorithm(cfg.algorithm);
+    auto traffic = makeTrafficPattern(cfg.traffic, *topo,
+                                      cfg.trafficParams);
+    double lambda =
+        cfg.injectionRate(traffic->meanDistance(), topo->numDims());
+
+    StreamSet streams(cfg.seed ^ 0x5157a7e5ULL); // probe uses own streams
+    Network net(*topo, *algo, cfg.networkParams(),
+                streams.stream("vc-select"));
+
+    std::vector<double> series;
+    Accumulator windowLat;
+    double lastMean = 0.0;
+    net.setDeliveryHook([&](const Message &m, Cycle now) {
+        windowLat.add(static_cast<double>(now - m.createdAt() + 1));
+    });
+
+    Xoshiro256 &arrivals = streams.stream("arrival");
+    Xoshiro256 &dests = streams.stream("destination");
+    for (Cycle t = 0; t < probe_cycles; ++t) {
+        for (NodeId n = 0; n < topo->numNodes(); ++n) {
+            if (bernoulli(arrivals, lambda)) {
+                net.offerMessage(n, traffic->pickDest(n, dests),
+                                 cfg.messageLength, t);
+            }
+        }
+        net.step(t);
+        if ((t + 1) % window == 0) {
+            // Empty windows (very low load) repeat the last level so the
+            // series stays uniform in time.
+            if (windowLat.count() > 0)
+                lastMean = windowLat.mean();
+            series.push_back(lastMean);
+            windowLat.reset();
+        }
+    }
+
+    MserResult m = mser5(series);
+    WarmupSuggestion s;
+    s.windows = series.size();
+    s.reliable = m.reliable;
+    s.warmupCycles = static_cast<Cycle>(m.truncateAt) * window;
+    if (!s.reliable) {
+        WORMSIM_WARN("MSER optimum in the second half of the probe (",
+                     m.truncateAt, "/", series.size() * 1,
+                     " windows): lengthen probe_cycles");
+    }
+    return s;
+}
+
+} // namespace wormsim

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Automatic warmup selection: run a short probe simulation, collect the
+ * windowed mean-latency time series, and apply MSER-5
+ * (stats/steady_state.hh) to find where the transient ends. Automates
+ * the paper's "sufficient warmup time is provided to allow the network
+ * [to] reach steady state".
+ */
+
+#ifndef WORMSIM_DRIVER_WARMUP_HH
+#define WORMSIM_DRIVER_WARMUP_HH
+
+#include "wormsim/driver/config.hh"
+
+namespace wormsim
+{
+
+/** Outcome of a warmup probe. */
+struct WarmupSuggestion
+{
+    Cycle warmupCycles = 0; ///< suggested truncation in cycles
+    bool reliable = false;  ///< MSER optimum fell in the first half
+    std::size_t windows = 0; ///< series length the decision used
+};
+
+/**
+ * Probe @p cfg's configuration and suggest a warmup length.
+ *
+ * @param cfg the point to probe (warmup/sampling fields are ignored)
+ * @param probe_cycles probe run length
+ * @param window cycles per observation window
+ */
+WarmupSuggestion suggestWarmup(const SimulationConfig &cfg,
+                               Cycle probe_cycles = 20000,
+                               Cycle window = 200);
+
+} // namespace wormsim
+
+#endif // WORMSIM_DRIVER_WARMUP_HH

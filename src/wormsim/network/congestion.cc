@@ -1,0 +1,60 @@
+#include "wormsim/network/congestion.hh"
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+CongestionControl::CongestionControl(NodeId num_nodes, int num_classes,
+                                     int limit)
+    : classes(num_classes), maxPerClass(limit),
+      counts(static_cast<std::size_t>(num_nodes) * num_classes, 0)
+{
+    WORMSIM_ASSERT(num_nodes > 0, "need >= 1 node");
+    WORMSIM_ASSERT(num_classes > 0, "need >= 1 congestion class");
+}
+
+std::size_t
+CongestionControl::index(NodeId node, int cls) const
+{
+    WORMSIM_ASSERT(cls >= 0 && cls < classes, "congestion class ", cls,
+                   " out of range [0,", classes, ")");
+    return static_cast<std::size_t>(node) * classes + cls;
+}
+
+bool
+CongestionControl::tryAdmit(NodeId node, int cls)
+{
+    std::size_t i = index(node, cls);
+    if (maxPerClass > 0 && counts[i] >= maxPerClass) {
+        ++numRefused;
+        return false;
+    }
+    ++counts[i];
+    ++numAdmitted;
+    return true;
+}
+
+void
+CongestionControl::release(NodeId node, int cls)
+{
+    std::size_t i = index(node, cls);
+    WORMSIM_ASSERT(counts[i] > 0, "release without matching admit at node ",
+                   node, " class ", cls);
+    --counts[i];
+}
+
+int
+CongestionControl::resident(NodeId node, int cls) const
+{
+    return counts[index(node, cls)];
+}
+
+void
+CongestionControl::resetCounters()
+{
+    numAdmitted = 0;
+    numRefused = 0;
+}
+
+} // namespace wormsim

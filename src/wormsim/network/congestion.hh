@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Input-buffer-limit congestion control (Lam & Reiser style), as used by
+ * the paper: "a node is allowed to inject a message into the network if
+ * the number of messages of the same class that are in the node is less
+ * than a certain specified limit." Messages refused admission are dropped
+ * at the source and counted; this is what keeps latencies bounded past
+ * saturation in the paper's figures.
+ */
+
+#ifndef WORMSIM_NETWORK_CONGESTION_HH
+#define WORMSIM_NETWORK_CONGESTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wormsim/common/types.hh"
+
+namespace wormsim
+{
+
+/** Per-node, per-class admission limiter for message injection. */
+class CongestionControl
+{
+  public:
+    /**
+     * @param num_nodes nodes in the network
+     * @param num_classes congestion classes (routing-algorithm specific)
+     * @param limit max resident messages per (node, class); <= 0 disables
+     */
+    CongestionControl(NodeId num_nodes, int num_classes, int limit);
+
+    /** True when a limit is being enforced. */
+    bool enabled() const { return maxPerClass > 0; }
+
+    /**
+     * Try to admit a message of class @p cls at node @p node. On success
+     * the resident count is incremented.
+     *
+     * @retval true admitted (caller must later call release())
+     * @retval false over the limit; the caller should drop the message
+     */
+    bool tryAdmit(NodeId node, int cls);
+
+    /** A previously admitted message's tail left the source. */
+    void release(NodeId node, int cls);
+
+    /** Current resident count of (node, class). */
+    int resident(NodeId node, int cls) const;
+
+    /** Total admissions so far. */
+    std::uint64_t admitted() const { return numAdmitted; }
+
+    /** Total refusals (drops) so far. */
+    std::uint64_t refused() const { return numRefused; }
+
+    /** Reset the admitted/refused statistics (not the resident counts). */
+    void resetCounters();
+
+    /** The configured per-class limit (<= 0 when disabled). */
+    int limit() const { return maxPerClass; }
+
+    /** Number of congestion classes. */
+    int numClasses() const { return classes; }
+
+  private:
+    std::size_t index(NodeId node, int cls) const;
+
+    int classes;
+    int maxPerClass;
+    std::vector<int> counts;
+    std::uint64_t numAdmitted = 0;
+    std::uint64_t numRefused = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_NETWORK_CONGESTION_HH

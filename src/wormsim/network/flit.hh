@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Flit-level definitions.
+ *
+ * wormsim models flits positionally rather than as individual objects: a
+ * message of length L consists of flit 0 (the header), flits 1..L-2 (body)
+ * and flit L-1 (the tail). Because each virtual channel is a FIFO owned by
+ * a single message at a time, a VC's flit content is fully described by two
+ * counters (flits arrived, flits departed); the header is "in" a VC iff
+ * arrived >= 1 and departed == 0, and the tail has passed iff departed ==
+ * L. FlitWindow packages that bookkeeping.
+ */
+
+#ifndef WORMSIM_NETWORK_FLIT_HH
+#define WORMSIM_NETWORK_FLIT_HH
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+/** Position-based flit bookkeeping for one FIFO stage of one message. */
+class FlitWindow
+{
+  public:
+    /** Reset for a new owner of length @p message_length flits. */
+    void
+    open(int message_length)
+    {
+        len = message_length;
+        in = 0;
+        out = 0;
+    }
+
+    /** Mark the window unused. */
+    void
+    close()
+    {
+        len = 0;
+        in = 0;
+        out = 0;
+    }
+
+    /** One flit entered this stage. */
+    void
+    push()
+    {
+        WORMSIM_ASSERT(in < len, "more flits than message length");
+        ++in;
+    }
+
+    /** One flit left this stage. */
+    void
+    pop()
+    {
+        WORMSIM_ASSERT(out < in, "pop past the flits present");
+        ++out;
+    }
+
+    /** Flits currently buffered in this stage. */
+    int occupancy() const { return in - out; }
+
+    /** Flits that have entered so far. */
+    int arrived() const { return in; }
+
+    /** Flits that have departed so far. */
+    int departed() const { return out; }
+
+    /** True once the full message has entered. */
+    bool fullyArrived() const { return len > 0 && in == len; }
+
+    /** True once the tail flit has departed: the stage can be freed. */
+    bool tailDeparted() const { return len > 0 && out == len; }
+
+    /** True while the header flit is buffered here. */
+    bool headerPresent() const { return in >= 1 && out == 0; }
+
+  private:
+    int len = 0;
+    int in = 0;
+    int out = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_NETWORK_FLIT_HH

@@ -1,0 +1,153 @@
+#include "wormsim/network/link.hh"
+
+#include <algorithm>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
+#include "wormsim/network/message.hh"
+
+namespace wormsim
+{
+
+SwitchingMode
+parseSwitchingMode(const std::string &text)
+{
+    std::string t = toLower(trim(text));
+    if (t == "wh" || t == "wormhole")
+        return SwitchingMode::Wormhole;
+    if (t == "vct" || t == "virtual-cut-through" || t == "cut-through")
+        return SwitchingMode::VirtualCutThrough;
+    if (t == "saf" || t == "store-and-forward")
+        return SwitchingMode::StoreAndForward;
+    WORMSIM_FATAL("unknown switching mode '", text,
+                  "' (expected wh, vct, or saf)");
+}
+
+std::string
+switchingModeName(SwitchingMode mode)
+{
+    switch (mode) {
+      case SwitchingMode::Wormhole:
+        return "wh";
+      case SwitchingMode::VirtualCutThrough:
+        return "vct";
+      case SwitchingMode::StoreAndForward:
+        return "saf";
+    }
+    return "?";
+}
+
+void
+Link::configure(ChannelId id, NodeId from, NodeId to, int num_vcs,
+                bool exists)
+{
+    WORMSIM_ASSERT(num_vcs >= 1, "link needs >= 1 virtual channel");
+    chan = id;
+    src = from;
+    dst = to;
+    present = exists;
+    vcs.resize(num_vcs);
+    perClass.assign(num_vcs, 0);
+    for (int c = 0; c < num_vcs; ++c)
+        vcs[c].configure(id, static_cast<VcClass>(c), from, to);
+}
+
+void
+Link::allocateVc(VcClass c, Message *msg, VirtualChannel *upstream_vc,
+                 int message_length)
+{
+    WORMSIM_ASSERT(present, "allocating VC on a non-existent link");
+    vcs[c].allocate(msg, upstream_vc, message_length);
+    ++active;
+}
+
+void
+Link::releaseVc(VcClass c)
+{
+    WORMSIM_ASSERT(!vcs[c].free(), "releasing a free VC");
+    vcs[c].release();
+    --active;
+    WORMSIM_ASSERT(active >= 0, "negative active VC count");
+}
+
+bool
+Link::eligible(const VirtualChannel &v, SwitchingMode mode,
+               int flit_buffer_depth)
+{
+    const Message *m = v.owner();
+    if (!m)
+        return false;
+
+    // Nothing left to transfer into this stage: all flits arrived. (This
+    // also protects against reading a released-and-reallocated upstream
+    // VC: the upstream is released exactly when its tail enters here.)
+    if (v.flits().fullyArrived())
+        return false;
+
+    // Sender side: is a flit available at the sending node?
+    const VirtualChannel *up = v.upstream();
+    if (up == nullptr) {
+        // Flits come from the source's injection queue.
+        if (m->flitsInjected() >= m->length())
+            return false;
+    } else {
+        if (up->occupancy() <= 0)
+            return false;
+        if (mode == SwitchingMode::StoreAndForward &&
+            !up->flits().fullyArrived()) {
+            // SAF: the packet may not advance until fully received.
+            return false;
+        }
+    }
+
+    // Receiver side: is there buffer space at the receiving node?
+    if (v.toNode() == m->dst()) {
+        // Destination consumes flits immediately (infinite sink).
+        return true;
+    }
+    int depth = flit_buffer_depth;
+    if (mode != SwitchingMode::Wormhole)
+        depth = std::max(depth, m->length()); // whole-packet buffers
+    return v.occupancy() < depth;
+}
+
+VirtualChannel *
+Link::arbitrate(SwitchingMode mode, int flit_buffer_depth)
+{
+    if (active == 0)
+        return nullptr;
+    int v = static_cast<int>(vcs.size());
+    for (int i = 0; i < v; ++i) {
+        int c = (rrNext + i) % v;
+        if (eligible(vcs[c], mode, flit_buffer_depth)) {
+            rrNext = (c + 1) % v;
+            return &vcs[c];
+        }
+    }
+    return nullptr;
+}
+
+void
+Link::noteTransfer(VcClass c)
+{
+    ++transfers;
+    ++perClass[c];
+}
+
+void
+Link::setFailed()
+{
+    WORMSIM_ASSERT(present, "failing a non-existent link");
+    WORMSIM_ASSERT(active == 0,
+                   "failing a link with active virtual channels");
+    present = false;
+}
+
+void
+Link::resetCounters()
+{
+    transfers = 0;
+    std::fill(perClass.begin(), perClass.end(), 0);
+}
+
+} // namespace wormsim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A unidirectional physical channel carrying V time-multiplexed virtual
+ * channels. At most one flit crosses per cycle (ft = 1); a round-robin
+ * arbiter picks among the virtual channels that are eligible to send.
+ */
+
+#ifndef WORMSIM_NETWORK_LINK_HH
+#define WORMSIM_NETWORK_LINK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wormsim/common/types.hh"
+#include "wormsim/network/virtual_channel.hh"
+
+namespace wormsim
+{
+
+/** How packets move through the network. */
+enum class SwitchingMode
+{
+    Wormhole,        ///< flit buffers; VC held head to tail (the paper)
+    VirtualCutThrough, ///< whole-packet buffers; blocked packets collapse
+    StoreAndForward, ///< packet fully received before moving on
+};
+
+/** Parse "wh" / "vct" / "saf" (also long names); fatal on anything else. */
+SwitchingMode parseSwitchingMode(const std::string &text);
+
+/** Short name of a switching mode. */
+std::string switchingModeName(SwitchingMode mode);
+
+/** One unidirectional physical channel with its virtual channels. */
+class Link
+{
+  public:
+    Link() = default;
+
+    /**
+     * @param id dense channel id
+     * @param from sending node
+     * @param to receiving node
+     * @param num_vcs virtual channels multiplexed on this link
+     * @param exists false for mesh-boundary slots
+     */
+    void configure(ChannelId id, NodeId from, NodeId to, int num_vcs,
+                   bool exists);
+
+    ChannelId id() const { return chan; }
+    NodeId fromNode() const { return src; }
+    NodeId toNode() const { return dst; }
+    bool exists() const { return present; }
+    int numVcs() const { return static_cast<int>(vcs.size()); }
+
+    VirtualChannel &vc(VcClass c) { return vcs[c]; }
+    const VirtualChannel &vc(VcClass c) const { return vcs[c]; }
+
+    /** Number of VCs currently owned by messages. */
+    int activeVcs() const { return active; }
+
+    /** Grant VC @p c of this link to @p msg (bookkeeping wrapper). */
+    void allocateVc(VcClass c, Message *msg, VirtualChannel *upstream_vc,
+                    int message_length);
+
+    /** Release VC @p c (bookkeeping wrapper). */
+    void releaseVc(VcClass c);
+
+    /**
+     * Round-robin arbitration: the eligible VC that transfers a flit this
+     * cycle, based on start-of-cycle buffer state.
+     *
+     * @param mode switching discipline (gates sender eligibility)
+     * @param flit_buffer_depth receiver buffer depth per VC in wormhole
+     *        mode; VCT/SAF use whole-packet buffers
+     * @return the chosen VC, or nullptr when none is eligible
+     */
+    VirtualChannel *arbitrate(SwitchingMode mode, int flit_buffer_depth);
+
+    /**
+     * Eligibility of one VC to move a flit this cycle (exposed for tests).
+     */
+    static bool eligible(const VirtualChannel &v, SwitchingMode mode,
+                         int flit_buffer_depth);
+
+    /** Record a flit transfer on VC class @p c (statistics). */
+    void noteTransfer(VcClass c);
+
+    /** Flits transferred since the last counter reset. */
+    std::uint64_t flitsTransferred() const { return transfers; }
+
+    /** Per-VC-class transfer counts since the last reset. */
+    const std::vector<std::uint64_t> &classTransfers() const
+    {
+        return perClass;
+    }
+
+    /** Reset the statistics counters (not the channel state). */
+    void resetCounters();
+
+    /**
+     * Fail-stop this link (fault injection): it stops existing for
+     * routing and arbitration. Only idle links (no active VCs) may fail;
+     * failing a link mid-worm is not modeled.
+     */
+    void setFailed();
+
+  private:
+    ChannelId chan = kInvalidChannel;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    bool present = false;
+
+    std::vector<VirtualChannel> vcs;
+    int active = 0;
+    int rrNext = 0; ///< arbitration scan start
+
+    std::uint64_t transfers = 0;
+    std::vector<std::uint64_t> perClass;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_NETWORK_LINK_HH

@@ -1,0 +1,18 @@
+#include "wormsim/network/message.hh"
+
+#include <sstream>
+
+namespace wormsim
+{
+
+std::string
+Message::str() const
+{
+    std::ostringstream oss;
+    oss << "msg#" << msgId << " " << srcNode << "->" << dstNode << " len="
+        << lenFlits << " hops=" << rstate.hopsTaken << " inj=" << injected
+        << " del=" << delivered;
+    return oss.str();
+}
+
+} // namespace wormsim

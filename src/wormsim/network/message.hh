@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The Message: a fixed-length worm of flits traveling source -> destination
+ * plus the per-message routing state the six algorithms need.
+ */
+
+#ifndef WORMSIM_NETWORK_MESSAGE_HH
+#define WORMSIM_NETWORK_MESSAGE_HH
+
+#include <string>
+
+#include "wormsim/common/types.hh"
+
+namespace wormsim
+{
+
+class VirtualChannel;
+
+/**
+ * Routing state carried by every message. Which fields are meaningful
+ * depends on the routing algorithm; RoutingAlgorithm::initMessage() fills
+ * them in and onHop() keeps them current with the header's position.
+ */
+struct RouteState
+{
+    int hopsTaken = 0;   ///< hops committed so far (phop's class)
+    int negHops = 0;     ///< negative hops committed so far (nhop/nbc)
+    int boost = 0;       ///< nbc: first-hop class boost actually granted
+    int bonusCards = 0;  ///< nbc: entitlement (max boost) at the source
+    int tag = 0;         ///< 2pn: n-bit direction tag from Eq. (1)
+    VcClass lastVc = kInvalidVc; ///< VC class used on the previous hop
+    int ecubeDim = 0;    ///< e-cube: lowest still-uncorrected dimension
+};
+
+/** One message in flight (or waiting to inject). */
+class Message
+{
+  public:
+    /**
+     * @param id unique id (allocation order; used for FIFO tie-breaks)
+     * @param src source node
+     * @param dst destination node (!= src)
+     * @param length_flits message length in flits (>= 1)
+     * @param created_at generation cycle
+     */
+    Message(MessageId id, NodeId src, NodeId dst, int length_flits,
+            Cycle created_at)
+        : msgId(id), srcNode(src), dstNode(dst), lenFlits(length_flits),
+          created(created_at)
+    {
+    }
+
+    MessageId id() const { return msgId; }
+    NodeId src() const { return srcNode; }
+    NodeId dst() const { return dstNode; }
+    int length() const { return lenFlits; }
+    Cycle createdAt() const { return created; }
+
+    /** Mutable routing state (owned by the routing algorithm). */
+    RouteState &route() { return rstate; }
+    const RouteState &route() const { return rstate; }
+
+    /** Node the header is currently at (where the next hop starts). */
+    NodeId headAt() const { return headNode; }
+    void setHeadAt(NodeId n) { headNode = n; }
+
+    /** Flits that have left the source's injection queue. */
+    int flitsInjected() const { return injected; }
+    void noteFlitInjected() { ++injected; }
+
+    /** True when every flit has left the source. */
+    bool fullyInjected() const { return injected == lenFlits; }
+
+    /** Flits consumed at the destination. */
+    int flitsDelivered() const { return delivered; }
+    void noteFlitDelivered() { ++delivered; }
+
+    /** True when the tail flit has been consumed at the destination. */
+    bool fullyDelivered() const { return delivered == lenFlits; }
+
+    /**
+     * The most recently allocated VC of this message's chain (where the
+     * header is headed / sitting); nullptr before the first allocation.
+     */
+    VirtualChannel *headVc() const { return head; }
+    void setHeadVc(VirtualChannel *vc) { head = vc; }
+
+    /** Congestion-control class assigned at the source (footnote 2). */
+    int congestionClass() const { return congClass; }
+    void setCongestionClass(int c) { congClass = c; }
+
+    /** Cycle the message entered the routing-wait state (watchdog). */
+    Cycle waitingSince() const { return waitStart; }
+    void setWaitingSince(Cycle c) { waitStart = c; }
+
+    /**
+     * Earliest cycle the header may be allocated a VC: models the
+     * router's routing-decision latency (NetworkParams::routingDelay).
+     */
+    Cycle readyAt() const { return ready; }
+    void setReadyAt(Cycle c) { ready = c; }
+
+    /**
+     * Allocation-retry gate: true when the message must attempt VC
+     * allocation this cycle regardless of dirty-node hints (it just
+     * entered the wait state). Cleared after a failed attempt; from then
+     * on the message retries only when a VC at its head node frees.
+     */
+    bool retryPending() const { return retry; }
+    void setRetryPending(bool r) { retry = r; }
+
+    /** Minimal distance from src to dst, cached at injection. */
+    int minDistance() const { return minDist; }
+    void setMinDistance(int d) { minDist = d; }
+
+    /** Short description for logs. */
+    std::string str() const;
+
+  private:
+    MessageId msgId;
+    NodeId srcNode;
+    NodeId dstNode;
+    int lenFlits;
+    Cycle created;
+
+    RouteState rstate;
+    NodeId headNode = kInvalidNode;
+    int injected = 0;
+    int delivered = 0;
+    VirtualChannel *head = nullptr;
+    int congClass = 0;
+    Cycle waitStart = 0;
+    Cycle ready = 0;
+    bool retry = true;
+    int minDist = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_NETWORK_MESSAGE_HH

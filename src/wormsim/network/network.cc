@@ -1,0 +1,432 @@
+#include "wormsim/network/network.hh"
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/rng/distributions.hh"
+
+namespace wormsim
+{
+
+Network::Network(const Topology &topo, const RoutingAlgorithm &algo,
+                 NetworkParams params, Xoshiro256 &rng)
+    : net(topo), routing(algo), cfg(params), rand(rng),
+      vcClasses(algo.numVcClasses(topo)),
+      links(topo.numChannelSlots()),
+      routers(topo.numNodes()),
+      admission(topo.numNodes(), algo.numCongestionClasses(topo),
+                params.injectionLimit),
+      watchdog(params.watchdogPatience),
+      nodeDirty(topo.numNodes(), 0)
+{
+    WORMSIM_ASSERT(vcClasses >= 1, "routing algorithm '", algo.name(),
+                   "' requires >= 1 VC class");
+    WORMSIM_ASSERT(cfg.flitBufferDepth >= 1,
+                   "flit buffer depth must be >= 1");
+
+    for (NodeId n = 0; n < net.numNodes(); ++n) {
+        routers[n].configure(n);
+        for (int p = 0; p < net.numPorts(); ++p) {
+            Direction d = Direction::fromIndex(p);
+            ChannelId id = net.channelId(n, d);
+            NodeId nb = net.neighbor(n, d);
+            bool exists = nb != kInvalidNode;
+            links[id].configure(id, n, exists ? nb : kInvalidNode,
+                                vcClasses, exists);
+            if (exists)
+                realLinks.push_back(id);
+        }
+    }
+}
+
+Message *
+Network::offerMessage(NodeId src, NodeId dst, int length_flits, Cycle now)
+{
+    WORMSIM_ASSERT(src != dst, "message to self (node ", src, ")");
+    WORMSIM_ASSERT(length_flits >= 1, "message needs >= 1 flit");
+
+    auto msg = std::make_unique<Message>(nextId++, src, dst, length_flits,
+                                         now);
+    msg->setMinDistance(net.distance(src, dst));
+    routing.initMessage(net, *msg);
+    int cls = routing.congestionClass(net, *msg);
+    msg->setCongestionClass(cls);
+
+    if (!admission.tryAdmit(src, cls)) {
+        ++droppedCount;
+        return nullptr;
+    }
+
+    Message *raw = msg.get();
+    raw->setHeadAt(src);
+    raw->setWaitingSince(now);
+    raw->setReadyAt(now + cfg.routingDelay);
+    raw->setRetryPending(true);
+    messages.emplace(raw->id(), std::move(msg));
+    routers[src].enqueueInjection(raw);
+    needRoute.push_back(raw);
+    return raw;
+}
+
+void
+Network::freeCandidates(const Message &msg,
+                        std::vector<RouteCandidate> &out)
+{
+    out.clear();
+    scratchCandidates.clear();
+    routing.candidates(net, msg.headAt(), msg, scratchCandidates);
+    for (const RouteCandidate &c : scratchCandidates) {
+        WORMSIM_ASSERT(c.vc >= 0 && c.vc < vcClasses,
+                       "candidate VC class ", c.vc, " out of range for ",
+                       routing.name());
+        ChannelId ch = net.channelId(msg.headAt(), c.dir);
+        const Link &l = links[ch];
+        if (!l.exists())
+            continue;
+        if (l.vc(c.vc).free())
+            out.push_back(c);
+    }
+}
+
+const RouteCandidate &
+Network::select(NodeId head, const std::vector<RouteCandidate> &free)
+{
+    WORMSIM_ASSERT(!free.empty(), "select from empty candidate set");
+    switch (cfg.select) {
+      case VcSelectPolicy::FirstFree:
+        return free.front();
+      case VcSelectPolicy::Random:
+        return free[uniformInt(rand, free.size())];
+      case VcSelectPolicy::LeastBusy:
+        break;
+    }
+    // Fewest active VCs on the physical link; random among ties so that
+    // adaptive algorithms spread load (paper: "likely to choose the least
+    // congested one").
+    int best = INT_MAX;
+    int ties = 0;
+    std::size_t chosen = 0;
+    for (std::size_t i = 0; i < free.size(); ++i) {
+        const Link &l = links[net.channelId(head, free[i].dir)];
+        int score = l.activeVcs();
+        if (score < best) {
+            best = score;
+            ties = 1;
+            chosen = i;
+        } else if (score == best) {
+            ++ties;
+            if (uniformInt(rand, ties) == 0)
+                chosen = i;
+        }
+    }
+    return free[chosen];
+}
+
+void
+Network::allocationPhase(Cycle now)
+{
+    if (needRoute.empty())
+        return;
+
+    // needRoute is processed in entry order: messages that started
+    // waiting earlier allocate first (the paper's FIFO allocation rule,
+    // which avoids starvation).
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < needRoute.size(); ++i) {
+        Message *m = needRoute[i];
+        // The routing decision itself takes routingDelay cycles.
+        if (now < m->readyAt()) {
+            needRoute[keep++] = m;
+            continue;
+        }
+        // Skip blocked messages unless a VC at their node freed since
+        // their last attempt (nothing else can change their candidates).
+        if (!m->retryPending() && !nodeDirty[m->headAt()]) {
+            needRoute[keep++] = m;
+            continue;
+        }
+        freeCandidates(*m, scratchFree);
+        if (scratchFree.empty()) {
+            m->setRetryPending(false);
+            needRoute[keep++] = m; // still blocked
+            continue;
+        }
+        const RouteCandidate &pick = select(m->headAt(), scratchFree);
+        ChannelId ch = net.channelId(m->headAt(), pick.dir);
+        Link &l = links[ch];
+        NodeId next = l.toNode();
+        l.allocateVc(pick.vc, m, m->headVc(), m->length());
+        routing.onHop(net, m->headAt(), next, pick.vc, *m);
+        m->setHeadVc(&l.vc(pick.vc));
+        (void)now;
+    }
+    needRoute.resize(keep);
+    // Dirty hints consumed; marks made later this cycle (tail releases in
+    // the apply phase) persist into the next allocation phase.
+    std::fill(nodeDirty.begin(), nodeDirty.end(), 0);
+}
+
+void
+Network::applyTransfer(VirtualChannel *v, Cycle now)
+{
+    Message *m = v->owner();
+    VirtualChannel *u = v->upstream();
+
+    links[v->channel()].noteTransfer(v->vcClass());
+
+    // Sender side.
+    if (u == nullptr) {
+        m->noteFlitInjected();
+        if (m->fullyInjected()) {
+            routers[m->src()].injectionFinished(m);
+            admission.release(m->src(), m->congestionClass());
+        }
+    } else {
+        u->flits().pop();
+        if (u->flits().tailDeparted()) {
+            Link &ul = links[u->channel()];
+            ul.releaseVc(u->vcClass());
+            markDirty(ul.fromNode());
+        }
+    }
+
+    // Receiver side.
+    v->flits().push();
+    if (v->toNode() == m->dst()) {
+        // Consumed immediately by the destination.
+        v->flits().pop();
+        m->noteFlitDelivered();
+        if (m->fullyDelivered()) {
+            Link &vl = links[v->channel()];
+            vl.releaseVc(v->vcClass());
+            markDirty(vl.fromNode());
+            finalizeDelivery(m, now);
+        }
+    } else if (v->flits().headerPresent() && v->flits().arrived() == 1) {
+        // Header reached a new intermediate node: queue for routing.
+        m->setHeadAt(v->toNode());
+        m->setWaitingSince(now);
+        m->setReadyAt(now + 1 + cfg.routingDelay);
+        m->setRetryPending(true);
+        needRoute.push_back(m);
+    }
+}
+
+void
+Network::finalizeDelivery(Message *msg, Cycle now)
+{
+    routers[msg->dst()].noteDelivered();
+    ++deliveredCount;
+    if (onDelivery)
+        onDelivery(*msg, now);
+    messages.erase(msg->id());
+}
+
+void
+Network::step(Cycle now)
+{
+    allocationPhase(now);
+
+    // Arbitration: pick at most one VC per link from start-of-cycle state.
+    stagedTransfers.clear();
+    for (ChannelId id : realLinks) {
+        VirtualChannel *v = links[id].arbitrate(cfg.switching,
+                                                cfg.flitBufferDepth);
+        if (v)
+            stagedTransfers.push_back(v);
+    }
+
+    // Apply all staged transfers.
+    for (VirtualChannel *v : stagedTransfers)
+        applyTransfer(v, now);
+
+    if (cfg.watchdogPatience > 0 && cfg.watchdogInterval > 0 &&
+        now % cfg.watchdogInterval == 0 && !needRoute.empty()) {
+        runWatchdog(now);
+    }
+}
+
+void
+Network::runWatchdog(Cycle now)
+{
+    std::vector<DeadlockWatchdog::WaitInfo> waiting;
+    waiting.reserve(needRoute.size());
+    for (Message *m : needRoute) {
+        if (now - m->waitingSince() < watchdog.patience())
+            continue;
+        DeadlockWatchdog::WaitInfo info;
+        info.msg = m;
+        info.fullyBlocked = true;
+        scratchCandidates.clear();
+        routing.candidates(net, m->headAt(), *m, scratchCandidates);
+        for (const RouteCandidate &c : scratchCandidates) {
+            ChannelId ch = net.channelId(m->headAt(), c.dir);
+            const Link &l = links[ch];
+            if (!l.exists())
+                continue;
+            Message *holder = l.vc(c.vc).owner();
+            if (holder == nullptr)
+                info.fullyBlocked = false;
+            else if (holder != m)
+                info.waitingOn.push_back(holder);
+        }
+        waiting.push_back(std::move(info));
+    }
+    if (waiting.empty())
+        return;
+
+    DeadlockReport report = watchdog.scan(now, waiting);
+    if (!report.suspected)
+        return;
+
+    deadlockReport = report;
+    if (report.confirmed)
+        deadlockSeen = true;
+
+    switch (cfg.deadlockAction) {
+      case DeadlockAction::Panic:
+        if (report.confirmed) {
+            WORMSIM_PANIC("deadlock with algorithm '", routing.name(),
+                          "': ", report.describe());
+        }
+        break;
+      case DeadlockAction::RecordAndKill:
+        if (report.confirmed) {
+            WORMSIM_WARN("recovering from ", report.describe());
+            for (MessageId id : report.cycle) {
+                auto it = messages.find(id);
+                if (it != messages.end())
+                    killMessage(it->second.get());
+            }
+        }
+        break;
+      case DeadlockAction::RecordOnly:
+        break;
+    }
+}
+
+void
+Network::killMessage(Message *msg)
+{
+    // Release the still-held suffix of the VC chain (head backwards; VCs
+    // the tail already departed are free or owned by someone else).
+    for (VirtualChannel *v = msg->headVc();
+         v != nullptr && v->owner() == msg;) {
+        VirtualChannel *up = v->upstream();
+        Link &l = links[v->channel()];
+        l.releaseVc(v->vcClass());
+        markDirty(l.fromNode());
+        v = up;
+    }
+    if (!msg->fullyInjected()) {
+        routers[msg->src()].injectionFinished(msg);
+        admission.release(msg->src(), msg->congestionClass());
+    }
+    removeFromNeedRoute(msg);
+    ++killedCount;
+    messages.erase(msg->id());
+}
+
+void
+Network::removeFromNeedRoute(Message *msg)
+{
+    auto it = std::find(needRoute.begin(), needRoute.end(), msg);
+    if (it != needRoute.end())
+        needRoute.erase(it);
+}
+
+NetworkCounters
+Network::counters() const
+{
+    NetworkCounters c;
+    c.messagesDelivered = deliveredCount;
+    c.messagesDropped = droppedCount;
+    c.messagesKilled = killedCount;
+    c.flitTransfers = flitsTransferred();
+    return c;
+}
+
+std::uint64_t
+Network::flitsTransferred() const
+{
+    std::uint64_t total = 0;
+    for (ChannelId id : realLinks)
+        total += links[id].flitsTransferred();
+    return total;
+}
+
+std::vector<double>
+Network::vcClassLoadShare() const
+{
+    std::vector<std::uint64_t> perClass(vcClasses, 0);
+    std::uint64_t total = 0;
+    for (ChannelId id : realLinks) {
+        const auto &pc = links[id].classTransfers();
+        for (int c = 0; c < vcClasses; ++c) {
+            perClass[c] += pc[c];
+            total += pc[c];
+        }
+    }
+    std::vector<double> share(vcClasses, 0.0);
+    if (total == 0)
+        return share;
+    for (int c = 0; c < vcClasses; ++c)
+        share[c] = static_cast<double>(perClass[c]) /
+                   static_cast<double>(total);
+    return share;
+}
+
+void
+Network::failLink(NodeId node, Direction d)
+{
+    ChannelId ch = net.channelId(node, d);
+    links[ch].setFailed();
+    realLinks.erase(std::remove(realLinks.begin(), realLinks.end(), ch),
+                    realLinks.end());
+    ++numFailed;
+    // Waiting headers may have been counting on this link; no wakeup is
+    // needed (their candidate sets only shrank).
+}
+
+ChannelLoadStats
+Network::channelLoadStats() const
+{
+    ChannelLoadStats stats;
+    if (realLinks.empty())
+        return stats;
+    double n = static_cast<double>(realLinks.size());
+    double sum = 0.0, sumsq = 0.0;
+    for (ChannelId id : realLinks) {
+        auto f = static_cast<double>(links[id].flitsTransferred());
+        sum += f;
+        sumsq += f * f;
+        if (f > stats.maxFlits) {
+            stats.maxFlits = f;
+            stats.busiest = id;
+        }
+    }
+    stats.meanFlits = sum / n;
+    double var = sumsq / n - stats.meanFlits * stats.meanFlits;
+    if (var < 0.0)
+        var = 0.0;
+    stats.cv = stats.meanFlits > 0.0 ? std::sqrt(var) / stats.meanFlits
+                                     : 0.0;
+    return stats;
+}
+
+void
+Network::resetCounters()
+{
+    for (ChannelId id : realLinks)
+        links[id].resetCounters();
+    for (auto &r : routers)
+        r.resetCounters();
+    admission.resetCounters();
+    deliveredCount = 0;
+    droppedCount = 0;
+    killedCount = 0;
+}
+
+} // namespace wormsim

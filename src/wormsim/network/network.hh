@@ -1,0 +1,247 @@
+/**
+ * @file
+ * The network fabric: topology + links + routers + one routing algorithm,
+ * advanced cycle by cycle.
+ *
+ * Each cycle has three phases:
+ *   1. allocation — headers waiting for a virtual channel ask the routing
+ *      algorithm for candidates and grab a free one (oldest message
+ *      first, approximating the paper's FIFO resource allocation);
+ *   2. arbitration — every physical link picks at most one eligible VC
+ *      (round-robin) based on start-of-cycle buffer state;
+ *   3. apply — the staged flit transfers execute: flits move, tails free
+ *      VCs behind them, headers arriving at new nodes queue for
+ *      allocation, and flits reaching their destination are consumed.
+ *
+ * A deadlock watchdog periodically scans for wait-for cycles (see
+ * watchdog.hh).
+ */
+
+#ifndef WORMSIM_NETWORK_NETWORK_HH
+#define WORMSIM_NETWORK_NETWORK_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "wormsim/network/congestion.hh"
+#include "wormsim/network/link.hh"
+#include "wormsim/network/router.hh"
+#include "wormsim/network/watchdog.hh"
+#include "wormsim/routing/routing_algorithm.hh"
+#include "wormsim/rng/xoshiro.hh"
+
+namespace wormsim
+{
+
+/** How the allocator chooses among multiple free candidate VCs. */
+enum class VcSelectPolicy
+{
+    FirstFree, ///< first candidate in algorithm order (deterministic)
+    Random,    ///< uniform among free candidates
+    LeastBusy, ///< fewest active VCs on the physical link, random ties
+};
+
+/** What to do when the watchdog confirms a deadlock. */
+enum class DeadlockAction
+{
+    Panic,         ///< internal error: abort (algorithms claim freedom)
+    RecordAndKill, ///< record it, kill the cycle's messages, continue
+    RecordOnly,    ///< record it and let the simulation stay wedged
+};
+
+/** Fabric configuration. */
+struct NetworkParams
+{
+    SwitchingMode switching = SwitchingMode::Wormhole;
+    int flitBufferDepth = 2;   ///< per-VC receiver buffer (wormhole mode);
+                               ///< 2 = double buffering, full flit rate
+    int injectionLimit = 4;    ///< per (node, class); <= 0 disables
+    /**
+     * Extra cycles the router spends computing each routing decision
+     * before the header may be allocated a VC (0 = single-cycle router).
+     * Models the paper's Section 3.4 point that adaptive routing logic
+     * "could increase the node complexity, node delay per hop, or both".
+     */
+    Cycle routingDelay = 0;
+    VcSelectPolicy select = VcSelectPolicy::LeastBusy;
+    Cycle watchdogPatience = 10000; ///< 0 disables the watchdog
+    Cycle watchdogInterval = 1024;
+    DeadlockAction deadlockAction = DeadlockAction::Panic;
+};
+
+/**
+ * Distribution of flit traffic over the physical channels since the last
+ * counter reset. The coefficient of variation (stddev/mean) quantifies
+ * how evenly an algorithm spreads load: the paper blames north-last's
+ * poor showing on skewing "even uniform traffic".
+ */
+struct ChannelLoadStats
+{
+    double meanFlits = 0.0; ///< mean flits per existing channel
+    double maxFlits = 0.0;  ///< busiest channel's flits
+    double cv = 0.0;        ///< coefficient of variation across channels
+    ChannelId busiest = kInvalidChannel;
+};
+
+/** Aggregate counters since the last resetCounters(). */
+struct NetworkCounters
+{
+    std::uint64_t messagesDelivered = 0;
+    std::uint64_t messagesDropped = 0; ///< congestion-control refusals
+    std::uint64_t messagesKilled = 0;  ///< deadlock-recovery victims
+    std::uint64_t flitTransfers = 0;   ///< filled by flitsTransferred()
+};
+
+/** The simulated interconnection network. */
+class Network
+{
+  public:
+    /**
+     * Called when a message's tail is consumed at its destination.
+     * @param msg the completed message (still fully populated)
+     * @param now delivery cycle
+     */
+    using DeliveryHook = std::function<void(const Message &msg, Cycle now)>;
+
+    /**
+     * @param topo topology (not owned; must outlive the network)
+     * @param algo routing algorithm (not owned; must outlive the network)
+     * @param params fabric configuration
+     * @param rng entropy for tie-breaking VC selection (not owned)
+     */
+    Network(const Topology &topo, const RoutingAlgorithm &algo,
+            NetworkParams params, Xoshiro256 &rng);
+
+    /**
+     * Offer a new message for injection at cycle @p now. Congestion
+     * control may refuse it (counted as a drop).
+     *
+     * @return the admitted message, or nullptr when dropped
+     */
+    Message *offerMessage(NodeId src, NodeId dst, int length_flits,
+                          Cycle now);
+
+    /** Advance the fabric by one cycle. @p now is the current cycle. */
+    void step(Cycle now);
+
+    /** True while any message is in flight or awaiting allocation. */
+    bool busy() const { return !messages.empty(); }
+
+    /** Messages currently alive (in flight or waiting). */
+    std::size_t messagesInFlight() const { return messages.size(); }
+
+    /** Set the delivered-message callback. */
+    void setDeliveryHook(DeliveryHook hook) { onDelivery = std::move(hook); }
+
+    /** Aggregate counters since the last reset. */
+    NetworkCounters counters() const;
+
+    /** Total flit transfers on all links since the last reset. */
+    std::uint64_t flitsTransferred() const;
+
+    /**
+     * Per-VC-class share of all flit transfers since the last reset
+     * (sums to 1 when any traffic flowed). Used by ablation_vc_balance.
+     */
+    std::vector<double> vcClassLoadShare() const;
+
+    /** Physical-channel load distribution since the last reset. */
+    ChannelLoadStats channelLoadStats() const;
+
+    /**
+     * Fault injection: fail-stop the outgoing link @p d of @p node. The
+     * link must be idle. Routing simply stops seeing it; pairs whose
+     * every admissible path used it will wedge (and, with the watchdog
+     * armed, be reported). See routing/analysis.hh for the static view.
+     */
+    void failLink(NodeId node, Direction d);
+
+    /** Number of links failed so far. */
+    int failedLinks() const { return numFailed; }
+
+    /** Reset statistics counters; in-flight state is untouched. */
+    void resetCounters();
+
+    /** The most recent deadlock report (suspected == false when clean). */
+    const DeadlockReport &lastDeadlock() const { return deadlockReport; }
+
+    /** True when a confirmed deadlock has ever been recorded. */
+    bool sawDeadlock() const { return deadlockSeen; }
+
+    // --- introspection (tests, examples) ---
+    const Topology &topology() const { return net; }
+    const RoutingAlgorithm &algorithm() const { return routing; }
+    const NetworkParams &params() const { return cfg; }
+    CongestionControl &congestion() { return admission; }
+    Router &router(NodeId n) { return routers[n]; }
+    Link &link(ChannelId c) { return links[c]; }
+    Link &link(NodeId node, Direction d)
+    {
+        return links[net.channelId(node, d)];
+    }
+    int numVcClasses() const { return vcClasses; }
+    std::size_t messagesAwaitingRoute() const { return needRoute.size(); }
+
+  private:
+    void allocationPhase(Cycle now);
+    void applyTransfer(VirtualChannel *v, Cycle now);
+    void finalizeDelivery(Message *msg, Cycle now);
+    void runWatchdog(Cycle now);
+    void killMessage(Message *msg);
+    void removeFromNeedRoute(Message *msg);
+
+    /** A VC on an outgoing link of @p node freed: wake its waiters. */
+    void markDirty(NodeId node) { nodeDirty[node] = 1; }
+
+    /** Free candidates of @p msg at its head node, filtered to real links. */
+    void freeCandidates(const Message &msg,
+                        std::vector<RouteCandidate> &out);
+
+    /**
+     * Pick one of @p free per the selection policy; @p head is the node
+     * the candidates leave from.
+     */
+    const RouteCandidate &select(NodeId head,
+                                 const std::vector<RouteCandidate> &free);
+
+    const Topology &net;
+    const RoutingAlgorithm &routing;
+    NetworkParams cfg;
+    Xoshiro256 &rand;
+
+    int vcClasses;
+    std::vector<Link> links;          ///< indexed by ChannelId slot
+    std::vector<ChannelId> realLinks; ///< slots that exist
+    std::vector<Router> routers;
+    CongestionControl admission;
+    DeadlockWatchdog watchdog;
+
+    std::unordered_map<MessageId, std::unique_ptr<Message>> messages;
+    MessageId nextId = 0;
+    std::vector<Message *> needRoute;
+    /**
+     * Per-node hint set when a VC on an outgoing link frees: only then do
+     * blocked messages waiting at that node retry allocation. This keeps
+     * the allocation phase O(progress) instead of O(waiting) per cycle.
+     */
+    std::vector<std::uint8_t> nodeDirty;
+
+    DeliveryHook onDelivery;
+    int numFailed = 0;
+    std::uint64_t deliveredCount = 0;
+    std::uint64_t droppedCount = 0;
+    std::uint64_t killedCount = 0;
+    DeadlockReport deadlockReport;
+    bool deadlockSeen = false;
+
+    // scratch buffers reused across cycles
+    std::vector<RouteCandidate> scratchCandidates;
+    std::vector<RouteCandidate> scratchFree;
+    std::vector<VirtualChannel *> stagedTransfers;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_NETWORK_NETWORK_HH

@@ -1,0 +1,36 @@
+#include "wormsim/network/router.hh"
+
+#include <algorithm>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/network/message.hh"
+
+namespace wormsim
+{
+
+void
+Router::enqueueInjection(Message *msg)
+{
+    WORMSIM_ASSERT(msg->src() == self, "message ", msg->id(),
+                   " enqueued at wrong node");
+    injecting.push_back(msg);
+    ++injectedCount;
+}
+
+void
+Router::injectionFinished(Message *msg)
+{
+    auto it = std::find(injecting.begin(), injecting.end(), msg);
+    WORMSIM_ASSERT(it != injecting.end(),
+                   "injectionFinished for unknown message ", msg->id());
+    injecting.erase(it);
+}
+
+void
+Router::resetCounters()
+{
+    injectedCount = 0;
+    deliveredCount = 0;
+}
+
+} // namespace wormsim

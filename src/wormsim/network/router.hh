@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-node router state: the injection queue and node-level statistics.
+ * The heavy lifting (VC allocation, link arbitration) is coordinated by
+ * Network; Router keeps what is genuinely per-node.
+ */
+
+#ifndef WORMSIM_NETWORK_ROUTER_HH
+#define WORMSIM_NETWORK_ROUTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wormsim/common/types.hh"
+
+namespace wormsim
+{
+
+class Message;
+
+/** One node's router. */
+class Router
+{
+  public:
+    Router() = default;
+
+    /** Set the node id (Network construction). */
+    void configure(NodeId node) { self = node; }
+
+    NodeId node() const { return self; }
+
+    /** Add an admitted message to the injection side of this node. */
+    void enqueueInjection(Message *msg);
+
+    /** A message's tail left this source (injection complete). */
+    void injectionFinished(Message *msg);
+
+    /** Messages admitted but not yet fully injected. */
+    int pendingInjections() const
+    {
+        return static_cast<int>(injecting.size());
+    }
+
+    /** The pending-injection list (allocation phase iterates it). */
+    const std::vector<Message *> &injectionQueue() const
+    {
+        return injecting;
+    }
+
+    /** Statistics: messages that originated here (post-admission). */
+    std::uint64_t messagesInjected() const { return injectedCount; }
+
+    /** Statistics: messages consumed here. */
+    std::uint64_t messagesDelivered() const { return deliveredCount; }
+
+    /** A message addressed to this node was fully consumed. */
+    void noteDelivered() { ++deliveredCount; }
+
+    /** Reset statistics counters (not queue state). */
+    void resetCounters();
+
+  private:
+    NodeId self = kInvalidNode;
+    std::vector<Message *> injecting;
+    std::uint64_t injectedCount = 0;
+    std::uint64_t deliveredCount = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_NETWORK_ROUTER_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A virtual channel: one lane of a physical channel, with its flit buffer
+ * at the receiving node (Figure 1(b) of the paper). A VC is owned by at
+ * most one message from header acquisition until the tail departs.
+ */
+
+#ifndef WORMSIM_NETWORK_VIRTUAL_CHANNEL_HH
+#define WORMSIM_NETWORK_VIRTUAL_CHANNEL_HH
+
+#include "wormsim/common/types.hh"
+#include "wormsim/network/flit.hh"
+
+namespace wormsim
+{
+
+class Message;
+
+/** One virtual channel of one unidirectional physical channel. */
+class VirtualChannel
+{
+  public:
+    VirtualChannel() = default;
+
+    /** Static identity, set once by the Network at construction. */
+    void
+    configure(ChannelId channel, VcClass vc_class, NodeId from, NodeId to)
+    {
+        chan = channel;
+        cls = vc_class;
+        src = from;
+        dst = to;
+    }
+
+    ChannelId channel() const { return chan; }
+    VcClass vcClass() const { return cls; }
+    NodeId fromNode() const { return src; }
+    NodeId toNode() const { return dst; }
+
+    /** True when no message holds this VC. */
+    bool free() const { return holder == nullptr; }
+
+    /** Owning message; nullptr when free. */
+    Message *owner() const { return holder; }
+
+    /**
+     * Upstream flit source: the VC (at the sending node) this lane pulls
+     * flits from, or nullptr when the sending node is the message's source
+     * (flits come from the injection queue).
+     */
+    VirtualChannel *upstream() const { return up; }
+
+    /**
+     * Grant this VC to @p msg.
+     *
+     * @param msg new owner
+     * @param upstream_vc the stage feeding this one (nullptr = injection)
+     */
+    void
+    allocate(Message *msg, VirtualChannel *upstream_vc, int message_length)
+    {
+        WORMSIM_ASSERT(holder == nullptr, "allocating a busy VC");
+        holder = msg;
+        up = upstream_vc;
+        window.open(message_length);
+    }
+
+    /** Release after the tail has departed (or the message died). */
+    void
+    release()
+    {
+        holder = nullptr;
+        up = nullptr;
+        window.close();
+    }
+
+    /** Flit bookkeeping for the buffer at the receiving node. */
+    FlitWindow &flits() { return window; }
+    const FlitWindow &flits() const { return window; }
+
+    /** Buffered flit count at the receiving node. */
+    int occupancy() const { return window.occupancy(); }
+
+  private:
+    ChannelId chan = kInvalidChannel;
+    VcClass cls = kInvalidVc;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+
+    Message *holder = nullptr;
+    VirtualChannel *up = nullptr;
+    FlitWindow window;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_NETWORK_VIRTUAL_CHANNEL_HH

@@ -1,0 +1,94 @@
+#include "wormsim/network/watchdog.hh"
+
+#include <map>
+#include <sstream>
+
+#include "wormsim/network/message.hh"
+
+namespace wormsim
+{
+
+std::string
+DeadlockReport::describe() const
+{
+    std::ostringstream oss;
+    if (!suspected) {
+        oss << "no deadlock";
+        return oss.str();
+    }
+    oss << (confirmed ? "confirmed" : "suspected")
+        << " deadlock cycle of " << cycle.size() << " message(s): ";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        if (i)
+            oss << " -> ";
+        oss << "#" << cycle[i];
+    }
+    return oss.str();
+}
+
+DeadlockReport
+DeadlockWatchdog::scan(Cycle now,
+                       const std::vector<WaitInfo> &waiting) const
+{
+    DeadlockReport report;
+
+    // Index the stuck messages.
+    std::map<const Message *, std::size_t> stuckIndex;
+    std::vector<const WaitInfo *> stuck;
+    for (const WaitInfo &w : waiting) {
+        if (now - w.msg->waitingSince() >= patienceCycles) {
+            stuckIndex.emplace(w.msg, stuck.size());
+            stuck.push_back(&w);
+        }
+    }
+    if (stuck.empty())
+        return report;
+
+    // Iterative DFS over the wait-for graph restricted to stuck messages.
+    enum Color : std::uint8_t { White, Gray, Black };
+    std::vector<Color> color(stuck.size(), White);
+
+    std::vector<std::size_t> path;
+    std::function<bool(std::size_t)> dfs = [&](std::size_t u) -> bool {
+        color[u] = Gray;
+        path.push_back(u);
+        for (Message *held_by : stuck[u]->waitingOn) {
+            auto it = stuckIndex.find(held_by);
+            if (it == stuckIndex.end())
+                continue; // owner not stuck: may still make progress
+            std::size_t v = it->second;
+            if (color[v] == Gray) {
+                // Found a cycle: extract it from the path.
+                auto start = path.end();
+                while (start != path.begin() && *(start - 1) != v)
+                    --start;
+                if (start != path.begin())
+                    --start;
+                report.suspected = true;
+                report.confirmed = true;
+                for (auto p = start; p != path.end(); ++p) {
+                    report.cycle.push_back(stuck[*p]->msg->id());
+                    if (!stuck[*p]->fullyBlocked)
+                        report.confirmed = false;
+                }
+                return true;
+            }
+            if (color[v] == White && dfs(v))
+                return true;
+        }
+        color[u] = Black;
+        path.pop_back();
+        return false;
+    };
+
+    for (std::size_t u = 0; u < stuck.size(); ++u) {
+        if (color[u] == White) {
+            path.clear();
+            if (dfs(u))
+                return report;
+        }
+    }
+    return report;
+}
+
+} // namespace wormsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deadlock watchdog.
+ *
+ * All six of the paper's algorithms are deadlock-free by construction, so
+ * in normal operation this never fires; it exists to (a) validate that
+ * claim empirically in the test suite, (b) catch broken user-defined
+ * algorithms (see routing/broken_ring.hh), and (c) guard the optional
+ * MinimalDirection tag policy of 2pn on tori, which reintroduces ring
+ * cycles (DESIGN.md Section 5).
+ *
+ * Detection: messages that have waited longer than a patience threshold
+ * for a virtual channel form a wait-for graph (message -> owners of every
+ * candidate VC). A cycle in that graph in which every participant's
+ * candidates are ALL held by stuck messages is reported as a confirmed
+ * deadlock; a cycle without that property is reported as suspected.
+ */
+
+#ifndef WORMSIM_NETWORK_WATCHDOG_HH
+#define WORMSIM_NETWORK_WATCHDOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wormsim/common/types.hh"
+
+namespace wormsim
+{
+
+class Message;
+
+/** Outcome of one watchdog scan. */
+struct DeadlockReport
+{
+    bool suspected = false;  ///< a wait-for cycle exists
+    bool confirmed = false;  ///< every cycle member is fully blocked
+    std::vector<MessageId> cycle; ///< messages on the detected cycle
+    std::string describe() const;
+};
+
+/** Scans stuck messages for wait-for cycles. */
+class DeadlockWatchdog
+{
+  public:
+    /**
+     * A message's blocking set: the owners of every VC it is waiting on,
+     * plus whether ALL its candidates are currently held (fullyBlocked).
+     */
+    struct WaitInfo
+    {
+        Message *msg = nullptr;
+        std::vector<Message *> waitingOn;
+        bool fullyBlocked = false;
+    };
+
+    /**
+     * @param patience cycles a message must have waited before it is
+     *                 considered stuck
+     */
+    explicit DeadlockWatchdog(Cycle patience) : patienceCycles(patience) {}
+
+    Cycle patience() const { return patienceCycles; }
+
+    /**
+     * Scan for deadlock.
+     *
+     * @param now current cycle
+     * @param waiting wait info for every message currently awaiting a VC
+     * @return the report; .suspected is false when no stuck cycle exists
+     */
+    DeadlockReport scan(Cycle now,
+                        const std::vector<WaitInfo> &waiting) const;
+
+  private:
+    Cycle patienceCycles;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_NETWORK_WATCHDOG_HH

@@ -1,0 +1,123 @@
+#include "wormsim/rng/distributions.hh"
+
+#include <cmath>
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+double
+uniform01(Xoshiro256 &rng)
+{
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+uniformInt(Xoshiro256 &rng, std::uint64_t bound)
+{
+    WORMSIM_ASSERT(bound > 0, "uniformInt bound must be positive");
+    // Lemire's method: multiply-shift with rejection of the biased zone.
+    std::uint64_t x = rng.next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = rng.next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+uniformRange(Xoshiro256 &rng, std::int64_t lo, std::int64_t hi)
+{
+    WORMSIM_ASSERT(lo <= hi, "uniformRange requires lo <= hi, got ", lo,
+                   " > ", hi);
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(rng, span));
+}
+
+bool
+bernoulli(Xoshiro256 &rng, double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform01(rng) < p;
+}
+
+std::uint64_t
+geometric(Xoshiro256 &rng, double p)
+{
+    WORMSIM_ASSERT(p > 0.0 && p <= 1.0, "geometric requires 0 < p <= 1");
+    if (p >= 1.0)
+        return 1;
+    double u = uniform01(rng);
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    double v = std::ceil(std::log(u) / std::log1p(-p));
+    if (v < 1.0)
+        return 1;
+    return static_cast<std::uint64_t>(v);
+}
+
+AliasSampler::AliasSampler(const std::vector<double> &weights)
+{
+    WORMSIM_ASSERT(!weights.empty(), "AliasSampler needs >= 1 weight");
+    double total = 0.0;
+    for (double w : weights) {
+        WORMSIM_ASSERT(w >= 0.0, "AliasSampler weights must be >= 0");
+        total += w;
+    }
+    WORMSIM_ASSERT(total > 0.0, "AliasSampler needs a positive total");
+
+    std::size_t n = weights.size();
+    probs.resize(n);
+    threshold.resize(n);
+    alias.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        probs[i] = weights[i] / total;
+
+    // Scaled probabilities: mean 1.0.
+    std::vector<double> scaled(n);
+    std::vector<std::size_t> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+        scaled[i] = probs[i] * static_cast<double>(n);
+        (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+        std::size_t s = small.back();
+        small.pop_back();
+        std::size_t g = large.back();
+        large.pop_back();
+        threshold[s] = scaled[s];
+        alias[s] = g;
+        scaled[g] = (scaled[g] + scaled[s]) - 1.0;
+        (scaled[g] < 1.0 ? small : large).push_back(g);
+    }
+    for (std::size_t i : large) {
+        threshold[i] = 1.0;
+        alias[i] = i;
+    }
+    for (std::size_t i : small) {
+        // Can only happen from floating-point round-off.
+        threshold[i] = 1.0;
+        alias[i] = i;
+    }
+}
+
+std::size_t
+AliasSampler::sample(Xoshiro256 &rng) const
+{
+    std::size_t column = uniformInt(rng, probs.size());
+    return uniform01(rng) < threshold[column] ? column : alias[column];
+}
+
+} // namespace wormsim

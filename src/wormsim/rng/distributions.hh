@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Random-variate generators used by the traffic generators and the
+ * simulation driver. The paper's interarrival times are geometrically
+ * distributed and destinations are drawn from pattern-specific discrete
+ * distributions; both are provided here, implemented from scratch against
+ * the Xoshiro256 engine.
+ */
+
+#ifndef WORMSIM_RNG_DISTRIBUTIONS_HH
+#define WORMSIM_RNG_DISTRIBUTIONS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wormsim/rng/xoshiro.hh"
+
+namespace wormsim
+{
+
+/** Uniform double in [0, 1) with 53 bits of precision. */
+double uniform01(Xoshiro256 &rng);
+
+/**
+ * Uniform integer in [0, bound) using Lemire's nearly-divisionless
+ * rejection method (unbiased).
+ *
+ * @param rng entropy source
+ * @param bound exclusive upper bound; must be > 0
+ */
+std::uint64_t uniformInt(Xoshiro256 &rng, std::uint64_t bound);
+
+/** Uniform integer in the inclusive range [lo, hi]. */
+std::int64_t uniformRange(Xoshiro256 &rng, std::int64_t lo, std::int64_t hi);
+
+/** Bernoulli trial with success probability @p p. */
+bool bernoulli(Xoshiro256 &rng, double p);
+
+/**
+ * Geometric variate counting the number of trials until (and including)
+ * the first success, i.e. support {1, 2, 3, ...} with mean 1/p. This is the
+ * paper's message interarrival model: a cycle-by-cycle injection coin with
+ * probability p yields geometric gaps with mean 1/p.
+ *
+ * Implemented by inversion: ceil(ln(U)/ln(1-p)).
+ */
+std::uint64_t geometric(Xoshiro256 &rng, double p);
+
+/**
+ * Sampler for an arbitrary discrete distribution using Walker's alias
+ * method: O(n) setup, O(1) sampling. Used for hotspot destination draws and
+ * the stratified-weight tests.
+ */
+class AliasSampler
+{
+  public:
+    /**
+     * @param weights non-negative weights, at least one positive; they are
+     *                normalized internally
+     */
+    explicit AliasSampler(const std::vector<double> &weights);
+
+    /** Draw an index with probability proportional to its weight. */
+    std::size_t sample(Xoshiro256 &rng) const;
+
+    /** Normalized probability of index @p i (for tests). */
+    double probability(std::size_t i) const { return probs[i]; }
+
+    /** Number of categories. */
+    std::size_t size() const { return probs.size(); }
+
+  private:
+    std::vector<double> probs;     // normalized input probabilities
+    std::vector<double> threshold; // alias-table acceptance thresholds
+    std::vector<std::size_t> alias;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_RNG_DISTRIBUTIONS_HH

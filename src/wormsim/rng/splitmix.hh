@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SplitMix64 — a tiny, fast 64-bit generator used to seed xoshiro streams
+ * and to derive independent sub-seeds from a master seed. Reference
+ * algorithm by Sebastiano Vigna (public domain).
+ */
+
+#ifndef WORMSIM_RNG_SPLITMIX_HH
+#define WORMSIM_RNG_SPLITMIX_HH
+
+#include <cstdint>
+
+namespace wormsim
+{
+
+/** SplitMix64 generator; primarily a seed sequencer. */
+class SplitMix64
+{
+  public:
+    /** @param seed any 64-bit value, including zero */
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next 64 bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Derive a well-mixed sub-seed from a (seed, stream-index) pair. Distinct
+ * indices give statistically independent streams.
+ */
+inline std::uint64_t
+deriveSeed(std::uint64_t master, std::uint64_t index)
+{
+    SplitMix64 sm(master ^ (0x6a09e667f3bcc909ULL + index *
+                            0x9e3779b97f4a7c15ULL));
+    sm.next();
+    return sm.next();
+}
+
+} // namespace wormsim
+
+#endif // WORMSIM_RNG_SPLITMIX_HH

@@ -1,0 +1,42 @@
+#include "wormsim/rng/stream_set.hh"
+
+#include "wormsim/rng/splitmix.hh"
+
+namespace wormsim
+{
+
+StreamSet::StreamSet(std::uint64_t master_seed)
+    : master(master_seed), currentEpoch(0)
+{
+}
+
+std::uint64_t
+StreamSet::seedFor(const std::string &purpose) const
+{
+    // FNV-1a over the purpose name, mixed with the epoch and master seed.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : purpose) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return deriveSeed(master ^ h, currentEpoch);
+}
+
+Xoshiro256 &
+StreamSet::stream(const std::string &purpose)
+{
+    auto it = streams.find(purpose);
+    if (it == streams.end())
+        it = streams.emplace(purpose, Xoshiro256(seedFor(purpose))).first;
+    return it->second;
+}
+
+void
+StreamSet::advanceEpoch()
+{
+    ++currentEpoch;
+    for (auto &[purpose, engine] : streams)
+        engine.seed(seedFor(purpose));
+}
+
+} // namespace wormsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Named random-number streams.
+ *
+ * The paper keeps separate random sequences for message interarrival times,
+ * destination selection, and other purposes, and switches to fresh streams
+ * after each sampling period ("new streams of random numbers are used for
+ * destination selection and message interarrival time"). StreamSet models
+ * exactly that: each named purpose owns an independent Xoshiro256 engine,
+ * and advanceEpoch() re-derives every engine from (master seed, purpose,
+ * epoch) so successive sampling periods use statistically independent
+ * sequences while remaining reproducible from the single master seed.
+ */
+
+#ifndef WORMSIM_RNG_STREAM_SET_HH
+#define WORMSIM_RNG_STREAM_SET_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "wormsim/rng/xoshiro.hh"
+
+namespace wormsim
+{
+
+/** A reproducible set of independent, named, epoch-versioned RNG streams. */
+class StreamSet
+{
+  public:
+    /** @param master_seed single seed all streams derive from */
+    explicit StreamSet(std::uint64_t master_seed);
+
+    /**
+     * Get (creating on first use) the engine for @p purpose in the current
+     * epoch. References remain valid until the StreamSet is destroyed;
+     * advanceEpoch() re-seeds engines in place.
+     */
+    Xoshiro256 &stream(const std::string &purpose);
+
+    /**
+     * Move to the next epoch: every existing stream is re-seeded from
+     * (master, purpose, new epoch). Used between sampling periods.
+     */
+    void advanceEpoch();
+
+    /** Current epoch number (starts at 0). */
+    std::uint64_t epoch() const { return currentEpoch; }
+
+    /** The master seed. */
+    std::uint64_t masterSeed() const { return master; }
+
+  private:
+    std::uint64_t seedFor(const std::string &purpose) const;
+
+    std::uint64_t master;
+    std::uint64_t currentEpoch;
+    std::map<std::string, Xoshiro256> streams;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_RNG_STREAM_SET_HH

@@ -1,0 +1,72 @@
+#include "wormsim/rng/xoshiro.hh"
+
+#include "wormsim/rng/splitmix.hh"
+
+namespace wormsim
+{
+
+Xoshiro256::Xoshiro256(std::uint64_t sd)
+{
+    seed(sd);
+}
+
+void
+Xoshiro256::seed(std::uint64_t sd)
+{
+    SplitMix64 sm(sd);
+    for (auto &word : s)
+        word = sm.next();
+    // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+    // consecutive zeros from any seed, but guard anyway.
+    if (s[0] == 0 && s[1] == 0 && s[2] == 0 && s[3] == 0)
+        s[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t
+Xoshiro256::rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+Xoshiro256::result_type
+Xoshiro256::next()
+{
+    std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+void
+Xoshiro256::jump()
+{
+    static const std::uint64_t kJump[] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (word & (1ULL << b)) {
+                s0 ^= s[0];
+                s1 ^= s[1];
+                s2 ^= s[2];
+                s3 ^= s[3];
+            }
+            next();
+        }
+    }
+    s[0] = s0;
+    s[1] = s1;
+    s[2] = s2;
+    s[3] = s3;
+}
+
+} // namespace wormsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * xoshiro256** — the library's core pseudo-random engine. Satisfies the
+ * C++ UniformRandomBitGenerator requirements so it can also be plugged into
+ * <random> distributions, though wormsim ships its own distributions.
+ *
+ * Reference algorithm by Blackman & Vigna (public domain).
+ */
+
+#ifndef WORMSIM_RNG_XOSHIRO_HH
+#define WORMSIM_RNG_XOSHIRO_HH
+
+#include <array>
+#include <cstdint>
+
+namespace wormsim
+{
+
+/** xoshiro256** engine with jump support for independent substreams. */
+class Xoshiro256
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed via SplitMix64 expansion of @p seed. */
+    explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+    /** Re-seed in place (same expansion as the constructor). */
+    void seed(std::uint64_t seed);
+
+    /** Next 64 random bits. */
+    result_type next();
+
+    /** UniformRandomBitGenerator interface. */
+    result_type operator()() { return next(); }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    /**
+     * Advance 2^128 steps; calling jump() k times on copies of one seeded
+     * engine yields 2^128-separated, non-overlapping substreams.
+     */
+    void jump();
+
+    /** Raw state accessor (for tests/serialization). */
+    const std::array<std::uint64_t, 4> &state() const { return s; }
+
+  private:
+    static std::uint64_t rotl(std::uint64_t x, int k);
+
+    std::array<std::uint64_t, 4> s;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_RNG_XOSHIRO_HH

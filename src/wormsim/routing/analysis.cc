@@ -1,0 +1,94 @@
+#include "wormsim/routing/analysis.hh"
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+namespace
+{
+
+/** Pack the analysis-relevant route state into a hashable key. */
+std::uint64_t
+stateKey(NodeId node, const RouteState &rs)
+{
+    // hopsTaken <= 255, negHops/boost <= 63, tag <= 2^16.
+    return (static_cast<std::uint64_t>(node) << 40) ^
+           (static_cast<std::uint64_t>(rs.hopsTaken & 0xff) << 32) ^
+           (static_cast<std::uint64_t>(rs.negHops & 0x3f) << 26) ^
+           (static_cast<std::uint64_t>(rs.boost & 0x3f) << 20) ^
+           (static_cast<std::uint64_t>(rs.tag & 0xffff) << 4) ^
+           static_cast<std::uint64_t>(rs.ecubeDim & 0xf);
+}
+
+bool
+explore(const RoutingAlgorithm &algo, const Topology &topo,
+        const Message &msg, NodeId current, const FailedLinkSet &failed,
+        int hops_left, std::unordered_set<std::uint64_t> &seen)
+{
+    if (current == msg.dst())
+        return true;
+    if (hops_left <= 0)
+        return false;
+    if (!seen.insert(stateKey(current, msg.route())).second)
+        return false; // already explored this (node, state)
+
+    std::vector<RouteCandidate> cands;
+    algo.candidates(topo, current, msg, cands);
+    for (const RouteCandidate &c : cands) {
+        NodeId next = topo.neighbor(current, c.dir);
+        if (next == kInvalidNode)
+            continue;
+        ChannelId ch = topo.channelId(current, c.dir);
+        if (failed.count(ch))
+            continue;
+        Message branch = msg; // copy the per-message state
+        algo.onHop(topo, current, next, c.vc, branch);
+        if (explore(algo, topo, branch, next, failed, hops_left - 1,
+                    seen))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+canReach(const RoutingAlgorithm &algo, const Topology &topo, NodeId src,
+         NodeId dst, const FailedLinkSet &failed, int max_hops)
+{
+    WORMSIM_ASSERT(src != dst, "canReach needs distinct endpoints");
+    if (max_hops <= 0)
+        max_hops = 4 * topo.diameter();
+    Message msg(0, src, dst, 16, 0);
+    msg.setMinDistance(topo.distance(src, dst));
+    algo.initMessage(topo, msg);
+    std::unordered_set<std::uint64_t> seen;
+    return explore(algo, topo, msg, src, failed, max_hops, seen);
+}
+
+double
+routableFraction(const RoutingAlgorithm &algo, const Topology &topo,
+                 const FailedLinkSet &failed)
+{
+    std::uint64_t routable = 0;
+    std::uint64_t pairs = 0;
+    for (NodeId s = 0; s < topo.numNodes(); ++s) {
+        for (NodeId d = 0; d < topo.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            ++pairs;
+            if (canReach(algo, topo, s, d, failed))
+                ++routable;
+        }
+    }
+    return pairs ? static_cast<double>(routable) /
+                       static_cast<double>(pairs)
+                 : 1.0;
+}
+
+} // namespace wormsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Static analysis of routing algorithms: which (source, destination)
+ * pairs remain routable when links fail.
+ *
+ * Adaptivity's fault-tolerance side (the context of Linder & Harden's
+ * work the paper builds on) falls out of the candidate-set abstraction:
+ * a pair survives a set of failed links iff the algorithm's candidate
+ * DAG from source state to destination still contains a path avoiding
+ * them. Non-adaptive e-cube has exactly one path per pair, so any failed
+ * link on it disconnects the pair; fully-adaptive algorithms only lose a
+ * pair when every admissible path is cut.
+ *
+ * The exploration walks (node, route-state) pairs with memoization; all
+ * shipped algorithms have small integer route state, so the state space
+ * is tiny.
+ */
+
+#ifndef WORMSIM_ROUTING_ANALYSIS_HH
+#define WORMSIM_ROUTING_ANALYSIS_HH
+
+#include <set>
+
+#include "wormsim/routing/routing_algorithm.hh"
+
+namespace wormsim
+{
+
+/** A set of failed (unusable) physical channels. */
+using FailedLinkSet = std::set<ChannelId>;
+
+/**
+ * True when @p algo can route a message src -> dst on @p topo while
+ * avoiding every link in @p failed (exploring all candidate branches).
+ *
+ * @param algo routing algorithm under analysis
+ * @param topo topology
+ * @param src source node
+ * @param dst destination node (!= src)
+ * @param failed channels that may not be used
+ * @param max_hops exploration depth bound (guards non-minimal
+ *        algorithms; 0 = 4 * diameter)
+ */
+bool canReach(const RoutingAlgorithm &algo, const Topology &topo,
+              NodeId src, NodeId dst, const FailedLinkSet &failed,
+              int max_hops = 0);
+
+/**
+ * Fraction of ordered (src, dst) pairs that remain routable under
+ * @p failed. 1.0 with no failures for every shipped algorithm.
+ */
+double routableFraction(const RoutingAlgorithm &algo, const Topology &topo,
+                        const FailedLinkSet &failed);
+
+} // namespace wormsim
+
+#endif // WORMSIM_ROUTING_ANALYSIS_HH

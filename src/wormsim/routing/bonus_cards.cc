@@ -1,0 +1,90 @@
+#include "wormsim/routing/bonus_cards.hh"
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/routing/positive_hop.hh"
+
+namespace wormsim
+{
+
+std::string
+BonusCardRouting::name() const
+{
+    return spendMode == SpendMode::FirstHop ? "nbc" : "nbc-flex";
+}
+
+int
+BonusCardRouting::numVcClasses(const Topology &topo) const
+{
+    NegativeHopRouting::requireProperColoring(topo);
+    return NegativeHopRouting::maxNegativeHops(topo) + 1;
+}
+
+void
+BonusCardRouting::initMessage(const Topology &topo, Message &msg) const
+{
+    NegativeHopRouting::requireProperColoring(topo);
+    msg.route() = RouteState{};
+    int needed = NegativeHopRouting::negativeHopsNeeded(topo, msg.src(),
+                                                        msg.dst());
+    int max_neg = NegativeHopRouting::maxNegativeHops(topo);
+    WORMSIM_ASSERT(needed <= max_neg, "negative hops needed (", needed,
+                   ") exceeds the maximum (", max_neg, ")");
+    msg.route().bonusCards = max_neg - needed;
+}
+
+void
+BonusCardRouting::candidates(const Topology &topo, NodeId current,
+                             const Message &msg,
+                             std::vector<RouteCandidate> &out) const
+{
+    const RouteState &rs = msg.route();
+    // Base class if no further cards are spent, and the cards still
+    // spendable on this hop.
+    int base = rs.negHops + rs.boost;
+    int spendable = 0;
+    if (spendMode == SpendMode::AnyHop)
+        spendable = rs.bonusCards - rs.boost;
+    else if (rs.hopsTaken == 0)
+        spendable = rs.bonusCards;
+    for (int b = 0; b <= spendable; ++b) {
+        pushMinimalDirections(topo, current, msg.dst(),
+                              static_cast<VcClass>(base + b), out);
+    }
+    WORMSIM_ASSERT(!out.empty(), name(), " asked for a hop at the "
+                   "destination (", msg.str(), ")");
+}
+
+void
+BonusCardRouting::onHop(const Topology &topo, NodeId current, NodeId next,
+                        VcClass used, Message &msg) const
+{
+    RouteState &rs = msg.route();
+    int base = rs.negHops + rs.boost;
+    int spent = used - base;
+    WORMSIM_ASSERT(spent >= 0, "class went backwards (used ", used,
+                   ", base ", base, ")");
+    WORMSIM_ASSERT(rs.boost + spent <= rs.bonusCards,
+                   "spent more bonus cards than granted");
+    rs.boost += spent;
+    RoutingAlgorithm::onHop(topo, current, next, used, msg);
+    if (topo.color(current) == 1)
+        rs.negHops++;
+}
+
+int
+BonusCardRouting::numCongestionClasses(const Topology &topo) const
+{
+    // Footnote 2: class = the virtual channel number the message can use;
+    // for nbc that entitlement is its bonus-card count.
+    return NegativeHopRouting::maxNegativeHops(topo) + 1;
+}
+
+int
+BonusCardRouting::congestionClass(const Topology &topo,
+                                  const Message &msg) const
+{
+    (void)topo;
+    return msg.route().bonusCards;
+}
+
+} // namespace wormsim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The negative-hop-with-bonus-cards (nbc) algorithm (paper Section 2.1).
+ *
+ * nhop leaves high-numbered virtual channels nearly idle (only
+ * near-diameter messages reach them). nbc hands each message
+ *
+ *   bonus = (maximum possible negative hops) - (negative hops it needs)
+ *
+ * "bonus cards" at the source. In the paper's base scheme the message may
+ * spend them only on its FIRST hop: any class in [0, bonus] may be
+ * reserved, chosen adaptively (least congested), and every later hop uses
+ * class (spent + negative hops taken). The paper also mentions "a more
+ * flexible version of this nbc scheme" [7]; wormsim implements it as
+ * SpendMode::AnyHop — unspent cards may be cashed at any hop, so every
+ * hop offers classes [negHops + spent, negHops + bonus].
+ *
+ * Both variants keep classes non-decreasing and bounded by the maximum
+ * negative-hop count, so nhop's deadlock-freedom argument (Lemma 1 with
+ * the even->odd within-class structure) carries over unchanged.
+ */
+
+#ifndef WORMSIM_ROUTING_BONUS_CARDS_HH
+#define WORMSIM_ROUTING_BONUS_CARDS_HH
+
+#include "wormsim/routing/negative_hop.hh"
+
+namespace wormsim
+{
+
+/** nhop with bonus-card class boosting for VC load balance. */
+class BonusCardRouting : public RoutingAlgorithm
+{
+  public:
+    /** When bonus cards may be spent. */
+    enum class SpendMode
+    {
+        FirstHop, ///< the paper's base nbc
+        AnyHop,   ///< the flexible variant of reference [7]
+    };
+
+    explicit BonusCardRouting(SpendMode mode = SpendMode::FirstHop)
+        : spendMode(mode)
+    {
+    }
+
+    std::string name() const override;
+    int numVcClasses(const Topology &topo) const override;
+    void initMessage(const Topology &topo, Message &msg) const override;
+    void candidates(const Topology &topo, NodeId current,
+                    const Message &msg,
+                    std::vector<RouteCandidate> &out) const override;
+    void onHop(const Topology &topo, NodeId current, NodeId next,
+               VcClass used, Message &msg) const override;
+    int numCongestionClasses(const Topology &topo) const override;
+    int congestionClass(const Topology &topo,
+                        const Message &msg) const override;
+    bool torusMinimal(const Topology &) const override { return true; }
+
+    SpendMode mode() const { return spendMode; }
+
+  private:
+    SpendMode spendMode;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_ROUTING_BONUS_CARDS_HH

@@ -1,0 +1,39 @@
+#include "wormsim/routing/broken_ring.hh"
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+int
+BrokenRingRouting::numVcClasses(const Topology &topo) const
+{
+    (void)topo;
+    return 1;
+}
+
+void
+BrokenRingRouting::initMessage(const Topology &topo, Message &msg) const
+{
+    (void)topo;
+    msg.route() = RouteState{};
+}
+
+void
+BrokenRingRouting::candidates(const Topology &topo, NodeId current,
+                              const Message &msg,
+                              std::vector<RouteCandidate> &out) const
+{
+    Coord cur = topo.coordOf(current);
+    Coord dst = topo.coordOf(msg.dst());
+    for (int dim = 0; dim < topo.numDims(); ++dim) {
+        if (cur[dim] == dst[dim])
+            continue;
+        out.push_back(RouteCandidate{Direction{dim, +1}, 0});
+        return;
+    }
+    WORMSIM_PANIC("broken-ring asked for a hop at the destination (",
+                  msg.str(), ")");
+}
+
+} // namespace wormsim

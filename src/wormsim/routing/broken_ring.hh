@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A deliberately deadlock-PRONE algorithm used to exercise the deadlock
+ * watchdog (tests and examples/deadlock_demo).
+ *
+ * Every message travels in the + direction of dimension 0 until corrected
+ * (taking the full modular offset, wrap links included), then + in
+ * dimension 1, and so on, all on a single VC class with no dateline. On a
+ * torus each ring's channel dependency graph is a directed cycle, so under
+ * load the classic ring deadlock forms — exactly the failure mode the
+ * Dally–Seitz dateline (e-cube) and Lemma 1 class ranks (hop schemes)
+ * exist to prevent.
+ */
+
+#ifndef WORMSIM_ROUTING_BROKEN_RING_HH
+#define WORMSIM_ROUTING_BROKEN_RING_HH
+
+#include "wormsim/routing/routing_algorithm.hh"
+
+namespace wormsim
+{
+
+/** Dimension-order, plus-direction-only, single-class routing. */
+class BrokenRingRouting : public RoutingAlgorithm
+{
+  public:
+    BrokenRingRouting() = default;
+
+    std::string name() const override { return "broken-ring"; }
+    int numVcClasses(const Topology &topo) const override;
+    void initMessage(const Topology &topo, Message &msg) const override;
+    void candidates(const Topology &topo, NodeId current,
+                    const Message &msg,
+                    std::vector<RouteCandidate> &out) const override;
+    bool torusMinimal(const Topology &topo) const override
+    {
+        return !topo.isTorus();
+    }
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_ROUTING_BROKEN_RING_HH

@@ -1,0 +1,99 @@
+#include "wormsim/routing/ecube.hh"
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/topology/torus.hh"
+
+namespace wormsim
+{
+
+EcubeRouting::EcubeRouting(int lanes) : numLanes(lanes)
+{
+    WORMSIM_ASSERT(lanes >= 1, "ecube needs >= 1 lane");
+}
+
+std::string
+EcubeRouting::name() const
+{
+    if (numLanes == 1)
+        return "ecube";
+    return "ecube" + std::to_string(numLanes) + "x";
+}
+
+int
+EcubeRouting::classesPerLane(const Topology &topo)
+{
+    return topo.isTorus() ? 2 : 1;
+}
+
+int
+EcubeRouting::numVcClasses(const Topology &topo) const
+{
+    return classesPerLane(topo) * numLanes;
+}
+
+void
+EcubeRouting::initMessage(const Topology &topo, Message &msg) const
+{
+    (void)topo;
+    msg.route() = RouteState{};
+}
+
+RouteCandidate
+EcubeRouting::nextHop(const Topology &topo, NodeId current,
+                      const Message &msg) const
+{
+    Coord cur = topo.coordOf(current);
+    Coord dst = topo.coordOf(msg.dst());
+    for (int dim = 0; dim < topo.numDims(); ++dim) {
+        if (cur[dim] == dst[dim])
+            continue;
+        DimTravel t = topo.travel(dim, cur[dim], dst[dim]);
+        // Non-adaptive: on a distance tie take the + direction.
+        int sign = t.plusMinimal ? +1 : -1;
+        VcClass vc = 0;
+        if (topo.isTorus())
+            vc = Torus::datelineVc(cur[dim], dst[dim], sign,
+                                   topo.radixOf(dim));
+        return RouteCandidate{Direction{dim, sign}, vc};
+    }
+    WORMSIM_PANIC("ecube asked for a hop at the destination (",
+                  msg.str(), ")");
+}
+
+void
+EcubeRouting::candidates(const Topology &topo, NodeId current,
+                         const Message &msg,
+                         std::vector<RouteCandidate> &out) const
+{
+    RouteCandidate base = nextHop(topo, current, msg);
+    int per_lane = classesPerLane(topo);
+    for (int lane = 0; lane < numLanes; ++lane) {
+        out.push_back(RouteCandidate{
+            base.dir, static_cast<VcClass>(lane * per_lane + base.vc)});
+    }
+}
+
+int
+EcubeRouting::numCongestionClasses(const Topology &topo) const
+{
+    // Footnote 2: class = the particular virtual channel the message
+    // intends to use, i.e. its first-hop (port, class) pair of lane 0.
+    return topo.numPorts() * classesPerLane(topo);
+}
+
+int
+EcubeRouting::congestionClass(const Topology &topo,
+                              const Message &msg) const
+{
+    RouteCandidate first = nextHop(topo, msg.src(), msg);
+    return first.dir.index() * classesPerLane(topo) + first.vc;
+}
+
+bool
+EcubeRouting::torusMinimal(const Topology &topo) const
+{
+    (void)topo;
+    return true;
+}
+
+} // namespace wormsim

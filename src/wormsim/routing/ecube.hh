@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The e-cube (dimension-order) routing algorithm — the paper's
+ * non-adaptive baseline.
+ *
+ * A message corrects dimension 0 completely, then dimension 1, and so on.
+ * On tori, deadlock freedom on each ring follows Dally & Seitz: two VC
+ * classes per physical channel, class 0 while the message's remaining path
+ * in the current dimension still crosses the wrap-around link, class 1
+ * after. On meshes one class suffices.
+ *
+ * The `lanes` parameter replicates the whole scheme to study Dally's
+ * observation (cited in the paper's Section 4) that extra virtual channels
+ * alone improve e-cube: with L lanes a message may use any lane's class
+ * pair each hop, giving 2L VCs per channel on tori.
+ */
+
+#ifndef WORMSIM_ROUTING_ECUBE_HH
+#define WORMSIM_ROUTING_ECUBE_HH
+
+#include "wormsim/routing/routing_algorithm.hh"
+
+namespace wormsim
+{
+
+/** Non-adaptive dimension-order routing. */
+class EcubeRouting : public RoutingAlgorithm
+{
+  public:
+    /** @param lanes independent copies of the VC scheme (>= 1) */
+    explicit EcubeRouting(int lanes = 1);
+
+    std::string name() const override;
+    int numVcClasses(const Topology &topo) const override;
+    void initMessage(const Topology &topo, Message &msg) const override;
+    void candidates(const Topology &topo, NodeId current,
+                    const Message &msg,
+                    std::vector<RouteCandidate> &out) const override;
+    int numCongestionClasses(const Topology &topo) const override;
+    int congestionClass(const Topology &topo,
+                        const Message &msg) const override;
+    bool torusMinimal(const Topology &topo) const override;
+
+    /** VC classes per lane on @p topo (2 on tori, 1 on meshes). */
+    static int classesPerLane(const Topology &topo);
+
+  private:
+    /**
+     * The single direction and base VC class (lane 0) for the next hop,
+     * shared by candidates() and congestionClass().
+     */
+    RouteCandidate nextHop(const Topology &topo, NodeId current,
+                           const Message &msg) const;
+
+    int numLanes;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_ROUTING_ECUBE_HH

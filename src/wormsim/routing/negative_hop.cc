@@ -1,0 +1,72 @@
+#include "wormsim/routing/negative_hop.hh"
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/routing/positive_hop.hh"
+
+namespace wormsim
+{
+
+void
+NegativeHopRouting::requireProperColoring(const Topology &topo)
+{
+    if (!topo.properColoring()) {
+        WORMSIM_FATAL("negative-hop schemes require a proper 2-coloring: "
+                      "every torus radix must be even (got ", topo.name(),
+                      "); see paper Section 2.1 for the odd-k case");
+    }
+}
+
+int
+NegativeHopRouting::maxNegativeHops(const Topology &topo)
+{
+    return (topo.diameter() + 1) / 2;
+}
+
+int
+NegativeHopRouting::numVcClasses(const Topology &topo) const
+{
+    requireProperColoring(topo);
+    return maxNegativeHops(topo) + 1;
+}
+
+int
+NegativeHopRouting::negativeHopsNeeded(const Topology &topo, NodeId src,
+                                       NodeId dst)
+{
+    // Along any path, node parities alternate (proper coloring). Hops
+    // leaving odd nodes are negative; with L hops starting at parity p the
+    // departure parities are p, 1-p, p, ... so the count is ceil(L/2) from
+    // an odd source and floor(L/2) from an even one.
+    int L = topo.distance(src, dst);
+    return topo.color(src) == 1 ? (L + 1) / 2 : L / 2;
+}
+
+void
+NegativeHopRouting::initMessage(const Topology &topo, Message &msg) const
+{
+    requireProperColoring(topo);
+    msg.route() = RouteState{};
+}
+
+void
+NegativeHopRouting::candidates(const Topology &topo, NodeId current,
+                               const Message &msg,
+                               std::vector<RouteCandidate> &out) const
+{
+    auto vc = static_cast<VcClass>(msg.route().negHops);
+    pushMinimalDirections(topo, current, msg.dst(), vc, out);
+    WORMSIM_ASSERT(!out.empty(), "nhop asked for a hop at the destination "
+                   "(", msg.str(), ")");
+}
+
+void
+NegativeHopRouting::onHop(const Topology &topo, NodeId current, NodeId next,
+                          VcClass used, Message &msg) const
+{
+    RoutingAlgorithm::onHop(topo, current, next, used, msg);
+    // Paper pseudo-code step 3: leaving an odd node is a negative hop.
+    if (topo.color(current) == 1)
+        msg.route().negHops++;
+}
+
+} // namespace wormsim

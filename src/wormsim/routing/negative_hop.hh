@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The negative-hop (nhop) fully-adaptive algorithm (paper Section 2.1).
+ *
+ * The network is 2-colored (even/odd coordinate sum); a hop leaving an odd
+ * node is "negative". A message that has taken i negative hops reserves a
+ * class-i virtual channel on any link of a minimal path. Classes are
+ * non-decreasing and, within a class, dependencies only run even -> odd,
+ * so no cycle exists: deadlock-free (Lemma 1 / Gopal). Requires
+ * ceil(diameter/2)+1 classes (9 on a 16x16 torus); the coloring must be
+ * proper, i.e. every torus radix even (the paper's restriction).
+ */
+
+#ifndef WORMSIM_ROUTING_NEGATIVE_HOP_HH
+#define WORMSIM_ROUTING_NEGATIVE_HOP_HH
+
+#include "wormsim/routing/routing_algorithm.hh"
+
+namespace wormsim
+{
+
+/** Fully-adaptive negative-hop routing. */
+class NegativeHopRouting : public RoutingAlgorithm
+{
+  public:
+    NegativeHopRouting() = default;
+
+    std::string name() const override { return "nhop"; }
+    int numVcClasses(const Topology &topo) const override;
+    void initMessage(const Topology &topo, Message &msg) const override;
+    void candidates(const Topology &topo, NodeId current,
+                    const Message &msg,
+                    std::vector<RouteCandidate> &out) const override;
+    void onHop(const Topology &topo, NodeId current, NodeId next,
+               VcClass used, Message &msg) const override;
+    bool torusMinimal(const Topology &) const override { return true; }
+
+    /** Maximum negative hops any message can take = ceil(diameter/2). */
+    static int maxNegativeHops(const Topology &topo);
+
+    /**
+     * Negative hops a shortest path from @p src to @p dst takes: the count
+     * of odd nodes a minimal path departs from (identical for all minimal
+     * paths).
+     */
+    static int negativeHopsNeeded(const Topology &topo, NodeId src,
+                                  NodeId dst);
+
+    /** Fatal unless the coordinate-parity coloring is proper on @p topo. */
+    static void requireProperColoring(const Topology &topo);
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_ROUTING_NEGATIVE_HOP_HH

@@ -1,0 +1,79 @@
+#include "wormsim/routing/north_last.hh"
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+int
+NorthLastRouting::numVcClasses(const Topology &topo) const
+{
+    WORMSIM_ASSERT(topo.numDims() == 2,
+                   "north-last is defined for two-dimensional networks");
+    return 1;
+}
+
+void
+NorthLastRouting::initMessage(const Topology &topo, Message &msg) const
+{
+    (void)topo;
+    msg.route() = RouteState{};
+}
+
+void
+NorthLastRouting::candidates(const Topology &topo, NodeId current,
+                             const Message &msg,
+                             std::vector<RouteCandidate> &out) const
+{
+    Coord cur = topo.coordOf(current);
+    Coord dst = topo.coordOf(msg.dst());
+    bool needs0 = cur[0] != dst[0];
+    bool needs1 = cur[1] != dst[1];
+    WORMSIM_ASSERT(needs0 || needs1, "nlast asked for a hop at the "
+                   "destination (", msg.str(), ")");
+
+    int sign0 = dst[0] > cur[0] ? +1 : -1;
+    int sign1 = dst[1] > cur[1] ? +1 : -1;
+
+    if (needs1 && dst[1] < cur[1]) {
+        // Going north: dimension 0 must be fully corrected first, and the
+        // northward leg itself is non-adaptive.
+        if (needs0)
+            out.push_back(RouteCandidate{Direction{0, sign0}, 0});
+        else
+            out.push_back(RouteCandidate{Direction{1, -1}, 0});
+        return;
+    }
+
+    // Not going north: fully adaptive among the needed dimensions.
+    if (needs0)
+        out.push_back(RouteCandidate{Direction{0, sign0}, 0});
+    if (needs1)
+        out.push_back(RouteCandidate{Direction{1, sign1}, 0});
+}
+
+int
+NorthLastRouting::numCongestionClasses(const Topology &topo) const
+{
+    // Footnote 2: the particular (first-hop) virtual channel intended;
+    // with one VC per channel that is just the outgoing port.
+    return topo.numPorts();
+}
+
+int
+NorthLastRouting::congestionClass(const Topology &topo,
+                                  const Message &msg) const
+{
+    std::vector<RouteCandidate> first;
+    candidates(topo, msg.src(), msg, first);
+    return first.front().dir.index();
+}
+
+bool
+NorthLastRouting::torusMinimal(const Topology &topo) const
+{
+    // Index-monotone paths never use wrap links: minimal on meshes only.
+    return !topo.isTorus();
+}
+
+} // namespace wormsim

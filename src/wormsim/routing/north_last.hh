@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The north-last partially-adaptive algorithm (Glass & Ni's turn model),
+ * as the paper describes it in Section 2.3:
+ *
+ *   "If destination index is less than source index in dimension 1, then a
+ *    message must correct dimension 0 first before taking any hops on
+ *    dimension 1 links; otherwise it is routed fully-adaptively."
+ *
+ * Directions follow raw index comparison (the paper's (3,3)->(1,1) example
+ * on a 10^2 torus takes the mesh path through (3,2),(3,1),(2,1)), so
+ * wrap-around links are never used; the turn-model argument then applies
+ * to the embedded mesh and a single virtual channel per physical channel
+ * suffices. "North" is the decreasing dimension-1 direction.
+ */
+
+#ifndef WORMSIM_ROUTING_NORTH_LAST_HH
+#define WORMSIM_ROUTING_NORTH_LAST_HH
+
+#include "wormsim/routing/routing_algorithm.hh"
+
+namespace wormsim
+{
+
+/** Partially-adaptive north-last routing for two-dimensional networks. */
+class NorthLastRouting : public RoutingAlgorithm
+{
+  public:
+    NorthLastRouting() = default;
+
+    std::string name() const override { return "nlast"; }
+    int numVcClasses(const Topology &topo) const override;
+    void initMessage(const Topology &topo, Message &msg) const override;
+    void candidates(const Topology &topo, NodeId current,
+                    const Message &msg,
+                    std::vector<RouteCandidate> &out) const override;
+    int numCongestionClasses(const Topology &topo) const override;
+    int congestionClass(const Topology &topo,
+                        const Message &msg) const override;
+    bool torusMinimal(const Topology &topo) const override;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_ROUTING_NORTH_LAST_HH

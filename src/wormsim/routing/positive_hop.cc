@@ -1,0 +1,49 @@
+#include "wormsim/routing/positive_hop.hh"
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+void
+pushMinimalDirections(const Topology &topo, NodeId current, NodeId dst,
+                      VcClass vc, std::vector<RouteCandidate> &out)
+{
+    Coord cur = topo.coordOf(current);
+    Coord d = topo.coordOf(dst);
+    for (int dim = 0; dim < topo.numDims(); ++dim) {
+        DimTravel t = topo.travel(dim, cur[dim], d[dim]);
+        if (!t.needed())
+            continue;
+        if (t.plusMinimal)
+            out.push_back(RouteCandidate{Direction{dim, +1}, vc});
+        if (t.minusMinimal)
+            out.push_back(RouteCandidate{Direction{dim, -1}, vc});
+    }
+}
+
+int
+PositiveHopRouting::numVcClasses(const Topology &topo) const
+{
+    return topo.diameter() + 1;
+}
+
+void
+PositiveHopRouting::initMessage(const Topology &topo, Message &msg) const
+{
+    (void)topo;
+    msg.route() = RouteState{};
+}
+
+void
+PositiveHopRouting::candidates(const Topology &topo, NodeId current,
+                               const Message &msg,
+                               std::vector<RouteCandidate> &out) const
+{
+    auto vc = static_cast<VcClass>(msg.route().hopsTaken);
+    pushMinimalDirections(topo, current, msg.dst(), vc, out);
+    WORMSIM_ASSERT(!out.empty(), "phop asked for a hop at the destination "
+                   "(", msg.str(), ")");
+}
+
+} // namespace wormsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The positive-hop (phop) fully-adaptive algorithm (paper Section 2.1),
+ * derived from Gopal's positive-hop store-and-forward scheme: a message
+ * that has completed i hops reserves a class-i virtual channel on any link
+ * of a minimal path. Classes strictly increase along every path, so
+ * Lemma 1 gives deadlock freedom. Requires diameter+1 VC classes per
+ * physical channel (17 on a 16x16 torus).
+ */
+
+#ifndef WORMSIM_ROUTING_POSITIVE_HOP_HH
+#define WORMSIM_ROUTING_POSITIVE_HOP_HH
+
+#include "wormsim/routing/routing_algorithm.hh"
+
+namespace wormsim
+{
+
+/** Fully-adaptive hop-count routing (strictly increasing classes). */
+class PositiveHopRouting : public RoutingAlgorithm
+{
+  public:
+    PositiveHopRouting() = default;
+
+    std::string name() const override { return "phop"; }
+    int numVcClasses(const Topology &topo) const override;
+    void initMessage(const Topology &topo, Message &msg) const override;
+    void candidates(const Topology &topo, NodeId current,
+                    const Message &msg,
+                    std::vector<RouteCandidate> &out) const override;
+    bool torusMinimal(const Topology &) const override { return true; }
+};
+
+/**
+ * Shared helper for the hop schemes: push one candidate per minimal
+ * direction from @p current toward @p dst, all with VC class @p vc.
+ */
+void pushMinimalDirections(const Topology &topo, NodeId current, NodeId dst,
+                           VcClass vc, std::vector<RouteCandidate> &out);
+
+} // namespace wormsim
+
+#endif // WORMSIM_ROUTING_POSITIVE_HOP_HH

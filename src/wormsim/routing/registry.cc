@@ -1,0 +1,66 @@
+#include "wormsim/routing/registry.hh"
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
+#include "wormsim/routing/bonus_cards.hh"
+#include "wormsim/routing/broken_ring.hh"
+#include "wormsim/routing/ecube.hh"
+#include "wormsim/routing/negative_hop.hh"
+#include "wormsim/routing/north_last.hh"
+#include "wormsim/routing/positive_hop.hh"
+#include "wormsim/routing/two_power_n.hh"
+
+namespace wormsim
+{
+
+std::unique_ptr<RoutingAlgorithm>
+makeRoutingAlgorithm(const std::string &raw)
+{
+    std::string name = toLower(trim(raw));
+    if (name == "ecube")
+        return std::make_unique<EcubeRouting>();
+    if (startsWith(name, "ecube") && name.size() > 6 && name.back() == 'x') {
+        long long lanes = 0;
+        if (parseInt(name.substr(5, name.size() - 6), lanes) && lanes >= 1)
+            return std::make_unique<EcubeRouting>(static_cast<int>(lanes));
+    }
+    if (name == "nlast")
+        return std::make_unique<NorthLastRouting>();
+    if (name == "2pn")
+        return std::make_unique<TwoPowerNRouting>(
+            TwoPowerNRouting::TagPolicy::MonotoneIndex);
+    if (name == "2pn-minimal")
+        return std::make_unique<TwoPowerNRouting>(
+            TwoPowerNRouting::TagPolicy::MinimalDirection);
+    if (name == "phop")
+        return std::make_unique<PositiveHopRouting>();
+    if (name == "nhop")
+        return std::make_unique<NegativeHopRouting>();
+    if (name == "nbc")
+        return std::make_unique<BonusCardRouting>();
+    if (name == "nbc-flex")
+        return std::make_unique<BonusCardRouting>(
+            BonusCardRouting::SpendMode::AnyHop);
+    if (name == "broken-ring")
+        return std::make_unique<BrokenRingRouting>();
+    WORMSIM_FATAL("unknown routing algorithm '", raw, "'");
+}
+
+const std::vector<std::string> &
+paperAlgorithms()
+{
+    static const std::vector<std::string> names{
+        "nbc", "phop", "nhop", "2pn", "ecube", "nlast"};
+    return names;
+}
+
+const std::vector<std::string> &
+knownAlgorithms()
+{
+    static const std::vector<std::string> names{
+        "ecube", "nlast", "2pn", "2pn-minimal",
+        "phop",  "nhop",  "nbc", "nbc-flex", "broken-ring"};
+    return names;
+}
+
+} // namespace wormsim

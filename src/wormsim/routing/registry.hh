@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Name-based factory for the routing algorithms, so drivers, benches and
+ * examples can select them from the command line.
+ */
+
+#ifndef WORMSIM_ROUTING_REGISTRY_HH
+#define WORMSIM_ROUTING_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wormsim/routing/routing_algorithm.hh"
+
+namespace wormsim
+{
+
+/**
+ * Create a routing algorithm by name. Known names:
+ *   ecube            non-adaptive dimension order (Dally–Seitz datelines)
+ *   ecube<L>x        e-cube with L lanes, e.g. ecube2x (VC ablation)
+ *   nlast            partially-adaptive north-last (Glass & Ni)
+ *   2pn              fully-adaptive direction tags, Eq. (1) monotone
+ *   2pn-minimal      2pn with torus-minimal tags (needs watchdog on tori)
+ *   phop             positive-hop scheme
+ *   nhop             negative-hop scheme
+ *   nbc              negative-hop with bonus cards (first-hop spend)
+ *   nbc-flex         nbc spending bonus cards at any hop (ref. [7])
+ *   broken-ring      intentionally deadlock-prone (tests/demos)
+ *
+ * Fatal on unknown names (user error).
+ */
+std::unique_ptr<RoutingAlgorithm>
+makeRoutingAlgorithm(const std::string &name);
+
+/** The six algorithms the paper compares, in its presentation order. */
+const std::vector<std::string> &paperAlgorithms();
+
+/** Every name makeRoutingAlgorithm accepts (modulo the ecube<L>x family). */
+const std::vector<std::string> &knownAlgorithms();
+
+} // namespace wormsim
+
+#endif // WORMSIM_ROUTING_REGISTRY_HH

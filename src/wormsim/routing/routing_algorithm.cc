@@ -1,0 +1,33 @@
+#include "wormsim/routing/routing_algorithm.hh"
+
+namespace wormsim
+{
+
+void
+RoutingAlgorithm::onHop(const Topology &topo, NodeId current, NodeId next,
+                        VcClass used, Message &msg) const
+{
+    (void)topo;
+    (void)current;
+    (void)next;
+    msg.route().hopsTaken++;
+    msg.route().lastVc = used;
+}
+
+int
+RoutingAlgorithm::numCongestionClasses(const Topology &topo) const
+{
+    (void)topo;
+    return 1;
+}
+
+int
+RoutingAlgorithm::congestionClass(const Topology &topo,
+                                  const Message &msg) const
+{
+    (void)topo;
+    (void)msg;
+    return 0;
+}
+
+} // namespace wormsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The routing-algorithm abstraction.
+ *
+ * Following the paper's saf -> wormhole derivation (Section 2.1), an
+ * algorithm is expressed in terms of *classes*: at every hop it offers a
+ * set of (outgoing direction, virtual-channel class) candidates. The
+ * buffer-class constraints of the underlying store-and-forward scheme
+ * become virtual-channel-class constraints here, so Lemma 1 (monotone
+ * class ranks => deadlock freedom) is directly visible in each
+ * implementation.
+ */
+
+#ifndef WORMSIM_ROUTING_ROUTING_ALGORITHM_HH
+#define WORMSIM_ROUTING_ROUTING_ALGORITHM_HH
+
+#include <string>
+#include <vector>
+
+#include "wormsim/network/message.hh"
+#include "wormsim/topology/topology.hh"
+
+namespace wormsim
+{
+
+/** One admissible next hop: a direction and the VC class to reserve. */
+struct RouteCandidate
+{
+    Direction dir;
+    VcClass vc = 0;
+
+    bool
+    operator==(const RouteCandidate &o) const
+    {
+        return dir == o.dir && vc == o.vc;
+    }
+};
+
+/**
+ * Base class for the six algorithms (and any user-defined ones).
+ *
+ * Implementations must be stateless across messages: all per-message state
+ * lives in Message::route() and is maintained via initMessage()/onHop().
+ */
+class RoutingAlgorithm
+{
+  public:
+    virtual ~RoutingAlgorithm() = default;
+
+    /** Short name, e.g. "ecube", "phop". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Virtual channels required per physical channel on @p topo
+     * (e.g. 17 for phop on a 16x16 torus).
+     */
+    virtual int numVcClasses(const Topology &topo) const = 0;
+
+    /**
+     * Initialize @p msg's routing state at its source (tags, bonus cards,
+     * congestion class). Called once per message before any hop.
+     */
+    virtual void initMessage(const Topology &topo, Message &msg) const = 0;
+
+    /**
+     * Admissible (direction, VC class) pairs for the next hop of @p msg
+     * from node @p current. Must be non-empty whenever current != dst.
+     * Candidates on non-existent links (mesh boundary) are allowed; the
+     * network filters them.
+     */
+    virtual void candidates(const Topology &topo, NodeId current,
+                            const Message &msg,
+                            std::vector<RouteCandidate> &out) const = 0;
+
+    /**
+     * Commit the hop @p current -> @p next on VC class @p used: update the
+     * message's routing state (hop counters, negative-hop counters, ...).
+     * The default increments hopsTaken and records lastVc.
+     */
+    virtual void onHop(const Topology &topo, NodeId current, NodeId next,
+                       VcClass used, Message &msg) const;
+
+    /**
+     * Congestion-control message classes (paper footnote 2). The default
+     * gives every message class 0.
+     */
+    virtual int numCongestionClasses(const Topology &topo) const;
+
+    /** Congestion class of @p msg at its source. Default: 0. */
+    virtual int congestionClass(const Topology &topo,
+                                const Message &msg) const;
+
+    /**
+     * True when every candidate set this algorithm produces lies on a
+     * minimal path with respect to @p topo distances. The monotone-index
+     * algorithms (nlast, 2pn with MonotoneIndex tags) are index-monotone
+     * but not torus-minimal, so they return false on tori.
+     */
+    virtual bool torusMinimal(const Topology &topo) const = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_ROUTING_ROUTING_ALGORITHM_HH

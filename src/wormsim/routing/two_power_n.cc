@@ -1,0 +1,90 @@
+#include "wormsim/routing/two_power_n.hh"
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+TwoPowerNRouting::TwoPowerNRouting(TagPolicy p) : policy(p)
+{
+}
+
+std::string
+TwoPowerNRouting::name() const
+{
+    return policy == TagPolicy::MonotoneIndex ? "2pn" : "2pn-minimal";
+}
+
+int
+TwoPowerNRouting::numVcClasses(const Topology &topo) const
+{
+    WORMSIM_ASSERT(topo.numDims() <= 16, "2pn tag overflows");
+    return 1 << topo.numDims();
+}
+
+void
+TwoPowerNRouting::initMessage(const Topology &topo, Message &msg) const
+{
+    msg.route() = RouteState{};
+    Coord src = topo.coordOf(msg.src());
+    Coord dst = topo.coordOf(msg.dst());
+    int tag = 0;
+    for (int dim = 0; dim < topo.numDims(); ++dim) {
+        int bit;
+        if (src[dim] == dst[dim]) {
+            // Free bit: spread messages across classes.
+            bit = static_cast<int>((msg.id() >> dim) & 1);
+        } else if (policy == TagPolicy::MonotoneIndex ||
+                   !topo.isTorus()) {
+            bit = src[dim] < dst[dim] ? 1 : 0; // Eq. (1)
+        } else {
+            DimTravel t = topo.travel(dim, src[dim], dst[dim]);
+            if (t.plusMinimal && t.minusMinimal)
+                bit = static_cast<int>((msg.id() >> dim) & 1); // tie
+            else
+                bit = t.plusMinimal ? 1 : 0;
+        }
+        tag |= bit << dim;
+    }
+    msg.route().tag = tag;
+}
+
+void
+TwoPowerNRouting::candidates(const Topology &topo, NodeId current,
+                             const Message &msg,
+                             std::vector<RouteCandidate> &out) const
+{
+    Coord cur = topo.coordOf(current);
+    Coord dst = topo.coordOf(msg.dst());
+    auto vc = static_cast<VcClass>(msg.route().tag);
+    for (int dim = 0; dim < topo.numDims(); ++dim) {
+        if (cur[dim] == dst[dim])
+            continue;
+        int sign = (msg.route().tag >> dim) & 1 ? +1 : -1;
+        out.push_back(RouteCandidate{Direction{dim, sign}, vc});
+    }
+    WORMSIM_ASSERT(!out.empty(), "2pn asked for a hop at the destination (",
+                   msg.str(), ")");
+}
+
+int
+TwoPowerNRouting::numCongestionClasses(const Topology &topo) const
+{
+    return numVcClasses(topo); // footnote 2: class = usable VC number
+}
+
+int
+TwoPowerNRouting::congestionClass(const Topology &topo,
+                                  const Message &msg) const
+{
+    (void)topo;
+    return msg.route().tag;
+}
+
+bool
+TwoPowerNRouting::torusMinimal(const Topology &topo) const
+{
+    return policy == TagPolicy::MinimalDirection || !topo.isTorus();
+}
+
+} // namespace wormsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The two-power-n (2pn) fully-adaptive algorithm: 2^n virtual channels per
+ * physical channel, one per n-bit direction tag (paper Section 2.2,
+ * Eq. (1)). Every hop of a message uses the VC class equal to its tag, on
+ * any link of an uncorrected dimension.
+ *
+ * Tag policies (DESIGN.md Section 5):
+ *  - MonotoneIndex (default): t_i = 1 iff s_i < d_i, exactly Eq. (1). A
+ *    message never crosses a wrap-around link, each tag class's channel
+ *    dependency graph is acyclic, and the algorithm is deadlock-free on
+ *    tori and meshes with no further machinery.
+ *  - MinimalDirection: t_i is the travel sign of a torus-minimal path.
+ *    Paths stay minimal, but fixed-direction rings reintroduce cycles on
+ *    tori, so this policy is only safe with the deadlock watchdog in
+ *    RecordAndKill mode (or on meshes, where it equals MonotoneIndex).
+ *
+ * Tag bits of already-corrected dimensions are free ("0 or 1 if s_i =
+ * d_i"); wormsim assigns them from the message id to spread load across
+ * the 2^n classes.
+ */
+
+#ifndef WORMSIM_ROUTING_TWO_POWER_N_HH
+#define WORMSIM_ROUTING_TWO_POWER_N_HH
+
+#include "wormsim/routing/routing_algorithm.hh"
+
+namespace wormsim
+{
+
+/** Fully-adaptive direction-tag routing with 2^n VC classes. */
+class TwoPowerNRouting : public RoutingAlgorithm
+{
+  public:
+    enum class TagPolicy
+    {
+        MonotoneIndex,    ///< Eq. (1) literally; deadlock-free on tori
+        MinimalDirection, ///< torus-minimal; needs watchdog on tori
+    };
+
+    explicit TwoPowerNRouting(TagPolicy policy = TagPolicy::MonotoneIndex);
+
+    std::string name() const override;
+    int numVcClasses(const Topology &topo) const override;
+    void initMessage(const Topology &topo, Message &msg) const override;
+    void candidates(const Topology &topo, NodeId current,
+                    const Message &msg,
+                    std::vector<RouteCandidate> &out) const override;
+    int numCongestionClasses(const Topology &topo) const override;
+    int congestionClass(const Topology &topo,
+                        const Message &msg) const override;
+    bool torusMinimal(const Topology &topo) const override;
+
+    TagPolicy tagPolicy() const { return policy; }
+
+  private:
+    TagPolicy policy;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_ROUTING_TWO_POWER_N_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Event abstraction for the discrete-event kernel.
+ *
+ * The paper's simulator is event-driven; wormsim's kernel dispatches
+ * time-ordered events (message generation, sampling-period boundaries,
+ * network cycle ticks). Ties are broken by (priority, insertion sequence)
+ * so execution is fully deterministic.
+ */
+
+#ifndef WORMSIM_SIM_EVENT_HH
+#define WORMSIM_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "wormsim/common/types.hh"
+
+namespace wormsim
+{
+
+/**
+ * Dispatch priority for events scheduled at the same cycle. Lower values
+ * run first.
+ */
+enum class EventPriority : std::int8_t
+{
+    /** Runs before the network advances (e.g. message generation). */
+    PreCycle = 0,
+    /** The network fabric's cycle tick. */
+    Cycle = 1,
+    /** Runs after the network advanced (e.g. statistics sampling). */
+    PostCycle = 2,
+};
+
+/** A scheduled callback. */
+struct Event
+{
+    Cycle when = 0;
+    EventPriority priority = EventPriority::PreCycle;
+    std::uint64_t sequence = 0; ///< insertion order, breaks remaining ties
+    std::function<void()> action;
+};
+
+/** Heap ordering: earliest (when, priority, sequence) on top. */
+struct EventLater
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        if (a.priority != b.priority)
+            return a.priority > b.priority;
+        return a.sequence > b.sequence;
+    }
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_SIM_EVENT_HH

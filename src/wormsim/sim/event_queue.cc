@@ -1,0 +1,40 @@
+#include "wormsim/sim/event_queue.hh"
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+void
+EventQueue::schedule(Cycle when, EventPriority priority,
+                     std::function<void()> action)
+{
+    WORMSIM_ASSERT(when >= lastPopped, "scheduling event at cycle ", when,
+                   " in the past (now = ", lastPopped, ")");
+    heap.push(Event{when, priority, nextSequence++, std::move(action)});
+}
+
+Cycle
+EventQueue::nextCycle() const
+{
+    return heap.empty() ? kNeverCycle : heap.top().when;
+}
+
+Event
+EventQueue::pop()
+{
+    WORMSIM_ASSERT(!heap.empty(), "pop from empty event queue");
+    Event ev = heap.top();
+    heap.pop();
+    lastPopped = ev.when;
+    return ev;
+}
+
+void
+EventQueue::clear()
+{
+    heap = {};
+    lastPopped = 0;
+}
+
+} // namespace wormsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic time-ordered event queue (binary heap).
+ */
+
+#ifndef WORMSIM_SIM_EVENT_QUEUE_HH
+#define WORMSIM_SIM_EVENT_QUEUE_HH
+
+#include <queue>
+#include <vector>
+
+#include "wormsim/sim/event.hh"
+
+namespace wormsim
+{
+
+/**
+ * Priority queue of events ordered by (cycle, priority, insertion
+ * sequence). Scheduling into the past is an internal error.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /**
+     * Schedule @p action at absolute cycle @p when.
+     *
+     * @param when absolute cycle, must be >= the last popped cycle
+     * @param priority same-cycle ordering class
+     * @param action callback to run
+     */
+    void schedule(Cycle when, EventPriority priority,
+                  std::function<void()> action);
+
+    /** @return true when no events remain */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap.size(); }
+
+    /** Cycle of the earliest pending event; kNeverCycle when empty. */
+    Cycle nextCycle() const;
+
+    /**
+     * Pop the earliest event. The caller runs event.action; popping also
+     * advances the queue's notion of "now" for the past-scheduling check.
+     */
+    Event pop();
+
+    /** Remove all pending events and reset the clock floor to zero. */
+    void clear();
+
+    /** Total events ever scheduled (statistics / tests). */
+    std::uint64_t totalScheduled() const { return nextSequence; }
+
+  private:
+    std::priority_queue<Event, std::vector<Event>, EventLater> heap;
+    std::uint64_t nextSequence = 0;
+    Cycle lastPopped = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,31 @@
+#include "wormsim/sim/simulator.hh"
+
+namespace wormsim
+{
+
+Cycle
+Simulator::run(Cycle until)
+{
+    stopRequested = false;
+    while (!queue.empty() && !stopRequested) {
+        if (queue.nextCycle() > until) {
+            currentCycle = until;
+            return currentCycle;
+        }
+        Event ev = queue.pop();
+        currentCycle = ev.when;
+        ev.action();
+        ++dispatched;
+    }
+    return currentCycle;
+}
+
+void
+Simulator::reset()
+{
+    queue.clear();
+    currentCycle = 0;
+    stopRequested = false;
+}
+
+} // namespace wormsim

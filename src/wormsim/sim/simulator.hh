@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The discrete-event simulator kernel: a clock plus an event queue plus a
+ * run loop with stop conditions.
+ */
+
+#ifndef WORMSIM_SIM_SIMULATOR_HH
+#define WORMSIM_SIM_SIMULATOR_HH
+
+#include <functional>
+
+#include "wormsim/sim/event_queue.hh"
+
+namespace wormsim
+{
+
+/**
+ * Event-driven kernel. Components schedule callbacks; run() dispatches them
+ * in deterministic time order and maintains the simulated clock.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Current simulated cycle. */
+    Cycle now() const { return currentCycle; }
+
+    /** Schedule @p action @p delay cycles from now. */
+    void
+    scheduleIn(Cycle delay, EventPriority priority,
+               std::function<void()> action)
+    {
+        queue.schedule(currentCycle + delay, priority, std::move(action));
+    }
+
+    /** Schedule @p action at absolute cycle @p when (>= now). */
+    void
+    scheduleAt(Cycle when, EventPriority priority,
+               std::function<void()> action)
+    {
+        queue.schedule(when, priority, std::move(action));
+    }
+
+    /**
+     * Dispatch events until the queue empties, stop() is called, or the
+     * clock passes @p until.
+     *
+     * @param until inclusive cycle bound; kNeverCycle = unbounded
+     * @return the cycle at which the run loop stopped
+     */
+    Cycle run(Cycle until = kNeverCycle);
+
+    /** Request the run loop to stop after the current event. */
+    void stop() { stopRequested = true; }
+
+    /** Total events dispatched over the kernel's lifetime. */
+    std::uint64_t eventsDispatched() const { return dispatched; }
+
+    /** Direct access to the queue (tests). */
+    EventQueue &eventQueue() { return queue; }
+
+    /** Reset clock and queue for a fresh simulation. */
+    void reset();
+
+  private:
+    EventQueue queue;
+    Cycle currentCycle = 0;
+    bool stopRequested = false;
+    std::uint64_t dispatched = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_SIM_SIMULATOR_HH

@@ -1,0 +1,80 @@
+#include "wormsim/stats/accumulator.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace wormsim
+{
+
+void
+Accumulator::reset()
+{
+    n = 0;
+    m = 0.0;
+    m2 = 0.0;
+    total = 0.0;
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+}
+
+void
+Accumulator::add(double x)
+{
+    ++n;
+    total += x;
+    double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+    if (x < lo)
+        lo = x;
+    if (x > hi)
+        hi = x;
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.m - m;
+    std::uint64_t combined = n + other.n;
+    double na = static_cast<double>(n);
+    double nb = static_cast<double>(other.n);
+    double nc = static_cast<double>(combined);
+    m2 += other.m2 + delta * delta * na * nb / nc;
+    m = (na * m + nb * other.m) / nc;
+    total += other.total;
+    n = combined;
+    if (other.lo < lo)
+        lo = other.lo;
+    if (other.hi > hi)
+        hi = other.hi;
+}
+
+double
+Accumulator::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::meanVariance() const
+{
+    if (n < 2)
+        return 0.0;
+    return variance() / static_cast<double>(n);
+}
+
+} // namespace wormsim

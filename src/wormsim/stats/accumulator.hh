@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Numerically stable running-moment accumulator (Welford's algorithm).
+ */
+
+#ifndef WORMSIM_STATS_ACCUMULATOR_HH
+#define WORMSIM_STATS_ACCUMULATOR_HH
+
+#include <cstdint>
+
+namespace wormsim
+{
+
+/**
+ * Accumulates count, mean, variance, min, max and sum of a stream of
+ * observations without storing them.
+ */
+class Accumulator
+{
+  public:
+    Accumulator() { reset(); }
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel-safe formula). */
+    void merge(const Accumulator &other);
+
+    /** Drop all observations. */
+    void reset();
+
+    /** Number of observations. */
+    std::uint64_t count() const { return n; }
+
+    /** Sum of observations (0 when empty). */
+    double sum() const { return total; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Unbiased sample variance (0 when fewer than 2 observations). */
+    double variance() const;
+
+    /** Square root of variance(). */
+    double stddev() const;
+
+    /** Variance of the sample mean: variance()/count(). */
+    double meanVariance() const;
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return lo; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return hi; }
+
+  private:
+    std::uint64_t n;
+    double m;     // running mean
+    double m2;    // sum of squared deviations
+    double total; // plain sum
+    double lo, hi;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_STATS_ACCUMULATOR_HH

@@ -1,0 +1,81 @@
+#include "wormsim/stats/convergence.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+ConvergenceController::ConvergenceController(ConvergencePolicy policy)
+    : pol(policy), lastStratifiedRelErr(
+          std::numeric_limits<double>::infinity()),
+      lastBothMet(false)
+{
+    WORMSIM_ASSERT(pol.minSamples >= 1, "minSamples must be >= 1");
+    WORMSIM_ASSERT(pol.maxSamples >= pol.minSamples,
+                   "maxSamples must be >= minSamples");
+    WORMSIM_ASSERT(pol.recentWindow >= 2, "recentWindow must be >= 2");
+}
+
+double
+ConvergenceController::grandMean() const
+{
+    if (sampleMeans.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double m : sampleMeans)
+        s += m;
+    return s / static_cast<double>(sampleMeans.size());
+}
+
+double
+ConvergenceController::recentRelativeError() const
+{
+    std::size_t window = std::min(pol.recentWindow, sampleMeans.size());
+    if (window < 2)
+        return std::numeric_limits<double>::infinity();
+    Accumulator acc;
+    for (std::size_t i = sampleMeans.size() - window;
+         i < sampleMeans.size(); ++i)
+        acc.add(sampleMeans[i]);
+    double mean = acc.mean();
+    if (mean == 0.0)
+        return std::numeric_limits<double>::infinity();
+    double bound = 2.0 * std::sqrt(acc.meanVariance());
+    return bound / std::abs(mean);
+}
+
+StopReason
+ConvergenceController::addSample(const StratifiedEstimate &stratified,
+                                 double sample_mean)
+{
+    sampleMeans.push_back(sample_mean);
+
+    if (stratified.valid && stratified.mean > 0.0)
+        lastStratifiedRelErr = stratified.errorBound / stratified.mean;
+    else
+        lastStratifiedRelErr = std::numeric_limits<double>::infinity();
+
+    bool check1 = lastStratifiedRelErr <= pol.relativeTolerance;
+    bool check2 = sampleMeans.size() >= pol.recentWindow &&
+                  recentRelativeError() <= pol.relativeTolerance;
+    lastBothMet = check1 && check2;
+
+    if (sampleMeans.size() >= pol.minSamples && lastBothMet)
+        return StopReason::Converged;
+    if (sampleMeans.size() >= pol.maxSamples)
+        return StopReason::MaxSamples;
+    return StopReason::NotDone;
+}
+
+void
+ConvergenceController::reset()
+{
+    sampleMeans.clear();
+    lastStratifiedRelErr = std::numeric_limits<double>::infinity();
+    lastBothMet = false;
+}
+
+} // namespace wormsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The paper's double convergence criterion (Section 3, "Convergence
+ * criteria").
+ *
+ * After each sampling period the driver feeds this controller (a) the
+ * stratified latency estimate of the period and (b) the period's plain mean
+ * latency. The simulation converges when BOTH
+ *
+ *   1. the stratified estimate's 95% error bound (2 sigma) is within
+ *      `relativeTolerance` of the stratified mean, and
+ *   2. the 95% error bound of the mean of the last >= 3 per-sample means is
+ *      within `relativeTolerance` of that mean,
+ *
+ * subject to a minimum and maximum number of samples. Independent of the
+ * criteria, the driver enforces a hard cycle budget (the paper's "maximum
+ * time limit").
+ */
+
+#ifndef WORMSIM_STATS_CONVERGENCE_HH
+#define WORMSIM_STATS_CONVERGENCE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "wormsim/stats/strata.hh"
+
+namespace wormsim
+{
+
+/** Tunables for the convergence decision. */
+struct ConvergencePolicy
+{
+    std::size_t minSamples = 3;     ///< paper: minimum of three samples
+    std::size_t maxSamples = 15;    ///< paper: maximum of 10-15 samples
+    double relativeTolerance = 0.05; ///< paper: both bounds within 5%
+    std::size_t recentWindow = 3;   ///< check 2 uses the latest >= 3 means
+};
+
+/** Why the sampling loop ended. */
+enum class StopReason
+{
+    NotDone,     ///< keep sampling
+    Converged,   ///< both criteria satisfied
+    MaxSamples,  ///< sample cap reached without convergence
+};
+
+/** Accumulates per-sample results and applies the stopping rule. */
+class ConvergenceController
+{
+  public:
+    explicit ConvergenceController(ConvergencePolicy policy = {});
+
+    /**
+     * Record one sampling period's results.
+     *
+     * @param stratified the period's stratified latency estimate
+     * @param sample_mean the period's plain mean latency
+     * @return the stopping decision after including this sample
+     */
+    StopReason addSample(const StratifiedEstimate &stratified,
+                         double sample_mean);
+
+    /** Number of samples recorded. */
+    std::size_t numSamples() const { return sampleMeans.size(); }
+
+    /** Mean of all recorded per-sample means. */
+    double grandMean() const;
+
+    /**
+     * Relative 95% error of the mean of the last `recentWindow` sample
+     * means; +inf with fewer than 2 samples in the window.
+     */
+    double recentRelativeError() const;
+
+    /** Relative error of the most recent stratified estimate. */
+    double stratifiedRelativeError() const { return lastStratifiedRelErr; }
+
+    /** True when the most recent addSample() found both criteria met. */
+    bool bothCriteriaMet() const { return lastBothMet; }
+
+    /** Drop all samples. */
+    void reset();
+
+    /** The active policy. */
+    const ConvergencePolicy &policy() const { return pol; }
+
+  private:
+    ConvergencePolicy pol;
+    std::vector<double> sampleMeans;
+    double lastStratifiedRelErr;
+    bool lastBothMet;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_STATS_CONVERGENCE_HH

@@ -1,0 +1,96 @@
+#include "wormsim/stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
+
+namespace wormsim
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t num_buckets)
+    : low(lo), high(hi),
+      width((hi - lo) / static_cast<double>(num_buckets)),
+      counts(num_buckets, 0), under(0), over(0), n(0)
+{
+    WORMSIM_ASSERT(hi > lo, "histogram needs hi > lo");
+    WORMSIM_ASSERT(num_buckets >= 1, "histogram needs >= 1 bucket");
+}
+
+void
+Histogram::add(double x)
+{
+    ++n;
+    if (x < low) {
+        ++under;
+        return;
+    }
+    if (x >= high) {
+        ++over;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - low) / width);
+    if (idx >= counts.size())
+        idx = counts.size() - 1; // round-off guard at the right edge
+    ++counts[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    under = over = n = 0;
+}
+
+double
+Histogram::bucketLeft(std::size_t i) const
+{
+    return low + width * static_cast<double>(i);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    WORMSIM_ASSERT(n > 0, "quantile of empty histogram");
+    WORMSIM_ASSERT(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
+    double target = q * static_cast<double>(n);
+    double seen = static_cast<double>(under);
+    if (seen >= target)
+        return low;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        double c = static_cast<double>(counts[i]);
+        if (seen + c >= target && c > 0) {
+            double frac = (target - seen) / c;
+            return bucketLeft(i) + frac * width;
+        }
+        seen += c;
+    }
+    return high;
+}
+
+std::string
+Histogram::render(std::size_t bar_width) const
+{
+    std::uint64_t peak = 1;
+    for (std::uint64_t c : counts)
+        peak = std::max(peak, c);
+    std::ostringstream oss;
+    if (under)
+        oss << "       < " << formatFixed(low, 1) << " : " << under << "\n";
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        auto bar = static_cast<std::size_t>(
+            std::llround(static_cast<double>(counts[i]) *
+                         static_cast<double>(bar_width) /
+                         static_cast<double>(peak)));
+        oss << "[" << formatFixed(bucketLeft(i), 1) << ", "
+            << formatFixed(bucketLeft(i) + width, 1) << ") : "
+            << std::string(bar, '#') << " " << counts[i] << "\n";
+    }
+    if (over)
+        oss << "      >= " << formatFixed(high, 1) << " : " << over << "\n";
+    return oss.str();
+}
+
+} // namespace wormsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-width bucket histogram, used for latency distributions and for the
+ * per-virtual-channel-class utilization balance study (ablation_vc_balance).
+ */
+
+#ifndef WORMSIM_STATS_HISTOGRAM_HH
+#define WORMSIM_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wormsim
+{
+
+/** Histogram over [lo, hi) with equal-width buckets plus under/overflow. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the bucketed range
+     * @param hi exclusive upper bound; must be > lo
+     * @param num_buckets number of equal-width buckets (>= 1)
+     */
+    Histogram(double lo, double hi, std::size_t num_buckets);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Clear all counts. */
+    void reset();
+
+    /** Count in bucket @p i (0-based). */
+    std::uint64_t bucketCount(std::size_t i) const { return counts[i]; }
+
+    /** Observations below lo. */
+    std::uint64_t underflow() const { return under; }
+
+    /** Observations at or above hi. */
+    std::uint64_t overflow() const { return over; }
+
+    /** Total observations including under/overflow. */
+    std::uint64_t total() const { return n; }
+
+    /** Number of buckets. */
+    std::size_t numBuckets() const { return counts.size(); }
+
+    /** Left edge of bucket @p i. */
+    double bucketLeft(std::size_t i) const;
+
+    /**
+     * Value below which @p q of the (bucketed) mass lies, by linear
+     * interpolation within the containing bucket. Requires total() > 0.
+     */
+    double quantile(double q) const;
+
+    /** One-line-per-bucket text rendering with `#` bars. */
+    std::string render(std::size_t bar_width = 40) const;
+
+  private:
+    double low, high, width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t under, over, n;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_STATS_HISTOGRAM_HH

@@ -1,0 +1,70 @@
+#include "wormsim/stats/steady_state.hh"
+
+#include <limits>
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+MserResult
+mser(const std::vector<double> &series)
+{
+    std::size_t n = series.size();
+    WORMSIM_ASSERT(n >= 4, "MSER needs at least 4 observations");
+
+    // Suffix sums from the right so each z(d) is O(1).
+    std::vector<double> suffix_sum(n + 1, 0.0);
+    std::vector<double> suffix_sumsq(n + 1, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        suffix_sum[i] = suffix_sum[i + 1] + series[i];
+        suffix_sumsq[i] = suffix_sumsq[i + 1] + series[i] * series[i];
+    }
+
+    MserResult best;
+    best.statistic = std::numeric_limits<double>::infinity();
+    // Standard practice: restrict the candidate truncation points to the
+    // first half of the series; near-empty suffixes make z spuriously
+    // small (a boundary optimum is reported as unreliable).
+    std::size_t d_max = n / 2;
+    for (std::size_t d = 0; d <= d_max; ++d) {
+        double m = static_cast<double>(n - d);
+        double mean = suffix_sum[d] / m;
+        double ss = suffix_sumsq[d] - m * mean * mean;
+        if (ss < 0.0)
+            ss = 0.0;
+        double z = ss / (m * m);
+        if (z < best.statistic) {
+            best.statistic = z;
+            best.truncateAt = d;
+        }
+    }
+    best.reliable = best.truncateAt < d_max;
+    return best;
+}
+
+MserResult
+mser5(const std::vector<double> &series, std::size_t batch)
+{
+    WORMSIM_ASSERT(batch >= 1, "batch size must be >= 1");
+    std::vector<double> batched;
+    batched.reserve(series.size() / batch + 1);
+    double acc = 0.0;
+    std::size_t in_batch = 0;
+    for (double x : series) {
+        acc += x;
+        if (++in_batch == batch) {
+            batched.push_back(acc / static_cast<double>(batch));
+            acc = 0.0;
+            in_batch = 0;
+        }
+    }
+    WORMSIM_ASSERT(batched.size() >= 4,
+                   "series too short for MSER-", batch, ": got ",
+                   series.size(), " observations");
+    MserResult r = mser(batched);
+    r.truncateAt *= batch;
+    return r;
+}
+
+} // namespace wormsim

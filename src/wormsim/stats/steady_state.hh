@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Steady-state (warmup) detection via the Marginal Standard Error Rule
+ * (MSER / MSER-5, White 1997).
+ *
+ * The paper provides "sufficient warmup time ... to allow the network
+ * [to] reach steady state" without saying how the authors chose it.
+ * wormsim automates the choice: given a time series of observations
+ * (windowed mean latencies), MSER picks the truncation point d that
+ * minimizes the marginal standard error of the remaining mean,
+ *
+ *   z(d) = [ 1 / (n-d)^2 ] * sum_{i=d+1..n} (x_i - xbar_{d+1..n})^2 ,
+ *
+ * i.e. it balances discarding biased transient data against keeping
+ * enough observations. MSER-5 first batches the raw series into means of
+ * 5 to smooth it. The optimum is conventionally rejected as unreliable
+ * when it lies in the second half of the series (the run was too short).
+ */
+
+#ifndef WORMSIM_STATS_STEADY_STATE_HH
+#define WORMSIM_STATS_STEADY_STATE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace wormsim
+{
+
+/** Result of an MSER scan. */
+struct MserResult
+{
+    std::size_t truncateAt = 0; ///< observations to discard (raw index)
+    double statistic = 0.0;     ///< z(d*) at the chosen point
+    bool reliable = false;      ///< optimum in the first half of the run
+};
+
+/**
+ * Plain MSER over @p series.
+ * @param series raw observations in time order (>= 4 required)
+ */
+MserResult mser(const std::vector<double> &series);
+
+/**
+ * MSER-5: batch @p series into consecutive means of @p batch before
+ * applying MSER; the returned truncateAt is scaled back to raw indices.
+ */
+MserResult mser5(const std::vector<double> &series, std::size_t batch = 5);
+
+} // namespace wormsim
+
+#endif // WORMSIM_STATS_STEADY_STATE_HH

@@ -1,0 +1,64 @@
+#include "wormsim/stats/strata.hh"
+
+#include <cmath>
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+StratifiedEstimator::StratifiedEstimator(std::vector<double> w)
+    : weights(std::move(w)), acc(weights.size())
+{
+    WORMSIM_ASSERT(!weights.empty(), "need >= 1 stratum");
+    for (double x : weights)
+        WORMSIM_ASSERT(x >= 0.0, "stratum weights must be >= 0");
+}
+
+void
+StratifiedEstimator::add(std::size_t stratum, double x)
+{
+    WORMSIM_ASSERT(stratum < acc.size(), "stratum ", stratum,
+                   " out of range (", acc.size(), " strata)");
+    acc[stratum].add(x);
+}
+
+void
+StratifiedEstimator::reset()
+{
+    for (auto &a : acc)
+        a.reset();
+}
+
+StratifiedEstimate
+StratifiedEstimator::estimate() const
+{
+    StratifiedEstimate est;
+    est.valid = true;
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+        if (weights[i] <= 0.0)
+            continue;
+        if (acc[i].count() == 0) {
+            // A stratum the population says exists produced no messages in
+            // this sample: the stratified estimate is not yet meaningful.
+            est.valid = false;
+            continue;
+        }
+        est.mean += weights[i] * acc[i].mean();
+        est.meanVariance += weights[i] * weights[i] *
+                            acc[i].meanVariance();
+    }
+    est.errorBound = 2.0 * std::sqrt(est.meanVariance);
+    return est;
+}
+
+std::uint64_t
+StratifiedEstimator::totalCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &a : acc)
+        total += a.count();
+    return total;
+}
+
+} // namespace wormsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Stratified population estimator for the paper's first convergence check.
+ *
+ * The paper partitions messages into hop classes (strata), computes each
+ * stratum's latency mean and variance, and combines them with
+ * traffic-pattern-specific population weights (e.g. on a 16^2 torus under
+ * uniform traffic, hop-class 1 has weight 4/255 ~= 0.0157 and hop-class 16
+ * has weight 1/255 ~= 0.0039). The combined estimate is
+ *
+ *   l      = sum_i w_i * mean_i
+ *   var(l) = sum_i w_i^2 * var_i / n_i
+ *
+ * and the 95% confidence half-width is 2 * sqrt(var(l)) (Scheaffer et al.,
+ * Elementary Survey Sampling).
+ */
+
+#ifndef WORMSIM_STATS_STRATA_HH
+#define WORMSIM_STATS_STRATA_HH
+
+#include <vector>
+
+#include "wormsim/stats/accumulator.hh"
+
+namespace wormsim
+{
+
+/** Result of a stratified estimate. */
+struct StratifiedEstimate
+{
+    double mean = 0.0;
+    double meanVariance = 0.0; ///< variance of the estimator itself
+    double errorBound = 0.0;   ///< 2*sqrt(meanVariance): 95% CI half-width
+    bool valid = false; ///< false when a positive-weight stratum is empty
+};
+
+/**
+ * Per-stratum observation collector with fixed population weights.
+ * Stratum index is caller-defined (wormsim uses hops-1).
+ */
+class StratifiedEstimator
+{
+  public:
+    /**
+     * @param weights population weight of each stratum; they should sum to
+     *                ~1 but are renormalized over non-empty strata is NOT
+     *                done — empty positive-weight strata invalidate the
+     *                estimate instead (matching careful survey practice)
+     */
+    explicit StratifiedEstimator(std::vector<double> weights);
+
+    /** Record one observation in @p stratum. */
+    void add(std::size_t stratum, double x);
+
+    /** Clear all observations (weights are kept). */
+    void reset();
+
+    /** Combined estimate per the header formulae. */
+    StratifiedEstimate estimate() const;
+
+    /** Per-stratum accumulator (tests, reporting). */
+    const Accumulator &stratum(std::size_t i) const { return acc[i]; }
+
+    /** Number of strata. */
+    std::size_t numStrata() const { return acc.size(); }
+
+    /** Total observations over all strata. */
+    std::uint64_t totalCount() const;
+
+  private:
+    std::vector<double> weights;
+    std::vector<Accumulator> acc;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_STATS_STRATA_HH

@@ -1,0 +1,54 @@
+#include "wormsim/topology/coord.hh"
+
+#include <sstream>
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+Coord::Coord(const std::vector<int> &values)
+    : n(static_cast<std::uint8_t>(values.size()))
+{
+    WORMSIM_ASSERT(values.size() <= kMaxDims, "coordinate with ",
+                   values.size(), " dimensions exceeds kMaxDims");
+    for (std::size_t i = 0; i < values.size(); ++i)
+        v[i] = values[i];
+}
+
+bool
+Coord::operator==(const Coord &o) const
+{
+    if (n != o.n)
+        return false;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (v[i] != o.v[i])
+            return false;
+    }
+    return true;
+}
+
+int
+Coord::coordinateSum() const
+{
+    int s = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        s += v[i];
+    return s;
+}
+
+std::string
+Coord::str() const
+{
+    std::ostringstream oss;
+    oss << "(";
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i)
+            oss << ",";
+        oss << v[i];
+    }
+    oss << ")";
+    return oss.str();
+}
+
+} // namespace wormsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * n-dimensional node coordinates and direction descriptors.
+ */
+
+#ifndef WORMSIM_TOPOLOGY_COORD_HH
+#define WORMSIM_TOPOLOGY_COORD_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wormsim/common/types.hh"
+
+namespace wormsim
+{
+
+/**
+ * A node position: one integer per dimension, dimension 0 first. The
+ * paper's (x_{n-1}, ..., x_0) tuples map to coord[i] = x_i.
+ *
+ * Storage is a fixed inline array (no heap) because coordinates are
+ * constructed on the simulator's hottest paths; kMaxDims bounds the
+ * supported dimensionality.
+ */
+class Coord
+{
+  public:
+    /** Largest supported number of dimensions. */
+    static constexpr std::size_t kMaxDims = 8;
+
+    Coord() = default;
+
+    /** @param values per-dimension positions, dimension 0 first */
+    explicit Coord(const std::vector<int> &values);
+
+    /** Convenience 2-D constructor: (x0, x1). */
+    Coord(int x0, int x1) : n(2) { v[0] = x0; v[1] = x1; }
+
+    /** A zero coordinate with @p ndims dimensions. */
+    static Coord
+    zeros(std::size_t ndims)
+    {
+        Coord c;
+        c.n = static_cast<std::uint8_t>(ndims);
+        return c;
+    }
+
+    /** Number of dimensions. */
+    std::size_t dims() const { return n; }
+
+    int operator[](std::size_t i) const { return v[i]; }
+    int &operator[](std::size_t i) { return v[i]; }
+
+    bool operator==(const Coord &o) const;
+    bool operator!=(const Coord &o) const { return !(*this == o); }
+
+    /** Sum of coordinates; even/odd parity is the hop schemes' coloring. */
+    int coordinateSum() const;
+
+    /** "(a,b,...)" rendering for messages and logs. */
+    std::string str() const;
+
+  private:
+    std::array<int, kMaxDims> v{};
+    std::uint8_t n = 0;
+};
+
+/**
+ * One of the 2n link directions leaving a node: a dimension and a sign.
+ */
+struct Direction
+{
+    int dim = 0;
+    int sign = +1; ///< +1 or -1
+
+    bool
+    operator==(const Direction &o) const
+    {
+        return dim == o.dim && sign == o.sign;
+    }
+
+    /** Dense index in [0, 2n): dim*2 + (sign<0). */
+    int index() const { return dim * 2 + (sign < 0 ? 1 : 0); }
+
+    /** Inverse of index(). */
+    static Direction
+    fromIndex(int idx)
+    {
+        return Direction{idx / 2, (idx % 2) ? -1 : +1};
+    }
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_TOPOLOGY_COORD_HH

@@ -1,0 +1,75 @@
+#include "wormsim/topology/mesh.hh"
+
+#include <sstream>
+
+namespace wormsim
+{
+
+Mesh::Mesh(std::vector<int> radices) : Topology(std::move(radices))
+{
+}
+
+std::string
+Mesh::name() const
+{
+    std::ostringstream oss;
+    oss << "mesh(";
+    for (int i = 0; i < numDims(); ++i) {
+        if (i)
+            oss << ",";
+        oss << radix[i];
+    }
+    oss << ")";
+    return oss.str();
+}
+
+ChannelId
+Mesh::numChannels() const
+{
+    ChannelId total = 0;
+    for (int i = 0; i < numDims(); ++i)
+        total += 2 * (radix[i] - 1) * (nodes / radix[i]);
+    return total;
+}
+
+NodeId
+Mesh::neighbor(NodeId node, Direction d) const
+{
+    Coord c = coordOf(node);
+    int next = c[d.dim] + d.sign;
+    if (next < 0 || next >= radix[d.dim])
+        return kInvalidNode;
+    c[d.dim] = next;
+    return nodeId(c);
+}
+
+DimTravel
+Mesh::travel(int dim, int src, int dst) const
+{
+    (void)dim;
+    DimTravel t;
+    if (dst > src) {
+        t.plusHops = dst - src;
+        t.minusHops = 0; // unusable; flag stays false
+        t.plusMinimal = true;
+        t.minusHops = t.plusHops; // keep minHops() meaningful
+        t.minusMinimal = false;
+    } else if (dst < src) {
+        t.minusHops = src - dst;
+        t.plusHops = t.minusHops;
+        t.minusMinimal = true;
+        t.plusMinimal = false;
+    }
+    return t;
+}
+
+int
+Mesh::diameter() const
+{
+    int d = 0;
+    for (int k : radix)
+        d += k - 1;
+    return d;
+}
+
+} // namespace wormsim

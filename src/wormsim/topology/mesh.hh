@@ -1,0 +1,35 @@
+/**
+ * @file
+ * n-dimensional mesh topology (no wrap-around links). Used by the paper's
+ * future-work direction and by Glass & Ni's original north-last results.
+ */
+
+#ifndef WORMSIM_TOPOLOGY_MESH_HH
+#define WORMSIM_TOPOLOGY_MESH_HH
+
+#include "wormsim/topology/topology.hh"
+
+namespace wormsim
+{
+
+/** Mesh: like a torus with the wrap links removed. */
+class Mesh : public Topology
+{
+  public:
+    explicit Mesh(std::vector<int> radices);
+
+    /** k x k mesh shorthand. */
+    static Mesh square(int k) { return Mesh({k, k}); }
+
+    std::string name() const override;
+    bool isTorus() const override { return false; }
+    ChannelId numChannels() const override;
+    NodeId neighbor(NodeId node, Direction d) const override;
+    DimTravel travel(int dim, int src, int dst) const override;
+    int diameter() const override;
+    bool properColoring() const override { return true; }
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_TOPOLOGY_MESH_HH

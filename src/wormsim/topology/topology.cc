@@ -1,0 +1,84 @@
+#include "wormsim/topology/topology.hh"
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+Topology::Topology(std::vector<int> radices) : radix(std::move(radices))
+{
+    WORMSIM_ASSERT(!radix.empty(), "topology needs >= 1 dimension");
+    nodes = 1;
+    stride.resize(radix.size());
+    for (std::size_t i = 0; i < radix.size(); ++i) {
+        WORMSIM_ASSERT(radix[i] >= 2, "radix must be >= 2, got ", radix[i]);
+        stride[i] = nodes;
+        nodes *= radix[i];
+    }
+}
+
+NodeId
+Topology::nodeId(const Coord &c) const
+{
+    WORMSIM_ASSERT(static_cast<int>(c.dims()) == numDims(),
+                   "coordinate dims ", c.dims(), " != topology dims ",
+                   numDims());
+    NodeId id = 0;
+    for (int i = 0; i < numDims(); ++i) {
+        WORMSIM_ASSERT(c[i] >= 0 && c[i] < radix[i], "coordinate ", c[i],
+                       " out of range for dimension ", i);
+        id += c[i] * stride[i];
+    }
+    return id;
+}
+
+Coord
+Topology::coordOf(NodeId id) const
+{
+    WORMSIM_ASSERT(id >= 0 && id < nodes, "node id ", id, " out of range");
+    Coord c = Coord::zeros(radix.size());
+    for (int i = 0; i < numDims(); ++i)
+        c[i] = (id / stride[i]) % radix[i];
+    return c;
+}
+
+std::vector<DimTravel>
+Topology::travelAll(const Coord &src, const Coord &dst) const
+{
+    std::vector<DimTravel> out(radix.size());
+    for (int i = 0; i < numDims(); ++i)
+        out[i] = travel(i, src[i], dst[i]);
+    return out;
+}
+
+int
+Topology::distance(NodeId a, NodeId b) const
+{
+    Coord ca = coordOf(a);
+    Coord cb = coordOf(b);
+    int d = 0;
+    for (int i = 0; i < numDims(); ++i)
+        d += travel(i, ca[i], cb[i]).minHops();
+    return d;
+}
+
+double
+Topology::meanUniformDistance() const
+{
+    // Vertex-transitive enough for our purposes: average the distance from
+    // every node to every other node. O(N^2) per-dimension sums would be
+    // faster, but this is a one-time setup cost and N <= a few thousand.
+    double total = 0.0;
+    std::uint64_t pairs = 0;
+    for (NodeId a = 0; a < nodes; ++a) {
+        for (NodeId b = 0; b < nodes; ++b) {
+            if (a == b)
+                continue;
+            total += distance(a, b);
+            ++pairs;
+        }
+    }
+    return pairs ? total / static_cast<double>(pairs) : 0.0;
+}
+
+} // namespace wormsim

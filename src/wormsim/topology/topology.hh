@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Abstract interconnection topology: k-ary n-cubes (tori) and meshes.
+ *
+ * Adjacent nodes are connected by two unidirectional links (one each way),
+ * matching the paper's node model. Every outgoing link of every node has a
+ * dense ChannelId = node * 2n + direction.index(); in meshes the boundary
+ * channels simply do not exist (exists() is false) but keep their slot so
+ * indexing stays O(1).
+ */
+
+#ifndef WORMSIM_TOPOLOGY_TOPOLOGY_HH
+#define WORMSIM_TOPOLOGY_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+#include "wormsim/common/types.hh"
+#include "wormsim/topology/coord.hh"
+
+namespace wormsim
+{
+
+/**
+ * Minimal-routing information for one dimension of a (source, destination)
+ * pair: how many hops each travel sign would take, and which signs lie on
+ * a minimal path.
+ */
+struct DimTravel
+{
+    int plusHops = 0;      ///< hops if traveling +1 (torus: modulo)
+    int minusHops = 0;     ///< hops if traveling -1
+    bool plusMinimal = false;
+    bool minusMinimal = false;
+
+    /** Hops along a minimal path in this dimension. */
+    int minHops() const { return std::min(plusHops, minusHops); }
+
+    /** True when the dimension still needs correction. */
+    bool needed() const { return plusMinimal || minusMinimal; }
+};
+
+/** Base class for torus/mesh topologies. */
+class Topology
+{
+  public:
+    /**
+     * @param radices nodes per dimension (k_i >= 2), dimension 0 first
+     */
+    explicit Topology(std::vector<int> radices);
+    virtual ~Topology() = default;
+
+    /** Human-readable name, e.g. "torus(16,16)". */
+    virtual std::string name() const = 0;
+
+    /** True for wrap-around (torus) topologies. */
+    virtual bool isTorus() const = 0;
+
+    /** Number of dimensions n. */
+    int numDims() const { return static_cast<int>(radix.size()); }
+
+    /** Radix k_i of dimension @p dim. */
+    int radixOf(int dim) const { return radix[dim]; }
+
+    /** Total number of nodes. */
+    NodeId numNodes() const { return nodes; }
+
+    /** Outgoing link directions per node (= 2n slots, some may not exist). */
+    int numPorts() const { return 2 * numDims(); }
+
+    /** Total channel slots = numNodes() * numPorts(). */
+    ChannelId numChannelSlots() const { return nodes * numPorts(); }
+
+    /** Number of channels that actually exist. */
+    virtual ChannelId numChannels() const = 0;
+
+    /** Linear id of node @p c. */
+    NodeId nodeId(const Coord &c) const;
+
+    /** Coordinates of node @p id. */
+    Coord coordOf(NodeId id) const;
+
+    /**
+     * Neighbor of @p node in direction @p d, or kInvalidNode when the link
+     * does not exist (mesh boundary).
+     */
+    virtual NodeId neighbor(NodeId node, Direction d) const = 0;
+
+    /** True when the outgoing link @p d of @p node exists. */
+    bool hasLink(NodeId node, Direction d) const
+    {
+        return neighbor(node, d) != kInvalidNode;
+    }
+
+    /** Dense id of the outgoing channel @p d of @p node. */
+    ChannelId
+    channelId(NodeId node, Direction d) const
+    {
+        return node * numPorts() + d.index();
+    }
+
+    /** Source node of channel @p ch. */
+    NodeId channelSource(ChannelId ch) const { return ch / numPorts(); }
+
+    /** Direction of channel @p ch. */
+    Direction
+    channelDirection(ChannelId ch) const
+    {
+        return Direction::fromIndex(ch % numPorts());
+    }
+
+    /**
+     * Per-dimension travel options from @p src to @p dst under minimal
+     * routing.
+     */
+    virtual DimTravel travel(int dim, int src, int dst) const = 0;
+
+    /** travel() for whole coordinates. */
+    std::vector<DimTravel> travelAll(const Coord &src,
+                                     const Coord &dst) const;
+
+    /** Minimal hop distance between two nodes. */
+    int distance(NodeId a, NodeId b) const;
+
+    /** Longest minimal distance over all pairs. */
+    virtual int diameter() const = 0;
+
+    /**
+     * Bipartite 2-coloring used by the hop schemes: parity of the
+     * coordinate sum. For tori this is a proper coloring only when every
+     * radix is even (the paper restricts the negative-hop design to even
+     * k); properColoring() reports whether it is proper here.
+     */
+    int color(NodeId node) const { return coordOf(node).coordinateSum() & 1; }
+
+    /** True when color() is a proper 2-coloring of this topology. */
+    virtual bool properColoring() const = 0;
+
+    /**
+     * Mean minimal distance over all ordered pairs with distinct endpoints
+     * (uniform traffic); e.g. 8.03 for a 16x16 torus.
+     */
+    double meanUniformDistance() const;
+
+  protected:
+    std::vector<int> radix;
+    NodeId nodes;
+    std::vector<int> stride; ///< mixed-radix strides for nodeId()
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_TOPOLOGY_TOPOLOGY_HH

@@ -1,0 +1,84 @@
+#include "wormsim/topology/torus.hh"
+
+#include <sstream>
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+Torus::Torus(std::vector<int> radices) : Topology(std::move(radices))
+{
+}
+
+std::string
+Torus::name() const
+{
+    std::ostringstream oss;
+    oss << "torus(";
+    for (int i = 0; i < numDims(); ++i) {
+        if (i)
+            oss << ",";
+        oss << radix[i];
+    }
+    oss << ")";
+    return oss.str();
+}
+
+NodeId
+Torus::neighbor(NodeId node, Direction d) const
+{
+    Coord c = coordOf(node);
+    int k = radix[d.dim];
+    c[d.dim] = ((c[d.dim] + d.sign) % k + k) % k;
+    return nodeId(c);
+}
+
+DimTravel
+Torus::travel(int dim, int src, int dst) const
+{
+    int k = radix[dim];
+    DimTravel t;
+    t.plusHops = ((dst - src) % k + k) % k;
+    t.minusHops = ((src - dst) % k + k) % k;
+    if (src == dst)
+        return t; // nothing needed; both flags false
+    int best = std::min(t.plusHops, t.minusHops);
+    t.plusMinimal = t.plusHops == best;
+    t.minusMinimal = t.minusHops == best;
+    return t;
+}
+
+int
+Torus::diameter() const
+{
+    int d = 0;
+    for (int k : radix)
+        d += k / 2;
+    return d;
+}
+
+bool
+Torus::properColoring() const
+{
+    // The coordinate-sum parity coloring is proper on a torus only when
+    // every ring has even length (the wrap link joins parities otherwise).
+    for (int k : radix) {
+        if (k % 2 != 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+Torus::crossesWrap(int cur, int dst, int sign, int k)
+{
+    WORMSIM_ASSERT(cur != dst, "no travel needed");
+    WORMSIM_ASSERT(sign == 1 || sign == -1, "sign must be +/-1");
+    (void)k;
+    if (sign > 0)
+        return cur > dst; // must pass k-1 -> 0
+    return cur < dst;     // must pass 0 -> k-1
+}
+
+} // namespace wormsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * k-ary n-cube (torus) topology — the paper's evaluation substrate.
+ */
+
+#ifndef WORMSIM_TOPOLOGY_TORUS_HH
+#define WORMSIM_TOPOLOGY_TORUS_HH
+
+#include "wormsim/topology/topology.hh"
+
+namespace wormsim
+{
+
+/**
+ * Torus with wrap-around links in every dimension. Also provides the
+ * Dally–Seitz dateline helper used by e-cube for deadlock freedom on
+ * rings.
+ */
+class Torus : public Topology
+{
+  public:
+    /** General k-ary n-cube. */
+    explicit Torus(std::vector<int> radices);
+
+    /** The paper's k-ary 2-cube shorthand (k x k torus). */
+    static Torus square(int k) { return Torus({k, k}); }
+
+    std::string name() const override;
+    bool isTorus() const override { return true; }
+    ChannelId numChannels() const override { return numChannelSlots(); }
+    NodeId neighbor(NodeId node, Direction d) const override;
+    DimTravel travel(int dim, int src, int dst) const override;
+    int diameter() const override;
+    bool properColoring() const override;
+
+    /**
+     * True when the remaining minimal path from coordinate @p cur to
+     * @p dst, traveling @p sign in a ring of size @p k, still crosses the
+     * wrap-around link. Dally–Seitz: such hops use the "high" (class-0)
+     * virtual channel, post-wrap hops the "low" (class-1) channel.
+     */
+    static bool crossesWrap(int cur, int dst, int sign, int k);
+
+    /** The Dally–Seitz VC class for the hop described above: 0 or 1. */
+    static VcClass
+    datelineVc(int cur, int dst, int sign, int k)
+    {
+        return crossesWrap(cur, dst, sign, k) ? 0 : 1;
+    }
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_TOPOLOGY_TORUS_HH

@@ -1,0 +1,53 @@
+#include "wormsim/traffic/hotspot.hh"
+
+#include <sstream>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
+#include "wormsim/rng/distributions.hh"
+
+namespace wormsim
+{
+
+HotspotTraffic::HotspotTraffic(const Topology &topo, NodeId hotspot,
+                               double fraction)
+    : TrafficPattern(topo), hot(hotspot), frac(fraction)
+{
+    WORMSIM_ASSERT(hot >= 0 && hot < topo.numNodes(),
+                   "hotspot node out of range");
+    WORMSIM_ASSERT(frac >= 0.0 && frac < 1.0,
+                   "hotspot fraction must be in [0,1)");
+}
+
+std::string
+HotspotTraffic::name() const
+{
+    std::ostringstream oss;
+    oss << "hotspot(" << formatFixed(frac * 100.0, 0) << "%@"
+        << net.coordOf(hot).str() << ")";
+    return oss.str();
+}
+
+NodeId
+HotspotTraffic::pickDest(NodeId src, Xoshiro256 &rng) const
+{
+    if (src != hot && bernoulli(rng, frac))
+        return hot;
+    // Regular uniform component (also the fallback when the hotspot would
+    // send to itself).
+    return pickUniformExcludingSelf(src, rng);
+}
+
+double
+HotspotTraffic::destProbability(NodeId src, NodeId dst) const
+{
+    if (dst == src)
+        return 0.0;
+    double uniform = 1.0 / static_cast<double>(net.numNodes() - 1);
+    if (src == hot)
+        return uniform; // the hotspot itself sends plain uniform traffic
+    double base = (1.0 - frac) * uniform;
+    return dst == hot ? frac + base : base;
+}
+
+} // namespace wormsim

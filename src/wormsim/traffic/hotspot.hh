@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Hotspot traffic (paper Section 3): uniform traffic plus an extra
+ * fraction h directed at a single hotspot node. With h = 4% on a 16x16
+ * torus a new message goes to the hotspot with probability 0.0438 and to
+ * any other node with probability 0.0038, i.e. the hotspot receives about
+ * 11.5x the traffic of any other node.
+ */
+
+#ifndef WORMSIM_TRAFFIC_HOTSPOT_HH
+#define WORMSIM_TRAFFIC_HOTSPOT_HH
+
+#include "wormsim/traffic/traffic_pattern.hh"
+
+namespace wormsim
+{
+
+/** Uniform traffic with one hotspot destination. */
+class HotspotTraffic : public TrafficPattern
+{
+  public:
+    /**
+     * @param topo topology
+     * @param hotspot the hotspot node
+     * @param fraction extra traffic fraction h in [0, 1)
+     */
+    HotspotTraffic(const Topology &topo, NodeId hotspot, double fraction);
+
+    std::string name() const override;
+    NodeId pickDest(NodeId src, Xoshiro256 &rng) const override;
+    double destProbability(NodeId src, NodeId dst) const override;
+
+    NodeId hotspotNode() const { return hot; }
+    double hotspotFraction() const { return frac; }
+
+  private:
+    NodeId hot;
+    double frac;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_TRAFFIC_HOTSPOT_HH

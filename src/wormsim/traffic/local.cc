@@ -1,0 +1,103 @@
+#include "wormsim/traffic/local.hh"
+
+#include <sstream>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/rng/distributions.hh"
+
+namespace wormsim
+{
+
+LocalTraffic::LocalTraffic(const Topology &topo, int radius)
+    : TrafficPattern(topo), r(radius)
+{
+    WORMSIM_ASSERT(r >= 1, "local traffic needs radius >= 1");
+    destsPerSource = 1;
+    for (int dim = 0; dim < topo.numDims(); ++dim) {
+        WORMSIM_ASSERT(2 * r + 1 <= topo.radixOf(dim),
+                       "local window wider than dimension ", dim);
+        destsPerSource *= 2 * r + 1;
+    }
+    destsPerSource -= 1; // exclude the source itself
+}
+
+std::string
+LocalTraffic::name() const
+{
+    std::ostringstream oss;
+    oss << "local(r=" << r << ")";
+    return oss.str();
+}
+
+NodeId
+LocalTraffic::pickDest(NodeId src, Xoshiro256 &rng) const
+{
+    Coord c = net.coordOf(src);
+    // Rejection-free: draw a non-zero offset vector by drawing a linear
+    // index over the window minus the center.
+    while (true) {
+        Coord d = c;
+        bool all_zero = true;
+        for (int dim = 0; dim < net.numDims(); ++dim) {
+            int off = static_cast<int>(uniformRange(rng, -r, r));
+            if (off != 0)
+                all_zero = false;
+            int k = net.radixOf(dim);
+            int pos;
+            if (net.isTorus()) {
+                pos = ((c[dim] + off) % k + k) % k;
+            } else {
+                pos = c[dim] + off;
+                if (pos < 0 || pos >= k) {
+                    all_zero = true; // force redraw at mesh boundary
+                    break;
+                }
+            }
+            d[dim] = pos;
+        }
+        if (!all_zero)
+            return net.nodeId(d);
+    }
+}
+
+bool
+LocalTraffic::inWindow(NodeId src, NodeId dst) const
+{
+    Coord s = net.coordOf(src);
+    Coord d = net.coordOf(dst);
+    for (int dim = 0; dim < net.numDims(); ++dim) {
+        int k = net.radixOf(dim);
+        int delta = d[dim] - s[dim];
+        if (net.isTorus()) {
+            int plus = ((delta) % k + k) % k;
+            int dist = std::min(plus, k - plus);
+            if (dist > r)
+                return false;
+        } else {
+            if (delta > r || delta < -r)
+                return false;
+        }
+    }
+    return true;
+}
+
+double
+LocalTraffic::destProbability(NodeId src, NodeId dst) const
+{
+    if (dst == src || !inWindow(src, dst))
+        return 0.0;
+    if (!net.isTorus()) {
+        // Mesh windows are clipped at boundaries: count the real window.
+        Coord s = net.coordOf(src);
+        int window = 1;
+        for (int dim = 0; dim < net.numDims(); ++dim) {
+            int lo = std::max(0, s[dim] - r);
+            int hi = std::min(net.radixOf(dim) - 1, s[dim] + r);
+            window *= hi - lo + 1;
+        }
+        return 1.0 / static_cast<double>(window - 1);
+    }
+    return 1.0 / static_cast<double>(destsPerSource);
+}
+
+} // namespace wormsim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Local traffic (paper Section 3): node (i,j) sends with equal probability
+ * to any other node of the (2r+1)^n window centered on it (torus-wrapped).
+ * The paper's instance is r = 3 on a 16x16 torus — a 7x7 window, locality
+ * factor 0.4, mean distance 3.5 with hop-class weights 0.0833, 0.1667,
+ * 0.25, 0.25, 0.1667, 0.0833.
+ */
+
+#ifndef WORMSIM_TRAFFIC_LOCAL_HH
+#define WORMSIM_TRAFFIC_LOCAL_HH
+
+#include "wormsim/traffic/traffic_pattern.hh"
+
+namespace wormsim
+{
+
+/** Uniform traffic restricted to a window around the source. */
+class LocalTraffic : public TrafficPattern
+{
+  public:
+    /**
+     * @param topo topology
+     * @param radius window radius r per dimension (window = (2r+1)^n);
+     *        must satisfy 2r+1 <= radix in every dimension
+     */
+    LocalTraffic(const Topology &topo, int radius);
+
+    std::string name() const override;
+    NodeId pickDest(NodeId src, Xoshiro256 &rng) const override;
+    double destProbability(NodeId src, NodeId dst) const override;
+
+    int radius() const { return r; }
+
+    /** Number of destinations per source: (2r+1)^n - 1. */
+    int windowSize() const { return destsPerSource; }
+
+  private:
+    /** True when @p dst lies in @p src's window. */
+    bool inWindow(NodeId src, NodeId dst) const;
+
+    int r;
+    int destsPerSource;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_TRAFFIC_LOCAL_HH

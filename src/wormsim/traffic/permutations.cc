@@ -1,0 +1,132 @@
+#include "wormsim/traffic/permutations.hh"
+
+#include <numeric>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/rng/distributions.hh"
+
+namespace wormsim
+{
+
+PermutationTraffic::PermutationTraffic(const Topology &topo,
+                                       std::string name_label,
+                                       std::vector<NodeId> mapping)
+    : TrafficPattern(topo), label(std::move(name_label)),
+      pi(std::move(mapping))
+{
+    WORMSIM_ASSERT(static_cast<NodeId>(pi.size()) == topo.numNodes(),
+                   "permutation size mismatch");
+    for (NodeId d : pi)
+        WORMSIM_ASSERT(d >= 0 && d < topo.numNodes(),
+                       "permutation target out of range");
+}
+
+NodeId
+PermutationTraffic::pickDest(NodeId src, Xoshiro256 &rng) const
+{
+    NodeId d = pi[src];
+    if (d == src)
+        return pickUniformExcludingSelf(src, rng);
+    return d;
+}
+
+double
+PermutationTraffic::destProbability(NodeId src, NodeId dst) const
+{
+    if (pi[src] == src) {
+        // Fixed point: uniform fallback.
+        if (dst == src)
+            return 0.0;
+        return 1.0 / static_cast<double>(net.numNodes() - 1);
+    }
+    return dst == pi[src] ? 1.0 : 0.0;
+}
+
+PermutationTraffic
+PermutationTraffic::transpose(const Topology &topo)
+{
+    WORMSIM_ASSERT(topo.numDims() == 2, "transpose needs 2 dimensions");
+    WORMSIM_ASSERT(topo.radixOf(0) == topo.radixOf(1),
+                   "transpose needs a square network");
+    std::vector<NodeId> pi(topo.numNodes());
+    for (NodeId s = 0; s < topo.numNodes(); ++s) {
+        Coord c = topo.coordOf(s);
+        pi[s] = topo.nodeId(Coord(c[1], c[0]));
+    }
+    return PermutationTraffic(topo, "transpose", std::move(pi));
+}
+
+PermutationTraffic
+PermutationTraffic::complement(const Topology &topo)
+{
+    std::vector<NodeId> pi(topo.numNodes());
+    for (NodeId s = 0; s < topo.numNodes(); ++s) {
+        Coord c = topo.coordOf(s);
+        for (int dim = 0; dim < topo.numDims(); ++dim)
+            c[dim] = topo.radixOf(dim) - 1 - c[dim];
+        pi[s] = topo.nodeId(c);
+    }
+    return PermutationTraffic(topo, "complement", std::move(pi));
+}
+
+PermutationTraffic
+PermutationTraffic::random(const Topology &topo, Xoshiro256 &rng)
+{
+    std::vector<NodeId> pi(topo.numNodes());
+    std::iota(pi.begin(), pi.end(), 0);
+    // Fisher–Yates.
+    for (std::size_t i = pi.size() - 1; i > 0; --i) {
+        std::size_t j = uniformInt(rng, i + 1);
+        std::swap(pi[i], pi[j]);
+    }
+    return PermutationTraffic(topo, "random-permutation", std::move(pi));
+}
+
+namespace
+{
+
+/** log2 of a power-of-two node count (fatal otherwise). */
+int
+nodeBits(const Topology &topo)
+{
+    NodeId n = topo.numNodes();
+    int bits = 0;
+    while ((NodeId(1) << bits) < n)
+        ++bits;
+    if ((NodeId(1) << bits) != n) {
+        WORMSIM_FATAL("bit permutations need a power-of-two node count, "
+                      "got ", n);
+    }
+    return bits;
+}
+
+} // namespace
+
+PermutationTraffic
+PermutationTraffic::bitReverse(const Topology &topo)
+{
+    int bits = nodeBits(topo);
+    std::vector<NodeId> pi(topo.numNodes());
+    for (NodeId s = 0; s < topo.numNodes(); ++s) {
+        NodeId r = 0;
+        for (int b = 0; b < bits; ++b) {
+            if (s & (NodeId(1) << b))
+                r |= NodeId(1) << (bits - 1 - b);
+        }
+        pi[s] = r;
+    }
+    return PermutationTraffic(topo, "bit-reverse", std::move(pi));
+}
+
+PermutationTraffic
+PermutationTraffic::shuffle(const Topology &topo)
+{
+    int bits = nodeBits(topo);
+    std::vector<NodeId> pi(topo.numNodes());
+    NodeId mask = topo.numNodes() - 1;
+    for (NodeId s = 0; s < topo.numNodes(); ++s)
+        pi[s] = ((s << 1) | (s >> (bits - 1))) & mask;
+    return PermutationTraffic(topo, "shuffle", std::move(pi));
+}
+
+} // namespace wormsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic permutation traffic patterns. The paper's discussion
+ * (Section 3.4) notes Glass & Ni report turn-model algorithms winning on
+ * nonuniform patterns "such as matrix transpose"; these patterns let that
+ * claim be examined with wormsim.
+ */
+
+#ifndef WORMSIM_TRAFFIC_PERMUTATIONS_HH
+#define WORMSIM_TRAFFIC_PERMUTATIONS_HH
+
+#include <vector>
+
+#include "wormsim/traffic/traffic_pattern.hh"
+
+namespace wormsim
+{
+
+/**
+ * Traffic following a fixed permutation pi: every message from s goes to
+ * pi(s). Sources with pi(s) == s fall back to uniform destinations (they
+ * must send somewhere for the injection process to stay comparable).
+ */
+class PermutationTraffic : public TrafficPattern
+{
+  public:
+    /**
+     * @param topo topology
+     * @param label name shown in reports
+     * @param mapping pi as a vector of size numNodes()
+     */
+    PermutationTraffic(const Topology &topo, std::string label,
+                       std::vector<NodeId> mapping);
+
+    std::string name() const override { return label; }
+    NodeId pickDest(NodeId src, Xoshiro256 &rng) const override;
+    double destProbability(NodeId src, NodeId dst) const override;
+
+    /** Matrix transpose: (x0, x1, ..) -> (x1, x0, ..) (2-D only). */
+    static PermutationTraffic transpose(const Topology &topo);
+
+    /** Bit/coordinate complement: x_i -> k_i - 1 - x_i. */
+    static PermutationTraffic complement(const Topology &topo);
+
+    /** A uniformly random fixed permutation drawn from @p rng. */
+    static PermutationTraffic random(const Topology &topo, Xoshiro256 &rng);
+
+    /**
+     * Bit reversal: node index's log2(N) bits reversed (classic adversary
+     * for dimension-order routing). Requires a power-of-two node count.
+     */
+    static PermutationTraffic bitReverse(const Topology &topo);
+
+    /**
+     * Perfect shuffle: node index's bits rotated left by one. Requires a
+     * power-of-two node count.
+     */
+    static PermutationTraffic shuffle(const Topology &topo);
+
+  private:
+    std::string label;
+    std::vector<NodeId> pi;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_TRAFFIC_PERMUTATIONS_HH

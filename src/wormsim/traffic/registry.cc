@@ -1,0 +1,58 @@
+#include "wormsim/traffic/registry.hh"
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
+#include "wormsim/traffic/hotspot.hh"
+#include "wormsim/traffic/local.hh"
+#include "wormsim/traffic/permutations.hh"
+#include "wormsim/traffic/uniform.hh"
+
+namespace wormsim
+{
+
+std::unique_ptr<TrafficPattern>
+makeTrafficPattern(const std::string &raw, const Topology &topo,
+                   const TrafficParams &params)
+{
+    std::string name = toLower(trim(raw));
+    if (name == "uniform" || name == "random")
+        return std::make_unique<UniformTraffic>(topo);
+    if (name == "hotspot") {
+        NodeId hot = params.hotspotNode;
+        if (hot == kInvalidNode)
+            hot = topo.numNodes() - 1; // the paper's (15,15) on 16^2
+        return std::make_unique<HotspotTraffic>(topo, hot,
+                                                params.hotspotFraction);
+    }
+    if (name == "local")
+        return std::make_unique<LocalTraffic>(topo, params.localRadius);
+    if (name == "transpose")
+        return std::make_unique<PermutationTraffic>(
+            PermutationTraffic::transpose(topo));
+    if (name == "complement")
+        return std::make_unique<PermutationTraffic>(
+            PermutationTraffic::complement(topo));
+    if (name == "bit-reverse")
+        return std::make_unique<PermutationTraffic>(
+            PermutationTraffic::bitReverse(topo));
+    if (name == "shuffle")
+        return std::make_unique<PermutationTraffic>(
+            PermutationTraffic::shuffle(topo));
+    if (name == "random-permutation") {
+        Xoshiro256 rng(params.permutationSeed);
+        return std::make_unique<PermutationTraffic>(
+            PermutationTraffic::random(topo, rng));
+    }
+    WORMSIM_FATAL("unknown traffic pattern '", raw, "'");
+}
+
+const std::vector<std::string> &
+knownTrafficPatterns()
+{
+    static const std::vector<std::string> names{
+        "uniform", "hotspot", "local", "transpose",
+        "complement", "bit-reverse", "shuffle", "random-permutation"};
+    return names;
+}
+
+} // namespace wormsim

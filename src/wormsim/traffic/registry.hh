@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Name-based factory for traffic patterns.
+ */
+
+#ifndef WORMSIM_TRAFFIC_REGISTRY_HH
+#define WORMSIM_TRAFFIC_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wormsim/traffic/traffic_pattern.hh"
+
+namespace wormsim
+{
+
+/** Parameters for pattern construction. */
+struct TrafficParams
+{
+    NodeId hotspotNode = kInvalidNode; ///< default: highest-index node
+    double hotspotFraction = 0.04;     ///< the paper's 4%
+    int localRadius = 3;               ///< the paper's 7x7 window
+    std::uint64_t permutationSeed = 1; ///< for "random-permutation"
+};
+
+/**
+ * Create a traffic pattern by name: uniform, hotspot, local, transpose,
+ * complement, random-permutation. Fatal on unknown names.
+ */
+std::unique_ptr<TrafficPattern>
+makeTrafficPattern(const std::string &name, const Topology &topo,
+                   const TrafficParams &params = {});
+
+/** Every accepted pattern name. */
+const std::vector<std::string> &knownTrafficPatterns();
+
+} // namespace wormsim
+
+#endif // WORMSIM_TRAFFIC_REGISTRY_HH

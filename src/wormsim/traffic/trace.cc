@@ -1,0 +1,154 @@
+#include "wormsim/traffic/trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
+#include "wormsim/rng/distributions.hh"
+
+namespace wormsim
+{
+
+Trace::Trace(std::vector<TraceRecord> records) : events(std::move(records))
+{
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        WORMSIM_ASSERT(events[i - 1].when <= events[i].when,
+                       "trace records out of time order at index ", i);
+    }
+}
+
+void
+Trace::append(const TraceRecord &record)
+{
+    WORMSIM_ASSERT(events.empty() || events.back().when <= record.when,
+                   "trace append goes backwards in time");
+    events.push_back(record);
+}
+
+Cycle
+Trace::horizon() const
+{
+    return events.empty() ? 0 : events.back().when;
+}
+
+void
+Trace::validate(const Topology &topo) const
+{
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceRecord &r = events[i];
+        if (r.src < 0 || r.src >= topo.numNodes() || r.dst < 0 ||
+            r.dst >= topo.numNodes()) {
+            WORMSIM_FATAL("trace record ", i, " references node outside ",
+                          topo.name());
+        }
+        if (r.src == r.dst)
+            WORMSIM_FATAL("trace record ", i, " sends node ", r.src,
+                          " a message to itself");
+        if (r.length < 1)
+            WORMSIM_FATAL("trace record ", i, " has length ", r.length);
+    }
+}
+
+Trace
+Trace::parse(std::istream &in)
+{
+    Trace trace;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        long long when, src, dst, length;
+        if (!(fields >> when >> src >> dst >> length)) {
+            WORMSIM_FATAL("trace line ", lineno,
+                          ": expected 'cycle src dst length', got '", line,
+                          "'");
+        }
+        std::string extra;
+        if (fields >> extra) {
+            WORMSIM_FATAL("trace line ", lineno, ": trailing junk '",
+                          extra, "'");
+        }
+        if (when < 0 || src < 0 || dst < 0 || length < 1)
+            WORMSIM_FATAL("trace line ", lineno, ": invalid field values");
+        if (!trace.events.empty() &&
+            trace.events.back().when > static_cast<Cycle>(when)) {
+            WORMSIM_FATAL("trace line ", lineno,
+                          ": records must be time ordered");
+        }
+        trace.events.push_back(TraceRecord{
+            static_cast<Cycle>(when), static_cast<NodeId>(src),
+            static_cast<NodeId>(dst), static_cast<int>(length)});
+    }
+    return trace;
+}
+
+Trace
+Trace::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        WORMSIM_FATAL("cannot open trace file '", path, "'");
+    return parse(in);
+}
+
+void
+Trace::write(std::ostream &out) const
+{
+    out << "# wormsim trace: cycle src dst length\n";
+    for (const TraceRecord &r : events) {
+        out << r.when << " " << r.src << " " << r.dst << " " << r.length
+            << "\n";
+    }
+}
+
+void
+Trace::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        WORMSIM_FATAL("cannot write trace file '", path, "'");
+    write(out);
+}
+
+Trace
+TraceGenerator::generate(double injection_rate, Cycle horizon,
+                         int length_flits) const
+{
+    WORMSIM_ASSERT(injection_rate > 0.0 && injection_rate <= 1.0,
+                   "injection rate out of (0,1]");
+    WORMSIM_ASSERT(length_flits >= 1, "length must be >= 1");
+
+    const Topology &topo = traffic.topology();
+    // Next arrival per node, initialized with one geometric gap each.
+    std::vector<std::pair<Cycle, NodeId>> next;
+    next.reserve(topo.numNodes());
+    for (NodeId n = 0; n < topo.numNodes(); ++n)
+        next.emplace_back(geometric(rand, injection_rate) - 1, n);
+
+    Trace trace;
+    // Merge the per-node arrival processes in time order.
+    while (true) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < next.size(); ++i) {
+            if (next[i].first < next[best].first)
+                best = i;
+        }
+        auto [when, node] = next[best];
+        if (when >= horizon)
+            break;
+        NodeId dst = traffic.pickDest(node, rand);
+        trace.append(TraceRecord{when, node, dst, length_flits});
+        next[best].first = when + geometric(rand, injection_rate);
+    }
+    return trace;
+}
+
+} // namespace wormsim

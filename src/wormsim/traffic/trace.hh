@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Trace-driven traffic — the paper's stated future work ("In future, we
+ * intend to use communication traces obtained from computations on
+ * parallel processors to evaluate the performances of routing
+ * algorithms").
+ *
+ * A trace is a time-ordered list of (cycle, src, dst, length) records.
+ * The text format is one record per line, whitespace separated, with
+ * `#` comments:
+ *
+ *     # cycle src dst length
+ *     0 12 200 16
+ *     3 7 45 16
+ *
+ * TraceGenerator synthesizes traces from any TrafficPattern so recorded
+ * and synthetic workloads go through the same replay path
+ * (driver/trace_runner.hh).
+ */
+
+#ifndef WORMSIM_TRAFFIC_TRACE_HH
+#define WORMSIM_TRAFFIC_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "wormsim/traffic/traffic_pattern.hh"
+
+namespace wormsim
+{
+
+/** One message-generation event of a trace. */
+struct TraceRecord
+{
+    Cycle when = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    int length = 16;
+
+    bool
+    operator==(const TraceRecord &o) const
+    {
+        return when == o.when && src == o.src && dst == o.dst &&
+               length == o.length;
+    }
+};
+
+/** An in-memory trace with text-format I/O. */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** @param records time-ordered generation events */
+    explicit Trace(std::vector<TraceRecord> records);
+
+    const std::vector<TraceRecord> &records() const { return events; }
+    std::size_t size() const { return events.size(); }
+    bool empty() const { return events.empty(); }
+
+    /** Append one record; must not go backwards in time. */
+    void append(const TraceRecord &record);
+
+    /** Last record's cycle (0 when empty). */
+    Cycle horizon() const;
+
+    /**
+     * Check every record against @p topo (node ranges, src != dst,
+     * length >= 1); fatal on the first violation (user error).
+     */
+    void validate(const Topology &topo) const;
+
+    /** Parse the text format from @p in; fatal on malformed input. */
+    static Trace parse(std::istream &in);
+
+    /** Load from @p path; fatal when unreadable. */
+    static Trace load(const std::string &path);
+
+    /** Write the text format (with a header comment). */
+    void write(std::ostream &out) const;
+
+    /** Save to @p path; fatal when unwritable. */
+    void save(const std::string &path) const;
+
+  private:
+    std::vector<TraceRecord> events;
+};
+
+/** Synthesizes traces from the library's traffic patterns. */
+class TraceGenerator
+{
+  public:
+    /**
+     * @param pattern destination distribution
+     * @param rng entropy source (not owned)
+     */
+    TraceGenerator(const TrafficPattern &pattern, Xoshiro256 &rng)
+        : traffic(pattern), rand(rng)
+    {
+    }
+
+    /**
+     * Generate a trace with per-node geometric interarrival times.
+     *
+     * @param injection_rate per-node per-cycle generation probability
+     * @param horizon generate events in [0, horizon)
+     * @param length_flits message length for every record
+     */
+    Trace generate(double injection_rate, Cycle horizon,
+                   int length_flits) const;
+
+  private:
+    const TrafficPattern &traffic;
+    Xoshiro256 &rand;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_TRAFFIC_TRACE_HH

@@ -1,0 +1,54 @@
+#include "wormsim/traffic/traffic_pattern.hh"
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/rng/distributions.hh"
+
+namespace wormsim
+{
+
+NodeId
+TrafficPattern::pickUniformExcludingSelf(NodeId src, Xoshiro256 &rng) const
+{
+    NodeId n = net.numNodes();
+    WORMSIM_ASSERT(n >= 2, "need >= 2 nodes for traffic");
+    auto pick = static_cast<NodeId>(uniformInt(rng, n - 1));
+    return pick >= src ? pick + 1 : pick;
+}
+
+double
+TrafficPattern::meanDistance() const
+{
+    double total = 0.0;
+    NodeId n = net.numNodes();
+    for (NodeId s = 0; s < n; ++s) {
+        for (NodeId d = 0; d < n; ++d) {
+            double p = destProbability(s, d);
+            if (p > 0.0)
+                total += p * net.distance(s, d);
+        }
+    }
+    return total / static_cast<double>(n);
+}
+
+std::vector<double>
+TrafficPattern::hopClassWeights() const
+{
+    std::vector<double> w(net.diameter(), 0.0);
+    NodeId n = net.numNodes();
+    for (NodeId s = 0; s < n; ++s) {
+        for (NodeId d = 0; d < n; ++d) {
+            double p = destProbability(s, d);
+            if (p <= 0.0)
+                continue;
+            int hops = net.distance(s, d);
+            WORMSIM_ASSERT(hops >= 1 && hops <= net.diameter(),
+                           "distance out of range");
+            w[hops - 1] += p;
+        }
+    }
+    for (double &x : w)
+        x /= static_cast<double>(n);
+    return w;
+}
+
+} // namespace wormsim

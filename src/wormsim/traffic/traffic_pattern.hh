@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Traffic patterns: the destination distribution per source node.
+ *
+ * Each pattern provides both a sampler (pickDest) and the analytic
+ * distribution (destProbability), which the driver uses to derive the
+ * hop-class population weights for the paper's stratified convergence
+ * check and the mean minimal distance used to normalize offered load.
+ */
+
+#ifndef WORMSIM_TRAFFIC_TRAFFIC_PATTERN_HH
+#define WORMSIM_TRAFFIC_TRAFFIC_PATTERN_HH
+
+#include <string>
+#include <vector>
+
+#include "wormsim/rng/xoshiro.hh"
+#include "wormsim/topology/topology.hh"
+
+namespace wormsim
+{
+
+/** Base class for destination distributions. */
+class TrafficPattern
+{
+  public:
+    /** @param topo topology (not owned; must outlive the pattern) */
+    explicit TrafficPattern(const Topology &topo) : net(topo) {}
+    virtual ~TrafficPattern() = default;
+
+    /** Short name, e.g. "uniform", "hotspot(4%)". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Draw a destination for a message from @p src; never returns src.
+     */
+    virtual NodeId pickDest(NodeId src, Xoshiro256 &rng) const = 0;
+
+    /**
+     * Analytic probability that a message from @p src goes to @p dst
+     * (zero when dst == src). Sums to 1 over dst for every src.
+     */
+    virtual double destProbability(NodeId src, NodeId dst) const = 0;
+
+    /**
+     * Mean minimal distance of a message under this pattern, assuming
+     * messages originate uniformly over all nodes (8.03 for uniform
+     * traffic on a 16x16 torus, 3.5 for the 7x7 local window).
+     */
+    double meanDistance() const;
+
+    /**
+     * Population weight of each hop class h = 1..diameter (index h-1):
+     * the probability a message needs exactly h hops. These are the
+     * stratification weights of the paper's first convergence check
+     * (e.g. 0.0157 for class 1 and 0.0039 for class 16 under uniform
+     * traffic on a 16x16 torus).
+     */
+    std::vector<double> hopClassWeights() const;
+
+    const Topology &topology() const { return net; }
+
+  protected:
+    /** Uniform over all nodes except @p src. */
+    NodeId pickUniformExcludingSelf(NodeId src, Xoshiro256 &rng) const;
+
+    const Topology &net;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_TRAFFIC_TRAFFIC_PATTERN_HH

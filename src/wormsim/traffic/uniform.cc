@@ -1,0 +1,20 @@
+#include "wormsim/traffic/uniform.hh"
+
+namespace wormsim
+{
+
+NodeId
+UniformTraffic::pickDest(NodeId src, Xoshiro256 &rng) const
+{
+    return pickUniformExcludingSelf(src, rng);
+}
+
+double
+UniformTraffic::destProbability(NodeId src, NodeId dst) const
+{
+    if (dst == src)
+        return 0.0;
+    return 1.0 / static_cast<double>(net.numNodes() - 1);
+}
+
+} // namespace wormsim

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Uniform (random) traffic: every other node is an equally likely
+ * destination. The paper motivates it as the pattern of massively
+ * parallel computations with hashed data distribution.
+ */
+
+#ifndef WORMSIM_TRAFFIC_UNIFORM_HH
+#define WORMSIM_TRAFFIC_UNIFORM_HH
+
+#include "wormsim/traffic/traffic_pattern.hh"
+
+namespace wormsim
+{
+
+/** Uniform destinations over all nodes except the source. */
+class UniformTraffic : public TrafficPattern
+{
+  public:
+    explicit UniformTraffic(const Topology &topo) : TrafficPattern(topo) {}
+
+    std::string name() const override { return "uniform"; }
+    NodeId pickDest(NodeId src, Xoshiro256 &rng) const override;
+    double destProbability(NodeId src, NodeId dst) const override;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_TRAFFIC_UNIFORM_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Umbrella header: the whole wormsim public API.
+ *
+ * wormsim is a flit-level simulator for wormhole-switched k-ary n-cube
+ * (torus) and mesh interconnection networks, reproducing Boppana &
+ * Chalasani, "A Comparison of Adaptive Wormhole Routing Algorithms"
+ * (ISCA 1993). See README.md for a tour and DESIGN.md for the
+ * architecture.
+ */
+
+#ifndef WORMSIM_WORMSIM_HH
+#define WORMSIM_WORMSIM_HH
+
+#include "wormsim/common/chart.hh"
+#include "wormsim/common/csv.hh"
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/options.hh"
+#include "wormsim/common/string_utils.hh"
+#include "wormsim/common/table.hh"
+#include "wormsim/common/types.hh"
+#include "wormsim/driver/config.hh"
+#include "wormsim/driver/results.hh"
+#include "wormsim/driver/runner.hh"
+#include "wormsim/driver/sweep.hh"
+#include "wormsim/driver/trace_runner.hh"
+#include "wormsim/driver/warmup.hh"
+#include "wormsim/network/congestion.hh"
+#include "wormsim/network/link.hh"
+#include "wormsim/network/message.hh"
+#include "wormsim/network/network.hh"
+#include "wormsim/network/router.hh"
+#include "wormsim/network/virtual_channel.hh"
+#include "wormsim/network/watchdog.hh"
+#include "wormsim/rng/distributions.hh"
+#include "wormsim/rng/splitmix.hh"
+#include "wormsim/rng/stream_set.hh"
+#include "wormsim/rng/xoshiro.hh"
+#include "wormsim/routing/analysis.hh"
+#include "wormsim/routing/bonus_cards.hh"
+#include "wormsim/routing/broken_ring.hh"
+#include "wormsim/routing/ecube.hh"
+#include "wormsim/routing/negative_hop.hh"
+#include "wormsim/routing/north_last.hh"
+#include "wormsim/routing/positive_hop.hh"
+#include "wormsim/routing/registry.hh"
+#include "wormsim/routing/routing_algorithm.hh"
+#include "wormsim/routing/two_power_n.hh"
+#include "wormsim/sim/event_queue.hh"
+#include "wormsim/sim/simulator.hh"
+#include "wormsim/stats/accumulator.hh"
+#include "wormsim/stats/convergence.hh"
+#include "wormsim/stats/histogram.hh"
+#include "wormsim/stats/steady_state.hh"
+#include "wormsim/stats/strata.hh"
+#include "wormsim/topology/coord.hh"
+#include "wormsim/topology/mesh.hh"
+#include "wormsim/topology/topology.hh"
+#include "wormsim/topology/torus.hh"
+#include "wormsim/traffic/hotspot.hh"
+#include "wormsim/traffic/local.hh"
+#include "wormsim/traffic/permutations.hh"
+#include "wormsim/traffic/registry.hh"
+#include "wormsim/traffic/trace.hh"
+#include "wormsim/traffic/traffic_pattern.hh"
+#include "wormsim/traffic/uniform.hh"
+
+#endif // WORMSIM_WORMSIM_HH

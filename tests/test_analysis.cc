@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the fault-tolerance analysis (routing/analysis.hh) and the
+ * network's link-failure injection: adaptivity determines how many
+ * (src, dst) pairs survive failed links.
+ */
+
+#include <gtest/gtest.h>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/network/network.hh"
+#include "wormsim/routing/analysis.hh"
+#include "wormsim/routing/registry.hh"
+#include "wormsim/topology/torus.hh"
+#include "wormsim/traffic/uniform.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+TEST(Analysis, EveryAlgorithmFullyRoutableWithoutFailures)
+{
+    Torus topo = Torus::square(6);
+    for (const std::string &name :
+         {"ecube", "nlast", "2pn", "phop", "nhop", "nbc", "nbc-flex"}) {
+        auto algo = makeRoutingAlgorithm(name);
+        EXPECT_DOUBLE_EQ(routableFraction(*algo, topo, {}), 1.0) << name;
+    }
+}
+
+TEST(Analysis, EcubeLosesPairsOnItsUniquePath)
+{
+    Torus topo = Torus::square(8);
+    auto ecube = makeRoutingAlgorithm("ecube");
+    // e-cube routes (0,0) -> (3,2) via dimension 0 first: the path starts
+    // on link (0,0)->(1,0). Failing it disconnects that pair...
+    NodeId src = topo.nodeId(Coord(0, 0));
+    NodeId dst = topo.nodeId(Coord(3, 2));
+    ChannelId first = topo.channelId(src, Direction{0, +1});
+    EXPECT_TRUE(canReach(*ecube, topo, src, dst, {}));
+    EXPECT_FALSE(canReach(*ecube, topo, src, dst, {first}));
+    // ...while a fully-adaptive scheme routes around it.
+    auto nbc = makeRoutingAlgorithm("nbc");
+    EXPECT_TRUE(canReach(*nbc, topo, src, dst, {first}));
+}
+
+TEST(Analysis, AlignedPairsAreLostByAllMinimalAlgorithms)
+{
+    // src and dst differ only in dimension 0: every minimal path uses the
+    // same first link; failing it cuts the pair for any minimal router.
+    Torus topo = Torus::square(8);
+    NodeId src = topo.nodeId(Coord(2, 5));
+    NodeId dst = topo.nodeId(Coord(3, 5));
+    ChannelId only = topo.channelId(src, Direction{0, +1});
+    for (const std::string &name : {"ecube", "phop", "nhop", "nbc"}) {
+        auto algo = makeRoutingAlgorithm(name);
+        EXPECT_FALSE(canReach(*algo, topo, src, dst, {only})) << name;
+    }
+}
+
+TEST(Analysis, AdaptiveFractionsDominateDeterministic)
+{
+    Torus topo = Torus::square(6);
+    // Fail two links away from each other.
+    FailedLinkSet failed{
+        topo.channelId(topo.nodeId(Coord(1, 1)), Direction{0, +1}),
+        topo.channelId(topo.nodeId(Coord(4, 3)), Direction{1, -1})};
+    auto ecube = makeRoutingAlgorithm("ecube");
+    auto nbc = makeRoutingAlgorithm("nbc");
+    auto twopn = makeRoutingAlgorithm("2pn");
+    double f_ecube = routableFraction(*ecube, topo, failed);
+    double f_nbc = routableFraction(*nbc, topo, failed);
+    double f_2pn = routableFraction(*twopn, topo, failed);
+    EXPECT_LT(f_ecube, 1.0);
+    EXPECT_GT(f_nbc, f_ecube);
+    EXPECT_GE(f_nbc, f_2pn); // full minimal adaptivity >= tag adaptivity
+    EXPECT_GT(f_nbc, 0.99);  // two failures cost almost nothing
+}
+
+TEST(Analysis, PartialAdaptivityIsBetween)
+{
+    Torus topo = Torus::square(6);
+    FailedLinkSet failed{
+        topo.channelId(topo.nodeId(Coord(2, 2)), Direction{0, +1})};
+    auto ecube = makeRoutingAlgorithm("ecube");
+    auto nlast = makeRoutingAlgorithm("nlast");
+    auto nbc = makeRoutingAlgorithm("nbc");
+    double f_ecube = routableFraction(*ecube, topo, failed);
+    double f_nlast = routableFraction(*nlast, topo, failed);
+    double f_nbc = routableFraction(*nbc, topo, failed);
+    EXPECT_GE(f_nlast, f_ecube - 1e-12);
+    EXPECT_GE(f_nbc, f_nlast);
+}
+
+TEST(NetworkFaults, FailedLinkIsAvoidedByAdaptiveRouting)
+{
+    Torus topo = Torus::square(8);
+    auto nbc = makeRoutingAlgorithm("nbc");
+    Xoshiro256 rng(3);
+    NetworkParams params;
+    params.watchdogPatience = 5000;
+    Network net(topo, *nbc, params, rng);
+    NodeId src = topo.nodeId(Coord(0, 0));
+    Direction d{0, +1};
+    ChannelId failed_ch = topo.channelId(src, d);
+    net.failLink(src, d);
+    EXPECT_EQ(net.failedLinks(), 1);
+
+    // Traffic from src to a diagonal destination must avoid the link.
+    int delivered = 0;
+    net.setDeliveryHook([&](const Message &, Cycle) { ++delivered; });
+    for (Cycle t = 0; t < 200; t += 20)
+        net.offerMessage(src, topo.nodeId(Coord(3, 3)), 16, t);
+    Cycle t = 0;
+    while (net.busy() && t < 5000)
+        net.step(t++);
+    EXPECT_GT(delivered, 0);
+    EXPECT_FALSE(net.busy());
+    EXPECT_EQ(net.link(failed_ch).flitsTransferred(), 0u);
+}
+
+TEST(NetworkFaults, FailingBusyLinkPanics)
+{
+    setLoggingThrows(true);
+    Torus topo = Torus::square(4);
+    auto ecube = makeRoutingAlgorithm("ecube");
+    Xoshiro256 rng(3);
+    Network net(topo, *ecube, NetworkParams{}, rng);
+    net.offerMessage(0, 1, 16, 0);
+    net.step(0); // the worm now owns a VC on link 0 -> 1
+    EXPECT_THROW(net.failLink(0, Direction{0, +1}), std::runtime_error);
+    setLoggingThrows(false);
+}
+
+TEST(NetworkFaults, UnroutablePairWedgesAndWatchdogSeesIt)
+{
+    // Fail the only minimal link of an aligned pair, inject that pair:
+    // the message can never route; the watchdog flags it as stuck but not
+    // deadlocked (no cycle, just a dead end). It stays in flight.
+    Torus topo = Torus::square(8);
+    auto nbc = makeRoutingAlgorithm("nbc");
+    Xoshiro256 rng(3);
+    NetworkParams params;
+    params.watchdogPatience = 100;
+    params.watchdogInterval = 32;
+    params.deadlockAction = DeadlockAction::RecordOnly;
+    Network net(topo, *nbc, params, rng);
+    NodeId src = topo.nodeId(Coord(2, 5));
+    net.failLink(src, Direction{0, +1});
+    net.offerMessage(src, topo.nodeId(Coord(3, 5)), 16, 0);
+    for (Cycle t = 0; t < 1000; ++t)
+        net.step(t);
+    EXPECT_TRUE(net.busy());             // wedged forever
+    EXPECT_FALSE(net.sawDeadlock());     // but not a cyclic deadlock
+    EXPECT_EQ(net.counters().messagesDelivered, 0u);
+}
+
+} // namespace
+} // namespace wormsim

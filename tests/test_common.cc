@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests for wormsim/common: strings, options, tables, CSV, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "wormsim/common/chart.hh"
+#include "wormsim/common/csv.hh"
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/options.hh"
+#include "wormsim/common/string_utils.hh"
+#include "wormsim/common/table.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+class ThrowingLogging : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLoggingThrows(true); }
+    void TearDown() override { setLoggingThrows(false); }
+};
+
+TEST(StringUtils, SplitPreservesEmptyFields)
+{
+    auto v = split("a,,b,", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[1], "");
+    EXPECT_EQ(v[2], "b");
+    EXPECT_EQ(v[3], "");
+}
+
+TEST(StringUtils, SplitSingleField)
+{
+    auto v = split("hello", ',');
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], "hello");
+}
+
+TEST(StringUtils, TrimBothEnds)
+{
+    EXPECT_EQ(trim("  x y \t\n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringUtils, ToLowerAscii)
+{
+    EXPECT_EQ(toLower("MiXeD 42!"), "mixed 42!");
+}
+
+TEST(StringUtils, StartsWith)
+{
+    EXPECT_TRUE(startsWith("--option", "--"));
+    EXPECT_FALSE(startsWith("-o", "--"));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(StringUtils, ParseIntAcceptsWholeStringOnly)
+{
+    long long v = 0;
+    EXPECT_TRUE(parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_FALSE(parseInt("42x", v));
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("4.2", v));
+}
+
+TEST(StringUtils, ParseDouble)
+{
+    double v = 0;
+    EXPECT_TRUE(parseDouble("0.25", v));
+    EXPECT_DOUBLE_EQ(v, 0.25);
+    EXPECT_TRUE(parseDouble("1e-3", v));
+    EXPECT_DOUBLE_EQ(v, 1e-3);
+    EXPECT_FALSE(parseDouble("abc", v));
+    EXPECT_FALSE(parseDouble("1.0junk", v));
+}
+
+TEST(StringUtils, ParseBoolVariants)
+{
+    bool v = false;
+    EXPECT_TRUE(parseBool("TRUE", v));
+    EXPECT_TRUE(v);
+    EXPECT_TRUE(parseBool(" off ", v));
+    EXPECT_FALSE(v);
+    EXPECT_TRUE(parseBool("1", v));
+    EXPECT_TRUE(v);
+    EXPECT_FALSE(parseBool("maybe", v));
+}
+
+TEST(StringUtils, FormatFixed)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+TEST(StringUtils, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST_F(ThrowingLogging, PanicThrowsWhenHooked)
+{
+    EXPECT_THROW(WORMSIM_PANIC("boom ", 42), std::runtime_error);
+}
+
+TEST_F(ThrowingLogging, FatalThrowsWhenHooked)
+{
+    EXPECT_THROW(WORMSIM_FATAL("user error"), std::runtime_error);
+}
+
+TEST_F(ThrowingLogging, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(WORMSIM_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(WORMSIM_ASSERT(1 + 1 == 3, "broken"), std::runtime_error);
+}
+
+TEST_F(ThrowingLogging, OptionParserParsesAllTypes)
+{
+    long long i = 1;
+    double d = 0.5;
+    bool b = false;
+    std::string s = "x";
+    bool flag = false;
+    std::vector<double> list{1.0};
+
+    OptionParser p("tool", "test tool");
+    p.addInt("count", &i, "a count");
+    p.addDouble("rate", &d, "a rate");
+    p.addBool("enabled", &b, "a bool");
+    p.addString("name", &s, "a name");
+    p.addFlag("fast", &flag, "a flag");
+    p.addDoubleList("loads", &list, "a list");
+
+    const char *argv[] = {"tool",          "--count",   "7",
+                          "--rate=0.125",  "--enabled", "yes",
+                          "--name",        "worm",      "--fast",
+                          "--loads=0.1,0.2,0.3"};
+    ASSERT_TRUE(p.parse(10, argv));
+    EXPECT_EQ(i, 7);
+    EXPECT_DOUBLE_EQ(d, 0.125);
+    EXPECT_TRUE(b);
+    EXPECT_EQ(s, "worm");
+    EXPECT_TRUE(flag);
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_DOUBLE_EQ(list[1], 0.2);
+}
+
+TEST_F(ThrowingLogging, OptionParserHelpReturnsFalse)
+{
+    OptionParser p("tool", "test tool");
+    const char *argv[] = {"tool", "--help"};
+    ::testing::internal::CaptureStdout();
+    EXPECT_FALSE(p.parse(2, argv));
+    std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("test tool"), std::string::npos);
+}
+
+TEST_F(ThrowingLogging, OptionParserRejectsUnknownOption)
+{
+    OptionParser p("tool", "test tool");
+    const char *argv[] = {"tool", "--nope", "1"};
+    EXPECT_THROW(p.parse(3, argv), std::runtime_error);
+}
+
+TEST_F(ThrowingLogging, OptionParserRejectsBadValue)
+{
+    long long i = 0;
+    OptionParser p("tool", "test tool");
+    p.addInt("count", &i, "a count");
+    const char *argv[] = {"tool", "--count", "abc"};
+    EXPECT_THROW(p.parse(3, argv), std::runtime_error);
+}
+
+TEST_F(ThrowingLogging, OptionParserRejectsMissingValue)
+{
+    long long i = 0;
+    OptionParser p("tool", "test tool");
+    p.addInt("count", &i, "a count");
+    const char *argv[] = {"tool", "--count"};
+    EXPECT_THROW(p.parse(2, argv), std::runtime_error);
+}
+
+TEST_F(ThrowingLogging, OptionParserUsageListsOptionsAndDefaults)
+{
+    long long i = 9;
+    OptionParser p("tool", "test tool");
+    p.addInt("count", &i, "how many");
+    std::string u = p.usage();
+    EXPECT_NE(u.find("--count"), std::string::npos);
+    EXPECT_NE(u.find("how many"), std::string::npos);
+    EXPECT_NE(u.find("default: 9"), std::string::npos);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.setHeader({"algo", "latency"});
+    t.addRow({"ecube", "23.5"});
+    t.addRow({"phop", "123.45"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| algo "), std::string::npos);
+    EXPECT_NE(out.find("ecube"), std::string::npos);
+    // Numeric column is right-aligned: "  23.5" before "123.45" width.
+    EXPECT_NE(out.find("  23.5"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTable, RowWidthMismatchPanics)
+{
+    setLoggingThrows(true);
+    TextTable t;
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::runtime_error);
+    setLoggingThrows(false);
+}
+
+TEST(AsciiChart, RendersSeriesSymbolsAndLegend)
+{
+    AsciiChart c(40, 10);
+    c.setTitle("t");
+    c.setAxisLabels("load", "latency");
+    c.addSeries(ChartSeries{"alpha", 'o', {0.0, 1.0}, {0.0, 10.0}});
+    c.addSeries(ChartSeries{"beta", '+', {0.0, 1.0}, {10.0, 0.0}});
+    std::string out = c.render();
+    EXPECT_NE(out.find("t\n"), std::string::npos);
+    EXPECT_NE(out.find("o alpha"), std::string::npos);
+    EXPECT_NE(out.find("+ beta"), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+    EXPECT_NE(out.find("load"), std::string::npos);
+}
+
+TEST(AsciiChart, ClipsAboveYLimit)
+{
+    AsciiChart c(40, 10);
+    c.setYLimit(100.0);
+    c.addSeries(ChartSeries{"s", 'x', {0.0, 0.5, 1.0}, {10.0, 50.0,
+                                                        100000.0}});
+    std::string out = c.render();
+    EXPECT_NE(out.find("clipped"), std::string::npos);
+    // The clipped point sits on the top plot row.
+    auto first_row = out.find("|");
+    auto newline = out.find('\n', first_row);
+    std::string top = out.substr(first_row, newline - first_row);
+    EXPECT_NE(top.find('x'), std::string::npos);
+}
+
+TEST(AsciiChart, OverlapBecomesHash)
+{
+    AsciiChart c(40, 10);
+    c.addSeries(ChartSeries{"a", 'o', {0.5}, {5.0}});
+    c.addSeries(ChartSeries{"b", '+', {0.5}, {5.0}});
+    // Force a shared scale with distinct corners.
+    c.addSeries(ChartSeries{"c", '.', {0.0, 1.0}, {0.0, 10.0}});
+    std::string out = c.render();
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyDataIsGraceful)
+{
+    AsciiChart c(40, 10);
+    EXPECT_EQ(c.render(), "(no plottable data)\n");
+    c.addSeries(ChartSeries{"flat", 'o', {0.3}, {1.0}});
+    // Single x value -> degenerate range, still graceful.
+    EXPECT_EQ(c.render(), "(no plottable data)\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCells)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, WritesRows)
+{
+    std::ostringstream oss;
+    CsvWriter w(oss);
+    w.writeRow({"x", "1,5", "z"});
+    EXPECT_EQ(oss.str(), "x,\"1,5\",z\n");
+}
+
+} // namespace
+} // namespace wormsim

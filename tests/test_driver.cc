@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests for the driver layer: config validation and option plumbing,
+ * the runner's measurement bookkeeping, and sweep reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/driver/runner.hh"
+#include "wormsim/driver/sweep.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+SimulationConfig
+quickConfig()
+{
+    SimulationConfig cfg;
+    cfg.radices = {8, 8};
+    cfg.warmupCycles = 1500;
+    cfg.samplePeriod = 1500;
+    cfg.sampleGap = 100;
+    cfg.maxCycles = 30000;
+    cfg.offeredLoad = 0.15;
+    return cfg;
+}
+
+TEST(Config, InjectionRateFollowsEquationFour)
+{
+    SimulationConfig cfg;
+    cfg.offeredLoad = 0.4;
+    cfg.messageLength = 16;
+    // lambda = rho * 2n / (ml * dbar) = 0.4*4/(16*8.03).
+    EXPECT_NEAR(cfg.injectionRate(8.03, 2), 0.4 * 4.0 / (16.0 * 8.03),
+                1e-12);
+}
+
+TEST(Config, ValidationCatchesUserErrors)
+{
+    setLoggingThrows(true);
+    SimulationConfig cfg = quickConfig();
+    cfg.messageLength = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg = quickConfig();
+    cfg.offeredLoad = -0.1;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg = quickConfig();
+    cfg.maxCycles = 100;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg = quickConfig();
+    EXPECT_NO_THROW(cfg.validate());
+    setLoggingThrows(false);
+}
+
+TEST(Config, OptionsRoundTripAndPreserveProgrammaticDefaults)
+{
+    SimulationConfig cfg = quickConfig(); // 8x8, custom windows
+    OptionParser parser("t", "t");
+    cfg.registerOptions(parser);
+    const char *argv[] = {"t", "--algorithm", "nbc", "--load", "0.5",
+                          "--switching", "vct"};
+    ASSERT_TRUE(parser.parse(7, argv));
+    cfg.finishOptions();
+    EXPECT_EQ(cfg.algorithm, "nbc");
+    EXPECT_DOUBLE_EQ(cfg.offeredLoad, 0.5);
+    EXPECT_EQ(cfg.switching, SwitchingMode::VirtualCutThrough);
+    // Values not overridden on the command line keep the programmatic
+    // defaults.
+    EXPECT_EQ(cfg.radices, (std::vector<int>{8, 8}));
+    EXPECT_EQ(cfg.warmupCycles, 1500u);
+    EXPECT_EQ(cfg.samplePeriod, 1500u);
+}
+
+TEST(Config, DimsOptionBuildsCube)
+{
+    SimulationConfig cfg;
+    OptionParser parser("t", "t");
+    cfg.registerOptions(parser);
+    const char *argv[] = {"t", "--radix", "4", "--dims", "3"};
+    ASSERT_TRUE(parser.parse(5, argv));
+    cfg.finishOptions();
+    EXPECT_EQ(cfg.radices, (std::vector<int>{4, 4, 4}));
+    auto topo = cfg.makeTopology();
+    EXPECT_EQ(topo->numNodes(), 64);
+}
+
+TEST(Config, MeshFlag)
+{
+    SimulationConfig cfg;
+    cfg.mesh = true;
+    auto topo = cfg.makeTopology();
+    EXPECT_FALSE(topo->isTorus());
+}
+
+TEST(Runner, LowLoadDeliversWithEquationTwoLatency)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.offeredLoad = 0.05;
+    cfg.algorithm = "ecube";
+    SimulationRunner runner(cfg);
+    SimulationResult r = runner.run();
+    EXPECT_GT(r.messagesDelivered, 100u);
+    EXPECT_EQ(r.messagesDropped, 0u);
+    // Zero-load bound: ml + dbar - 1 ~ 16 + 4.06 - 1 = 19.1 on 8^2.
+    EXPECT_GT(r.avgLatency, 19.0);
+    EXPECT_LT(r.avgLatency, 25.0);
+    // Achieved == offered before saturation.
+    EXPECT_NEAR(r.achievedUtilization, 0.05, 0.01);
+    EXPECT_NEAR(r.avgHops, r.meanMinDistance, 0.2);
+    EXPECT_FALSE(r.deadlockDetected);
+}
+
+TEST(Runner, ResultsAreReproducibleAcrossRuns)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.algorithm = "phop";
+    SimulationResult a = SimulationRunner(cfg).run();
+    SimulationResult b = SimulationRunner(cfg).run();
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_EQ(a.messagesDelivered, b.messagesDelivered);
+    EXPECT_EQ(a.numSamples, b.numSamples);
+}
+
+TEST(Runner, DifferentSeedsDiffer)
+{
+    SimulationConfig cfg = quickConfig();
+    SimulationResult a = SimulationRunner(cfg).run();
+    cfg.seed = 99;
+    SimulationResult b = SimulationRunner(cfg).run();
+    EXPECT_NE(a.messagesDelivered, b.messagesDelivered);
+}
+
+TEST(Runner, SaturationDropsAndBoundsLatency)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.algorithm = "ecube";
+    cfg.offeredLoad = 0.9;
+    cfg.maxCycles = 20000;
+    SimulationRunner runner(cfg);
+    SimulationResult r = runner.run();
+    // Past saturation the congestion control drops messages and the
+    // achieved utilization stays well under the offered load.
+    EXPECT_GT(r.messagesDropped, 0u);
+    EXPECT_GT(r.dropFraction, 0.05);
+    EXPECT_LT(r.achievedUtilization, 0.6);
+    EXPECT_GT(r.avgLatency, 50.0);
+}
+
+TEST(Runner, CongestionControlOffQueuesInstead)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.algorithm = "phop";
+    cfg.offeredLoad = 0.9;
+    cfg.injectionLimit = 0; // disabled
+    cfg.maxCycles = 12000;
+    SimulationRunner runner(cfg);
+    SimulationResult r = runner.run();
+    EXPECT_EQ(r.messagesDropped, 0u);
+}
+
+TEST(Runner, HistogramCollectsLatencies)
+{
+    SimulationConfig cfg = quickConfig();
+    SimulationRunner runner(cfg);
+    SimulationResult r = runner.run();
+    EXPECT_GT(runner.latencyHistogram().total(), 0u);
+    EXPECT_EQ(runner.latencyHistogram().underflow(), 0u);
+    (void)r;
+}
+
+TEST(Runner, MaxCyclesBudgetIsRespected)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.offeredLoad = 0.95;     // will not converge quickly
+    cfg.maxCycles = 8000;
+    cfg.convergence.maxSamples = 50;
+    SimulationResult r = SimulationRunner(cfg).run();
+    EXPECT_LE(r.cyclesSimulated, 8000u + cfg.samplePeriod);
+    EXPECT_EQ(r.stopReason, StopReason::MaxSamples);
+}
+
+TEST(Runner, VctModeRuns)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.switching = SwitchingMode::VirtualCutThrough;
+    cfg.algorithm = "2pn";
+    SimulationResult r = SimulationRunner(cfg).run();
+    EXPECT_GT(r.messagesDelivered, 0u);
+    EXPECT_FALSE(r.deadlockDetected);
+}
+
+TEST(Runner, SafModeRuns)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.switching = SwitchingMode::StoreAndForward;
+    cfg.algorithm = "nbc";
+    cfg.offeredLoad = 0.1;
+    SimulationResult r = SimulationRunner(cfg).run();
+    EXPECT_GT(r.messagesDelivered, 0u);
+    // SAF latency is roughly per-hop serialized: much higher than WH.
+    EXPECT_GT(r.avgLatency, 40.0);
+}
+
+TEST(Runner, VcLoadShareSumsToOne)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.algorithm = "nhop";
+    SimulationResult r = SimulationRunner(cfg).run();
+    double total = 0.0;
+    for (double s : r.vcClassLoadShare)
+        total += s;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // nhop skews low classes (the imbalance nbc exists to fix).
+    ASSERT_GE(r.vcClassLoadShare.size(), 3u);
+    EXPECT_GT(r.vcClassLoadShare[0], r.vcClassLoadShare[2]);
+}
+
+TEST(Runner, HopClassLatencyIsMonotoneInDistance)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.algorithm = "nbc";
+    SimulationResult r = SimulationRunner(cfg).run();
+    ASSERT_EQ(r.hopClassLatency.size(), 8u); // diameter of 8x8 torus
+    // Far messages take longer than near ones (weak monotonicity at the
+    // endpoints is enough at low load).
+    EXPECT_GT(r.hopClassLatency[7], r.hopClassLatency[0]);
+    // Zero-load-ish law per class: latency(h) ~ ml + h - 1.
+    EXPECT_NEAR(r.hopClassLatency[0], 16.0, 4.0);
+    EXPECT_NEAR(r.hopClassLatency[7], 23.0, 6.0);
+}
+
+TEST(Runner, LatencyPercentilesOrdered)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.offeredLoad = 0.4;
+    SimulationResult r = SimulationRunner(cfg).run();
+    EXPECT_GT(r.latencyP50, 0.0);
+    EXPECT_LE(r.latencyP50, r.latencyP95);
+    EXPECT_LE(r.latencyP95, r.latencyP99);
+    EXPECT_LE(r.latencyP50, r.avgLatency * 1.5);
+}
+
+TEST(Sweep, RunsGridAndReports)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.maxCycles = 10000;
+    SweepRunner sweeper(cfg);
+    sweeper.setProgress(nullptr);
+    SweepResult sweep = sweeper.run({"ecube", "phop"}, {0.1, 0.3});
+    ASSERT_EQ(sweep.results.size(), 2u);
+    ASSERT_EQ(sweep.results[0].size(), 2u);
+    EXPECT_GT(sweep.peakUtilization("phop"), 0.2);
+    EXPECT_GT(sweep.latencyAt("ecube", 0.1), 15.0);
+
+    std::ostringstream oss;
+    SweepRunner::report(sweep, "test sweep", oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("average latency"), std::string::npos);
+    EXPECT_NE(out.find("achieved channel utilization"), std::string::npos);
+    EXPECT_NE(out.find("ecube"), std::string::npos);
+    EXPECT_NE(out.find("csv:"), std::string::npos);
+}
+
+TEST(Sweep, AtFindsNearestLoad)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.maxCycles = 10000;
+    SweepRunner sweeper(cfg);
+    sweeper.setProgress(nullptr);
+    SweepResult sweep = sweeper.run({"ecube"}, {0.1, 0.3});
+    EXPECT_DOUBLE_EQ(sweep.at("ecube", 0.12).offeredLoad, 0.1);
+    EXPECT_DOUBLE_EQ(sweep.at("ecube", 0.4).offeredLoad, 0.3);
+    setLoggingThrows(true);
+    EXPECT_THROW(sweep.at("phop", 0.1), std::runtime_error);
+    setLoggingThrows(false);
+}
+
+} // namespace
+} // namespace wormsim

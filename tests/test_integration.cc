@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Integration and property tests across the whole stack: every paper
+ * algorithm under every paper traffic pattern delivers without deadlock;
+ * the watchdog catches an intentionally broken algorithm and can recover
+ * from it; a user-defined algorithm plugs into the public API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/driver/runner.hh"
+#include "wormsim/network/network.hh"
+#include "wormsim/routing/broken_ring.hh"
+#include "wormsim/routing/registry.hh"
+#include "wormsim/topology/torus.hh"
+#include "wormsim/traffic/uniform.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+// ---------------- property sweep: algorithm x traffic x switching ------
+
+using PropertyCase = std::tuple<std::string, std::string, std::string>;
+
+class EndToEnd : public ::testing::TestWithParam<PropertyCase>
+{
+};
+
+TEST_P(EndToEnd, DeliversWithoutDeadlockAndMeetsInvariants)
+{
+    const auto &[algorithm, traffic, switching] = GetParam();
+    SimulationConfig cfg;
+    cfg.radices = {8, 8};
+    cfg.algorithm = algorithm;
+    cfg.traffic = traffic;
+    cfg.switching = parseSwitchingMode(switching);
+    // SAF has far lower capacity (whole-packet store per hop): load it
+    // lightly so the run stays out of saturation.
+    cfg.offeredLoad =
+        cfg.switching == SwitchingMode::StoreAndForward ? 0.08 : 0.35;
+    cfg.warmupCycles = 1200;
+    cfg.samplePeriod = 1200;
+    cfg.sampleGap = 100;
+    cfg.maxCycles = 15000;
+    cfg.convergence.maxSamples = 4;
+    cfg.watchdogPatience = 3000; // deadlock would panic the test
+
+    SimulationRunner runner(cfg);
+    SimulationResult r = runner.run();
+
+    EXPECT_GT(r.messagesDelivered, 200u);
+    EXPECT_FALSE(r.deadlockDetected);
+    EXPECT_EQ(r.messagesKilled, 0u);
+    // Latency is at least the zero-load bound for the shortest messages.
+    EXPECT_GE(r.avgLatency, cfg.messageLength);
+    // Minimal algorithms never exceed the pattern's mean distance.
+    auto algo = makeRoutingAlgorithm(algorithm);
+    auto topo = cfg.makeTopology();
+    if (algo->torusMinimal(*topo))
+        EXPECT_NEAR(r.avgHops, r.meanMinDistance, 0.35);
+    else
+        EXPECT_GE(r.avgHops, r.meanMinDistance - 0.35);
+}
+
+std::vector<PropertyCase>
+propertyCases()
+{
+    std::vector<PropertyCase> cases;
+    for (const std::string &algo :
+         {"ecube", "nlast", "2pn", "phop", "nhop", "nbc"}) {
+        for (const std::string &traffic : {"uniform", "hotspot", "local"})
+            cases.emplace_back(algo, traffic, "wh");
+    }
+    // Switching-mode coverage on a representative pair.
+    cases.emplace_back("nbc", "uniform", "vct");
+    cases.emplace_back("2pn", "uniform", "vct");
+    cases.emplace_back("ecube", "uniform", "saf");
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperMatrix, EndToEnd, ::testing::ValuesIn(propertyCases()),
+    [](const ::testing::TestParamInfo<PropertyCase> &info) {
+        std::string n = std::get<0>(info.param) + "_" +
+                        std::get<1>(info.param) + "_" +
+                        std::get<2>(info.param);
+        for (char &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+// ------------------------- deadlock detection --------------------------
+
+TEST(Deadlock, BrokenRingIsCaughtByWatchdog)
+{
+    // Flood a small torus with the intentionally deadlock-prone algorithm
+    // and verify the watchdog confirms a cycle.
+    Torus topo = Torus::square(4);
+    BrokenRingRouting algo;
+    Xoshiro256 rng(5);
+    NetworkParams params;
+    params.watchdogPatience = 200;
+    params.watchdogInterval = 64;
+    params.deadlockAction = DeadlockAction::RecordOnly;
+    params.injectionLimit = 0; // no relief from congestion control
+    Network net(topo, algo, params, rng);
+
+    UniformTraffic traffic(topo);
+    Xoshiro256 dest_rng(7);
+    Cycle t = 0;
+    for (; t < 4000 && !net.sawDeadlock(); ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (t % 4 == 0)
+                net.offerMessage(n, traffic.pickDest(n, dest_rng), 16, t);
+        }
+        net.step(t);
+    }
+    EXPECT_TRUE(net.sawDeadlock());
+    const DeadlockReport &report = net.lastDeadlock();
+    EXPECT_TRUE(report.confirmed);
+    EXPECT_GE(report.cycle.size(), 2u);
+    EXPECT_NE(report.describe().find("confirmed"), std::string::npos);
+}
+
+TEST(Deadlock, RecordAndKillRecovers)
+{
+    Torus topo = Torus::square(4);
+    BrokenRingRouting algo;
+    Xoshiro256 rng(5);
+    NetworkParams params;
+    params.watchdogPatience = 200;
+    params.watchdogInterval = 64;
+    params.deadlockAction = DeadlockAction::RecordAndKill;
+    params.injectionLimit = 0;
+    Network net(topo, algo, params, rng);
+
+    setLoggingQuiet(true);
+    UniformTraffic traffic(topo);
+    Xoshiro256 dest_rng(7);
+    Cycle t = 0;
+    for (; t < 4000; ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (t % 40 == 0 && t < 2000)
+                net.offerMessage(n, traffic.pickDest(n, dest_rng), 16, t);
+        }
+        net.step(t);
+    }
+    // Injection stopped; the watchdog must keep breaking cycles until the
+    // backlog drains.
+    while (net.busy() && t < 400000)
+        net.step(t++);
+    setLoggingQuiet(false);
+    EXPECT_TRUE(net.sawDeadlock());
+    EXPECT_GT(net.counters().messagesKilled, 0u);
+    // Recovery keeps the network live: traffic continues to drain.
+    EXPECT_GT(net.counters().messagesDelivered, 0u);
+    EXPECT_FALSE(net.busy());
+}
+
+TEST(Deadlock, PaperAlgorithmsSurviveSaturationFlood)
+{
+    // Heavier stress than the property sweep: saturation load with the
+    // watchdog armed in Panic mode; any confirmed deadlock aborts.
+    for (const std::string &name : paperAlgorithms()) {
+        SimulationConfig cfg;
+        cfg.radices = {6, 6};
+        cfg.algorithm = name;
+        cfg.offeredLoad = 1.0;
+        cfg.warmupCycles = 1000;
+        cfg.samplePeriod = 1000;
+        cfg.maxCycles = 12000;
+        cfg.watchdogPatience = 2500;
+        cfg.convergence.maxSamples = 5;
+        SimulationResult r = SimulationRunner(cfg).run();
+        EXPECT_FALSE(r.deadlockDetected) << name;
+        EXPECT_GT(r.messagesDelivered, 100u) << name;
+    }
+}
+
+TEST(Deadlock, TwoPnMinimalGuardedRunCompletes)
+{
+    // The MinimalDirection tag policy may deadlock on tori (DESIGN.md
+    // Section 5); with RecordAndKill the run must still complete.
+    SimulationConfig cfg;
+    cfg.radices = {6, 6};
+    cfg.algorithm = "2pn-minimal";
+    cfg.offeredLoad = 0.4;
+    cfg.warmupCycles = 1500;
+    cfg.samplePeriod = 1500;
+    cfg.maxCycles = 15000;
+    cfg.watchdogPatience = 600;
+    cfg.deadlockAction = DeadlockAction::RecordAndKill;
+    cfg.convergence.maxSamples = 4;
+    setLoggingQuiet(true);
+    SimulationResult r = SimulationRunner(cfg).run();
+    setLoggingQuiet(false);
+    EXPECT_GT(r.messagesDelivered, 100u);
+    // Deadlock may or may not occur at this load; either way we finished.
+    SUCCEED();
+}
+
+// ------------------------- extensibility -------------------------------
+
+/**
+ * A user-defined algorithm implemented purely against the public API:
+ * dimension-order like e-cube but correcting the HIGHEST dimension first,
+ * with Dally–Seitz dateline classes. Verifies RoutingAlgorithm is
+ * sufficient for outside extensions (see examples/custom_algorithm.cpp).
+ */
+class ReverseEcube : public RoutingAlgorithm
+{
+  public:
+    std::string name() const override { return "reverse-ecube"; }
+
+    int
+    numVcClasses(const Topology &topo) const override
+    {
+        return topo.isTorus() ? 2 : 1;
+    }
+
+    void
+    initMessage(const Topology &, Message &msg) const override
+    {
+        msg.route() = RouteState{};
+    }
+
+    void
+    candidates(const Topology &topo, NodeId current, const Message &msg,
+               std::vector<RouteCandidate> &out) const override
+    {
+        Coord cur = topo.coordOf(current);
+        Coord dst = topo.coordOf(msg.dst());
+        for (int dim = topo.numDims() - 1; dim >= 0; --dim) {
+            if (cur[dim] == dst[dim])
+                continue;
+            DimTravel t = topo.travel(dim, cur[dim], dst[dim]);
+            int sign = t.plusMinimal ? +1 : -1;
+            VcClass vc = 0;
+            if (topo.isTorus())
+                vc = Torus::datelineVc(cur[dim], dst[dim], sign,
+                                       topo.radixOf(dim));
+            out.push_back(RouteCandidate{Direction{dim, sign}, vc});
+            return;
+        }
+    }
+
+    bool torusMinimal(const Topology &) const override { return true; }
+};
+
+TEST(Extensibility, CustomAlgorithmRunsOnTheFabric)
+{
+    Torus topo = Torus::square(8);
+    ReverseEcube algo;
+    Xoshiro256 rng(9);
+    NetworkParams params;
+    params.watchdogPatience = 2000;
+    Network net(topo, algo, params, rng);
+    int delivered = 0;
+    net.setDeliveryHook([&](const Message &, Cycle) { ++delivered; });
+
+    UniformTraffic traffic(topo);
+    Xoshiro256 dest(3);
+    Cycle t = 0;
+    for (; t < 3000; ++t) {
+        if (t % 10 == 0) {
+            for (NodeId n = 0; n < topo.numNodes(); n += 7)
+                net.offerMessage(n, traffic.pickDest(n, dest), 16, t);
+        }
+        net.step(t);
+    }
+    while (net.busy() && t < 10000)
+        net.step(t++);
+    EXPECT_GT(delivered, 500);
+    EXPECT_FALSE(net.busy());
+    EXPECT_FALSE(net.sawDeadlock());
+}
+
+// ------------------------- conservation law ----------------------------
+
+TEST(Conservation, FlitsTransferredEqualsSumOfHopTimesLength)
+{
+    // Run a closed burst and check global flit conservation: every
+    // delivered message of length L that took h hops moved exactly h*L
+    // flits across network channels.
+    Torus topo = Torus::square(8);
+    auto algo = makeRoutingAlgorithm("nbc");
+    Xoshiro256 rng(21);
+    NetworkParams params;
+    Network net(topo, *algo, params, rng);
+    std::uint64_t expected = 0;
+    net.setDeliveryHook([&](const Message &m, Cycle) {
+        expected += static_cast<std::uint64_t>(m.route().hopsTaken) *
+                    static_cast<std::uint64_t>(m.length());
+    });
+
+    UniformTraffic traffic(topo);
+    Xoshiro256 dest(5);
+    Cycle t = 0;
+    for (; t < 500; ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (t % 25 == 0)
+                net.offerMessage(n, traffic.pickDest(n, dest), 8, t);
+        }
+        net.step(t);
+    }
+    while (net.busy() && t < 20000)
+        net.step(t++);
+    ASSERT_FALSE(net.busy());
+    EXPECT_EQ(net.flitsTransferred(), expected);
+}
+
+} // namespace
+} // namespace wormsim

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Cross-cutting property tests: metric axioms of the topologies, event
+ * queue ordering under random input, link-arbitration fairness, histogram
+ * quantile monotonicity, and end-to-end invariants that hold for every
+ * (algorithm, topology) combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "wormsim/network/link.hh"
+#include "wormsim/network/message.hh"
+#include "wormsim/rng/distributions.hh"
+#include "wormsim/sim/event_queue.hh"
+#include "wormsim/stats/histogram.hh"
+#include "wormsim/topology/mesh.hh"
+#include "wormsim/topology/torus.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+// ----------------------------- topology metric -------------------------
+
+struct TopoCase
+{
+    bool torus;
+    std::vector<int> radices;
+};
+
+class TopologyMetric : public ::testing::TestWithParam<TopoCase>
+{
+  protected:
+    std::unique_ptr<Topology>
+    make() const
+    {
+        if (GetParam().torus)
+            return std::make_unique<Torus>(GetParam().radices);
+        return std::make_unique<Mesh>(GetParam().radices);
+    }
+};
+
+TEST_P(TopologyMetric, DistanceIsAMetric)
+{
+    auto topo = make();
+    Xoshiro256 rng(31);
+    for (int trial = 0; trial < 300; ++trial) {
+        auto a = static_cast<NodeId>(uniformInt(rng, topo->numNodes()));
+        auto b = static_cast<NodeId>(uniformInt(rng, topo->numNodes()));
+        auto c = static_cast<NodeId>(uniformInt(rng, topo->numNodes()));
+        // Identity and symmetry.
+        EXPECT_EQ(topo->distance(a, a), 0);
+        EXPECT_EQ(topo->distance(a, b), topo->distance(b, a));
+        // Triangle inequality.
+        EXPECT_LE(topo->distance(a, c),
+                  topo->distance(a, b) + topo->distance(b, c));
+        // Bounded by the diameter.
+        EXPECT_LE(topo->distance(a, b), topo->diameter());
+    }
+}
+
+TEST_P(TopologyMetric, NeighborsAreAtDistanceOne)
+{
+    auto topo = make();
+    for (NodeId n = 0; n < topo->numNodes(); ++n) {
+        for (int p = 0; p < topo->numPorts(); ++p) {
+            NodeId nb = topo->neighbor(n, Direction::fromIndex(p));
+            if (nb == kInvalidNode)
+                continue;
+            EXPECT_EQ(topo->distance(n, nb), 1);
+            EXPECT_NE(nb, n);
+        }
+    }
+}
+
+TEST_P(TopologyMetric, TravelHopsAreConsistentWithDistance)
+{
+    auto topo = make();
+    Xoshiro256 rng(37);
+    for (int trial = 0; trial < 200; ++trial) {
+        auto a = static_cast<NodeId>(uniformInt(rng, topo->numNodes()));
+        auto b = static_cast<NodeId>(uniformInt(rng, topo->numNodes()));
+        Coord ca = topo->coordOf(a);
+        Coord cb = topo->coordOf(b);
+        int sum = 0;
+        for (int dim = 0; dim < topo->numDims(); ++dim)
+            sum += topo->travel(dim, ca[dim], cb[dim]).minHops();
+        EXPECT_EQ(sum, topo->distance(a, b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopologyMetric,
+    ::testing::Values(TopoCase{true, {16, 16}}, TopoCase{true, {5, 7}},
+                      TopoCase{true, {4, 4, 4}}, TopoCase{false, {16, 16}},
+                      TopoCase{false, {3, 9}},
+                      TopoCase{false, {4, 4, 4}}),
+    [](const ::testing::TestParamInfo<TopoCase> &info) {
+        std::string n = info.param.torus ? "torus" : "mesh";
+        for (int k : info.param.radices)
+            n += "_" + std::to_string(k);
+        return n;
+    });
+
+// ----------------------------- event queue -----------------------------
+
+TEST(Properties, EventQueueSortsRandomInput)
+{
+    EventQueue q;
+    Xoshiro256 rng(41);
+    std::vector<Cycle> fired;
+    const int kEvents = 2000;
+    for (int i = 0; i < kEvents; ++i) {
+        Cycle when = uniformInt(rng, 10000);
+        q.schedule(when, EventPriority::Cycle,
+                   [&fired, when] { fired.push_back(when); });
+    }
+    while (!q.empty())
+        q.pop().action();
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(kEvents));
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+// --------------------------- link fairness -----------------------------
+
+TEST(Properties, RoundRobinSharesBandwidthEvenly)
+{
+    // Three always-eligible VCs on one link must each get ~1/3 of the
+    // transfers under round-robin arbitration.
+    Link link;
+    link.configure(0, 0, 1, 3, true);
+    Message m0(0, 0, 1, 1 << 20, 0), m1(1, 0, 1, 1 << 20, 0),
+        m2(2, 0, 1, 1 << 20, 0);
+    link.allocateVc(0, &m0, nullptr, m0.length());
+    link.allocateVc(1, &m1, nullptr, m1.length());
+    link.allocateVc(2, &m2, nullptr, m2.length());
+    int counts[3] = {0, 0, 0};
+    for (int t = 0; t < 3000; ++t) {
+        VirtualChannel *v = link.arbitrate(SwitchingMode::Wormhole, 1 << 20);
+        ASSERT_NE(v, nullptr);
+        ++counts[v->vcClass()];
+        v->flits().push(); // keep occupancy bounded away from the cap
+        v->flits().pop();
+    }
+    EXPECT_EQ(counts[0], 1000);
+    EXPECT_EQ(counts[1], 1000);
+    EXPECT_EQ(counts[2], 1000);
+}
+
+// ------------------------- histogram quantiles -------------------------
+
+TEST(Properties, HistogramQuantilesAreMonotone)
+{
+    Histogram h(0.0, 1000.0, 50);
+    Xoshiro256 rng(43);
+    for (int i = 0; i < 5000; ++i)
+        h.add(uniform01(rng) * uniform01(rng) * 1000.0); // skewed
+    double prev = 0.0;
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+        double v = h.quantile(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+// --------------------------- rng invariance ----------------------------
+
+TEST(Properties, AliasSamplerMatchesArbitraryDistribution)
+{
+    Xoshiro256 rng(47);
+    std::vector<double> weights;
+    for (int i = 0; i < 37; ++i)
+        weights.push_back(uniform01(rng) < 0.3 ? 0.0 : uniform01(rng));
+    weights[5] = 3.0; // ensure a positive total and a heavy element
+    AliasSampler sampler(weights);
+    std::vector<int> counts(weights.size(), 0);
+    const int kDraws = 200000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[sampler.sample(rng)];
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        double expected = sampler.probability(i) * kDraws;
+        if (weights[i] == 0.0)
+            EXPECT_EQ(counts[i], 0) << i;
+        else
+            EXPECT_NEAR(counts[i], expected,
+                        5.0 * std::sqrt(expected + 1.0) + 5.0)
+                << i;
+    }
+}
+
+} // namespace
+} // namespace wormsim

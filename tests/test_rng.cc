@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for wormsim/rng: engine determinism, distribution moments,
+ * alias sampling, and the paper's per-period stream re-seeding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "wormsim/rng/distributions.hh"
+#include "wormsim/rng/splitmix.hh"
+#include "wormsim/rng/stream_set.hh"
+#include "wormsim/rng/xoshiro.hh"
+#include "wormsim/stats/accumulator.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+TEST(SplitMix, DeterministicAndDistinct)
+{
+    SplitMix64 a(1), b(1), c(2);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(SplitMix, DeriveSeedSeparatesIndices)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seeds.insert(deriveSeed(42, i));
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Xoshiro, SameSeedSameSequence)
+{
+    Xoshiro256 a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer)
+{
+    Xoshiro256 a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, ReseedRestartsSequence)
+{
+    Xoshiro256 a(3);
+    std::uint64_t first = a.next();
+    a.next();
+    a.seed(3);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream)
+{
+    Xoshiro256 a(11);
+    Xoshiro256 b = a;
+    b.jump();
+    EXPECT_NE(a.state(), b.state());
+    // Jumped stream should not collide with the base stream's prefix.
+    std::set<std::uint64_t> base;
+    for (int i = 0; i < 1000; ++i)
+        base.insert(a.next());
+    int collisions = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (base.count(b.next()))
+            ++collisions;
+    }
+    EXPECT_EQ(collisions, 0);
+}
+
+TEST(Distributions, Uniform01Bounds)
+{
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        double u = uniform01(rng);
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Distributions, Uniform01MeanAndVariance)
+{
+    Xoshiro256 rng(5);
+    Accumulator acc;
+    for (int i = 0; i < 200000; ++i)
+        acc.add(uniform01(rng));
+    EXPECT_NEAR(acc.mean(), 0.5, 0.005);
+    EXPECT_NEAR(acc.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Distributions, UniformIntBoundsAndCoverage)
+{
+    Xoshiro256 rng(9);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i) {
+        std::uint64_t v = uniformInt(rng, 10);
+        ASSERT_LT(v, 10u);
+        ++counts[v];
+    }
+    // Each bucket expects 10000; allow +/- 5 sigma (~470).
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Distributions, UniformRangeInclusive)
+{
+    Xoshiro256 rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::int64_t v = uniformRange(rng, -3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Distributions, BernoulliEdgeCasesAndRate)
+{
+    Xoshiro256 rng(17);
+    EXPECT_FALSE(bernoulli(rng, 0.0));
+    EXPECT_TRUE(bernoulli(rng, 1.0));
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += bernoulli(rng, 0.3);
+    EXPECT_NEAR(hits, 30000, 800);
+}
+
+TEST(Distributions, GeometricMeanMatchesInverseP)
+{
+    Xoshiro256 rng(19);
+    for (double p : {0.5, 0.1, 0.01}) {
+        Accumulator acc;
+        for (int i = 0; i < 100000; ++i)
+            acc.add(static_cast<double>(geometric(rng, p)));
+        EXPECT_NEAR(acc.mean(), 1.0 / p, 4.0 * acc.stddev() /
+                                             std::sqrt(100000.0));
+    }
+}
+
+TEST(Distributions, GeometricSupportStartsAtOne)
+{
+    Xoshiro256 rng(23);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GE(geometric(rng, 0.9), 1u);
+    EXPECT_EQ(geometric(rng, 1.0), 1u);
+}
+
+TEST(AliasSampler, MatchesTargetProbabilities)
+{
+    Xoshiro256 rng(29);
+    // The paper's 4% hotspot example: p_hot = 0.0438, others 0.0038.
+    std::vector<double> weights(256, 0.0038);
+    weights[255] = 0.0438;
+    AliasSampler sampler(weights);
+    std::vector<int> counts(256, 0);
+    const int kDraws = 300000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[sampler.sample(rng)];
+    double p_hot = static_cast<double>(counts[255]) / kDraws;
+    EXPECT_NEAR(p_hot, sampler.probability(255), 0.005);
+    double p_other = static_cast<double>(counts[0]) / kDraws;
+    EXPECT_NEAR(p_other, sampler.probability(0), 0.002);
+    // Hotspot node receives ~11.5x the traffic of any other node.
+    EXPECT_NEAR(sampler.probability(255) / sampler.probability(0), 11.5,
+                0.1);
+}
+
+TEST(AliasSampler, HandlesZeroWeights)
+{
+    Xoshiro256 rng(31);
+    AliasSampler sampler({0.0, 1.0, 0.0, 3.0});
+    int counts[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 40000; ++i)
+        ++counts[sampler.sample(rng)];
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[3], 30000, 700);
+}
+
+TEST(AliasSampler, SingleCategory)
+{
+    Xoshiro256 rng(37);
+    AliasSampler sampler({2.5});
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(StreamSet, PurposesAreIndependent)
+{
+    StreamSet set(100);
+    Xoshiro256 &a = set.stream("arrival");
+    Xoshiro256 &b = set.stream("destination");
+    EXPECT_NE(&a, &b);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(StreamSet, ReproducibleAcrossInstances)
+{
+    StreamSet s1(42), s2(42);
+    EXPECT_EQ(s1.stream("arrival").next(), s2.stream("arrival").next());
+}
+
+TEST(StreamSet, EpochAdvanceReseedsEveryStream)
+{
+    StreamSet set(7);
+    Xoshiro256 &a = set.stream("arrival");
+    std::uint64_t epoch0_first = a.next();
+    set.advanceEpoch();
+    EXPECT_EQ(set.epoch(), 1u);
+    std::uint64_t epoch1_first = a.next();
+    EXPECT_NE(epoch0_first, epoch1_first);
+
+    // Epoch sequence is itself reproducible.
+    StreamSet other(7);
+    other.stream("arrival").next();
+    other.advanceEpoch();
+    EXPECT_EQ(other.stream("arrival").next(), epoch1_first);
+}
+
+TEST(StreamSet, DifferentMasterSeedsDiffer)
+{
+    StreamSet s1(1), s2(2);
+    EXPECT_NE(s1.stream("x").next(), s2.stream("x").next());
+}
+
+} // namespace
+} // namespace wormsim

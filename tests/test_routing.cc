@@ -1,0 +1,710 @@
+/**
+ * @file
+ * Unit tests for the six routing algorithms: candidate sets, virtual
+ * channel classes, adaptivity, the paper's worked examples, and the class
+ * invariants behind each deadlock-freedom argument (Lemma 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/routing/bonus_cards.hh"
+#include "wormsim/routing/broken_ring.hh"
+#include "wormsim/routing/ecube.hh"
+#include "wormsim/routing/negative_hop.hh"
+#include "wormsim/routing/north_last.hh"
+#include "wormsim/routing/positive_hop.hh"
+#include "wormsim/routing/registry.hh"
+#include "wormsim/routing/two_power_n.hh"
+#include "wormsim/topology/mesh.hh"
+#include "wormsim/topology/torus.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+std::vector<RouteCandidate>
+candidatesOf(const RoutingAlgorithm &algo, const Topology &topo,
+             NodeId current, const Message &msg)
+{
+    std::vector<RouteCandidate> out;
+    algo.candidates(topo, current, msg, out);
+    return out;
+}
+
+Message
+makeMessage(const RoutingAlgorithm &algo, const Topology &topo, NodeId src,
+            NodeId dst)
+{
+    Message m(0, src, dst, 16, 0);
+    m.setMinDistance(topo.distance(src, dst));
+    algo.initMessage(topo, m);
+    return m;
+}
+
+/**
+ * Walk a message along algorithm-chosen hops (always the first candidate)
+ * and return the sequence of (node, vc) pairs; verifies it terminates.
+ */
+std::vector<std::pair<NodeId, VcClass>>
+walk(const RoutingAlgorithm &algo, const Topology &topo, Message &m,
+     std::size_t pick = 0)
+{
+    std::vector<std::pair<NodeId, VcClass>> trace;
+    NodeId cur = m.src();
+    int guard = 0;
+    while (cur != m.dst()) {
+        auto cands = candidatesOf(algo, topo, cur, m);
+        EXPECT_FALSE(cands.empty());
+        const RouteCandidate &c = cands[pick % cands.size()];
+        NodeId next = topo.neighbor(cur, c.dir);
+        EXPECT_NE(next, kInvalidNode);
+        algo.onHop(topo, cur, next, c.vc, m);
+        trace.emplace_back(next, c.vc);
+        cur = next;
+        EXPECT_LT(++guard, 1000) << "walk did not terminate";
+        if (guard >= 1000)
+            break;
+    }
+    return trace;
+}
+
+// ---------------------------------------------------------------- e-cube
+
+TEST(Ecube, VcCountTorusVsMesh)
+{
+    EcubeRouting algo;
+    Torus torus = Torus::square(16);
+    Mesh mesh = Mesh::square(16);
+    EXPECT_EQ(algo.numVcClasses(torus), 2);
+    EXPECT_EQ(algo.numVcClasses(mesh), 1);
+    EXPECT_EQ(algo.name(), "ecube");
+}
+
+TEST(Ecube, DimensionOrderIsDeterministic)
+{
+    EcubeRouting algo;
+    Torus topo = Torus::square(16);
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(4, 4)),
+                            topo.nodeId(Coord(2, 2)));
+    // Dimension 0 first, minus direction (4 -> 2, no wrap).
+    auto cands = candidatesOf(algo, topo, m.src(), m);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0].dir.dim, 0);
+    EXPECT_EQ(cands[0].dir.sign, -1);
+    EXPECT_EQ(cands[0].vc, 1); // no wrap ahead: post-dateline class
+
+    auto trace = walk(algo, topo, m);
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace[0].first, topo.nodeId(Coord(3, 4)));
+    EXPECT_EQ(trace[1].first, topo.nodeId(Coord(2, 4)));
+    EXPECT_EQ(trace[2].first, topo.nodeId(Coord(2, 3)));
+    EXPECT_EQ(trace[3].first, topo.nodeId(Coord(2, 2)));
+}
+
+TEST(Ecube, WrapPathSwitchesDatelineClass)
+{
+    EcubeRouting algo;
+    Torus topo = Torus::square(16);
+    // 14 -> 2 in dimension 0: wrap via 15, 0, 1.
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(14, 0)),
+                            topo.nodeId(Coord(2, 0)));
+    auto trace = walk(algo, topo, m);
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace[0].second, 0); // 14 -> 15: wrap still ahead
+    EXPECT_EQ(trace[1].second, 0); // 15 -> 0: the wrap hop itself
+    EXPECT_EQ(trace[2].second, 1); // 0 -> 1: past the dateline
+    EXPECT_EQ(trace[3].second, 1);
+}
+
+TEST(Ecube, TorusMinimalPaths)
+{
+    EcubeRouting algo;
+    Torus topo = Torus::square(16);
+    for (NodeId dst : {5, 100, 255, 17}) {
+        Message m = makeMessage(algo, topo, 0, dst);
+        auto trace = walk(algo, topo, m);
+        EXPECT_EQ(static_cast<int>(trace.size()), topo.distance(0, dst));
+    }
+    EXPECT_TRUE(algo.torusMinimal(topo));
+}
+
+TEST(Ecube, LanesMultiplyClasses)
+{
+    EcubeRouting algo(3);
+    Torus topo = Torus::square(16);
+    EXPECT_EQ(algo.numVcClasses(topo), 6);
+    EXPECT_EQ(algo.name(), "ecube3x");
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(0, 0)),
+                            topo.nodeId(Coord(3, 0)));
+    auto cands = candidatesOf(algo, topo, m.src(), m);
+    ASSERT_EQ(cands.size(), 3u);
+    std::set<VcClass> classes;
+    for (const auto &c : cands) {
+        EXPECT_EQ(c.dir.dim, 0);
+        classes.insert(c.vc);
+    }
+    // One class per lane: 1, 3, 5 (no wrap -> odd dateline class).
+    EXPECT_EQ(classes, (std::set<VcClass>{1, 3, 5}));
+}
+
+TEST(Ecube, CongestionClassesDependOnFirstHop)
+{
+    EcubeRouting algo;
+    Torus topo = Torus::square(16);
+    EXPECT_EQ(algo.numCongestionClasses(topo), 8); // 4 ports x 2 classes
+    Message a = makeMessage(algo, topo, 0, topo.nodeId(Coord(3, 0)));
+    Message b = makeMessage(algo, topo, 0, topo.nodeId(Coord(0, 3)));
+    EXPECT_NE(algo.congestionClass(topo, a), algo.congestionClass(topo, b));
+}
+
+// ------------------------------------------------------------ north-last
+
+TEST(NorthLast, PaperExampleIsFullyDeterministic)
+{
+    // Paper Section 2.3: (3,3) -> (1,1) on a 10^2 must go through (3,2),
+    // (3,1), (2,1): dimension 0 corrected first, then north. The paper
+    // writes tuples (x_{n-1}, ..., x_0), so its (3,2) is Coord(2,3) here.
+    NorthLastRouting algo;
+    Torus topo = Torus::square(10);
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(3, 3)),
+                            topo.nodeId(Coord(1, 1)));
+    NodeId cur = m.src();
+    std::vector<NodeId> path;
+    while (cur != m.dst()) {
+        auto cands = candidatesOf(algo, topo, cur, m);
+        ASSERT_EQ(cands.size(), 1u) << "northbound leg must be forced";
+        cur = topo.neighbor(cur, cands[0].dir);
+        algo.onHop(topo, m.headAt(), cur, cands[0].vc, m);
+        path.push_back(cur);
+    }
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path[0], topo.nodeId(Coord(2, 3)));
+    EXPECT_EQ(path[1], topo.nodeId(Coord(1, 3)));
+    EXPECT_EQ(path[2], topo.nodeId(Coord(1, 2)));
+    EXPECT_EQ(path[3], topo.nodeId(Coord(1, 1)));
+}
+
+TEST(NorthLast, SouthboundIsFullyAdaptive)
+{
+    NorthLastRouting algo;
+    Torus topo = Torus::square(10);
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(3, 3)),
+                            topo.nodeId(Coord(5, 6)));
+    auto cands = candidatesOf(algo, topo, m.src(), m);
+    EXPECT_EQ(cands.size(), 2u); // both dimensions offered
+    for (const auto &c : cands)
+        EXPECT_EQ(c.vc, 0);
+}
+
+TEST(NorthLast, SingleVcClassAndIndexMonotone)
+{
+    NorthLastRouting algo;
+    Torus topo = Torus::square(16);
+    EXPECT_EQ(algo.numVcClasses(topo), 1);
+    EXPECT_FALSE(algo.torusMinimal(topo));
+    // 14 -> 2: index-monotone goes the long way (12 hops), never wrapping.
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(14, 0)),
+                            topo.nodeId(Coord(2, 0)));
+    auto trace = walk(algo, topo, m);
+    EXPECT_EQ(trace.size(), 12u);
+    Mesh mesh = Mesh::square(16);
+    EXPECT_TRUE(algo.torusMinimal(mesh));
+}
+
+// ------------------------------------------------------------------ 2pn
+
+TEST(TwoPowerN, TagFollowsEquationOne)
+{
+    TwoPowerNRouting algo;
+    Torus topo = Torus::square(16);
+    // src (4,4), dst (2,2): s_i > d_i in both dims -> both bits 0.
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(4, 4)),
+                            topo.nodeId(Coord(2, 2)));
+    EXPECT_EQ(m.route().tag, 0);
+    // src (4,4), dst (6,2): bit0 = 1 (4 < 6), bit1 = 0.
+    Message m2 = makeMessage(algo, topo, topo.nodeId(Coord(4, 4)),
+                             topo.nodeId(Coord(6, 2)));
+    EXPECT_EQ(m2.route().tag, 1);
+    EXPECT_EQ(algo.numVcClasses(topo), 4);
+}
+
+TEST(TwoPowerN, FullyAdaptiveAcrossUncorrectedDims)
+{
+    TwoPowerNRouting algo;
+    Torus topo = Torus::square(16);
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(4, 4)),
+                            topo.nodeId(Coord(2, 2)));
+    auto cands = candidatesOf(algo, topo, m.src(), m);
+    ASSERT_EQ(cands.size(), 2u);
+    for (const auto &c : cands) {
+        EXPECT_EQ(c.vc, m.route().tag);
+        EXPECT_EQ(c.dir.sign, -1); // tag bits are 0 in both dims
+    }
+}
+
+TEST(TwoPowerN, MonotoneNeverWraps)
+{
+    TwoPowerNRouting algo;
+    Torus topo = Torus::square(16);
+    // 14 -> 2: monotone-index takes 12 hops (torus-minimal would be 4).
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(14, 7)),
+                            topo.nodeId(Coord(2, 7)));
+    auto trace = walk(algo, topo, m);
+    EXPECT_EQ(trace.size(), 12u);
+    EXPECT_FALSE(algo.torusMinimal(topo));
+}
+
+TEST(TwoPowerN, MinimalDirectionPolicyWraps)
+{
+    TwoPowerNRouting algo(TwoPowerNRouting::TagPolicy::MinimalDirection);
+    Torus topo = Torus::square(16);
+    EXPECT_EQ(algo.name(), "2pn-minimal");
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(14, 7)),
+                            topo.nodeId(Coord(2, 7)));
+    auto trace = walk(algo, topo, m);
+    EXPECT_EQ(trace.size(), 4u); // wraps via 15, 0, 1, 2
+    EXPECT_TRUE(algo.torusMinimal(topo));
+}
+
+TEST(TwoPowerN, TagClassConstantAlongPath)
+{
+    TwoPowerNRouting algo;
+    Torus topo = Torus::square(16);
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(1, 2)),
+                            topo.nodeId(Coord(7, 9)));
+    int tag = m.route().tag;
+    auto trace = walk(algo, topo, m, 1); // vary the adaptive choice
+    for (const auto &[node, vc] : trace)
+        EXPECT_EQ(vc, tag);
+}
+
+TEST(TwoPowerN, CongestionClassIsTag)
+{
+    TwoPowerNRouting algo;
+    Torus topo = Torus::square(16);
+    EXPECT_EQ(algo.numCongestionClasses(topo), 4);
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(4, 4)),
+                            topo.nodeId(Coord(6, 2)));
+    EXPECT_EQ(algo.congestionClass(topo, m), m.route().tag);
+}
+
+// ----------------------------------------------------------------- phop
+
+TEST(PositiveHop, VcClassEqualsHopsTaken)
+{
+    PositiveHopRouting algo;
+    Torus topo = Torus::square(16);
+    EXPECT_EQ(algo.numVcClasses(topo), 17); // paper: 17 VCs on 16^2
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(4, 4)),
+                            topo.nodeId(Coord(2, 2)));
+    auto trace = walk(algo, topo, m, 1);
+    ASSERT_EQ(trace.size(), 4u);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(trace[i].second, static_cast<VcClass>(i));
+}
+
+TEST(PositiveHop, FullyAdaptiveWithTorusTies)
+{
+    PositiveHopRouting algo;
+    Torus topo = Torus::square(16);
+    // Distance 8 in dimension 0: both directions minimal -> 3 candidates
+    // including the unique dimension-1 direction.
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(0, 0)),
+                            topo.nodeId(Coord(8, 3)));
+    auto cands = candidatesOf(algo, topo, m.src(), m);
+    EXPECT_EQ(cands.size(), 3u);
+}
+
+TEST(PositiveHop, StrictlyIncreasingClassesOnAnyPath)
+{
+    // Lemma 1's hypothesis: classes strictly increase hop over hop.
+    PositiveHopRouting algo;
+    Torus topo = Torus::square(8);
+    for (std::size_t pick = 0; pick < 3; ++pick) {
+        Message m = makeMessage(algo, topo, 0, topo.numNodes() - 1);
+        auto trace = walk(algo, topo, m, pick);
+        for (std::size_t i = 1; i < trace.size(); ++i)
+            EXPECT_GT(trace[i].second, trace[i - 1].second);
+    }
+}
+
+// ----------------------------------------------------------------- nhop
+
+TEST(NegativeHop, VcCountMatchesPaper)
+{
+    NegativeHopRouting algo;
+    Torus topo = Torus::square(16);
+    EXPECT_EQ(algo.numVcClasses(topo), 9); // paper: 9 on 16^2
+    EXPECT_EQ(NegativeHopRouting::maxNegativeHops(topo), 8);
+}
+
+TEST(NegativeHop, OddRadixTorusIsRejected)
+{
+    setLoggingThrows(true);
+    NegativeHopRouting algo;
+    Torus odd = Torus::square(5);
+    EXPECT_THROW(algo.numVcClasses(odd), std::runtime_error);
+    setLoggingThrows(false);
+}
+
+TEST(NegativeHop, PaperFigureTwoExample)
+{
+    // Figure 2: (4,4) -> (2,2) on a 6^2 torus via (3,4),(3,3),(2,3),(2,2)
+    // reserves classes c0, c0, c1, c1.
+    NegativeHopRouting algo;
+    Torus topo = Torus::square(6);
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(4, 4)),
+                            topo.nodeId(Coord(2, 2)));
+    std::vector<Coord> path{Coord(3, 4), Coord(3, 3), Coord(2, 3),
+                            Coord(2, 2)};
+    std::vector<VcClass> used;
+    NodeId cur = m.src();
+    for (const Coord &next : path) {
+        auto cands = candidatesOf(algo, topo, cur, m);
+        NodeId target = topo.nodeId(next);
+        bool found = false;
+        for (const auto &c : cands) {
+            if (topo.neighbor(cur, c.dir) == target) {
+                used.push_back(c.vc);
+                algo.onHop(topo, cur, target, c.vc, m);
+                cur = target;
+                found = true;
+                break;
+            }
+        }
+        ASSERT_TRUE(found) << "paper path must be admissible (full "
+                              "adaptivity)";
+    }
+    EXPECT_EQ(used, (std::vector<VcClass>{0, 0, 1, 1}));
+}
+
+TEST(NegativeHop, ClassesNonDecreasingAndIncrementOnlyFromOdd)
+{
+    NegativeHopRouting algo;
+    Torus topo = Torus::square(8);
+    for (std::size_t pick = 0; pick < 3; ++pick) {
+        Message m = makeMessage(algo, topo, topo.nodeId(Coord(1, 0)),
+                                topo.nodeId(Coord(5, 6)));
+        NodeId cur = m.src();
+        VcClass prev = -1;
+        while (cur != m.dst()) {
+            auto cands = candidatesOf(algo, topo, cur, m);
+            const RouteCandidate &c = cands[pick % cands.size()];
+            if (prev >= 0) {
+                EXPECT_GE(c.vc, prev);
+                EXPECT_LE(c.vc, prev + 1);
+            }
+            NodeId next = topo.neighbor(cur, c.dir);
+            // Increment happens exactly when leaving an odd node.
+            VcClass before = static_cast<VcClass>(m.route().negHops);
+            algo.onHop(topo, cur, next, c.vc, m);
+            VcClass after = static_cast<VcClass>(m.route().negHops);
+            EXPECT_EQ(after - before, topo.color(cur) == 1 ? 1 : 0);
+            prev = c.vc;
+            cur = next;
+        }
+    }
+}
+
+TEST(NegativeHop, NegativeHopsNeededFormula)
+{
+    Torus topo = Torus::square(16);
+    // Even source, distance 4: floor(4/2) = 2.
+    EXPECT_EQ(NegativeHopRouting::negativeHopsNeeded(
+                  topo, topo.nodeId(Coord(0, 0)), topo.nodeId(Coord(2, 2))),
+              2);
+    // Odd source, distance 3: ceil(3/2) = 2.
+    EXPECT_EQ(NegativeHopRouting::negativeHopsNeeded(
+                  topo, topo.nodeId(Coord(1, 0)), topo.nodeId(Coord(2, 2))),
+              2);
+    // Diametrically opposite from even node: 16 hops -> 8 negative.
+    EXPECT_EQ(NegativeHopRouting::negativeHopsNeeded(
+                  topo, topo.nodeId(Coord(0, 0)), topo.nodeId(Coord(8, 8))),
+              8);
+}
+
+// ------------------------------------------------------------------ nbc
+
+TEST(BonusCards, EntitlementFormula)
+{
+    BonusCardRouting algo;
+    Torus topo = Torus::square(16);
+    EXPECT_EQ(algo.numVcClasses(topo), 9);
+    // Neighbor message from an even node: 0 negative hops needed -> max
+    // bonus of 8.
+    Message near = makeMessage(algo, topo, topo.nodeId(Coord(0, 0)),
+                               topo.nodeId(Coord(1, 0)));
+    EXPECT_EQ(near.route().bonusCards, 8);
+    // Diametrically opposite: 8 negative hops needed -> 0 bonus.
+    Message far = makeMessage(algo, topo, topo.nodeId(Coord(0, 0)),
+                              topo.nodeId(Coord(8, 8)));
+    EXPECT_EQ(far.route().bonusCards, 0);
+}
+
+TEST(BonusCards, FirstHopOffersBoostedClasses)
+{
+    BonusCardRouting algo;
+    Torus topo = Torus::square(16);
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(0, 0)),
+                            topo.nodeId(Coord(2, 0)));
+    // distance 2 from even source: 1 negative hop needed, bonus = 7.
+    EXPECT_EQ(m.route().bonusCards, 7);
+    auto cands = candidatesOf(algo, topo, m.src(), m);
+    std::set<VcClass> classes;
+    for (const auto &c : cands)
+        classes.insert(c.vc);
+    EXPECT_EQ(classes.size(), 8u); // classes 0..7
+    EXPECT_TRUE(classes.count(0));
+    EXPECT_TRUE(classes.count(7));
+    EXPECT_FALSE(classes.count(8));
+}
+
+TEST(BonusCards, LaterHopsTrackBoostPlusNegHops)
+{
+    BonusCardRouting algo;
+    Torus topo = Torus::square(16);
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(0, 0)),
+                            topo.nodeId(Coord(2, 2)));
+    // Take the first hop on class 3 (boost 3).
+    NodeId next = topo.neighbor(m.src(), {0, +1});
+    algo.onHop(topo, m.src(), next, 3, m);
+    EXPECT_EQ(m.route().boost, 3);
+    auto cands = candidatesOf(algo, topo, next, m);
+    for (const auto &c : cands)
+        EXPECT_EQ(c.vc, 3); // even source: first hop was positive
+    // Hop from the (now odd) node: class increments.
+    NodeId third = topo.neighbor(next, {1, +1});
+    algo.onHop(topo, next, third, cands[0].vc, m);
+    auto cands2 = candidatesOf(algo, topo, third, m);
+    for (const auto &c : cands2)
+        EXPECT_EQ(c.vc, 4);
+}
+
+TEST(BonusCards, ClassNeverExceedsMaximum)
+{
+    BonusCardRouting algo;
+    Torus topo = Torus::square(8);
+    int max_class = algo.numVcClasses(topo) - 1;
+    for (NodeId dst = 1; dst < topo.numNodes(); dst += 7) {
+        Message m = makeMessage(algo, topo, 0, dst);
+        auto trace = walk(algo, topo, m, 1);
+        for (const auto &[node, vc] : trace) {
+            EXPECT_LE(vc, max_class);
+            EXPECT_GE(vc, 0);
+        }
+    }
+}
+
+TEST(BonusCards, CongestionClassIsEntitlement)
+{
+    BonusCardRouting algo;
+    Torus topo = Torus::square(16);
+    EXPECT_EQ(algo.numCongestionClasses(topo), 9);
+    Message near = makeMessage(algo, topo, topo.nodeId(Coord(0, 0)),
+                               topo.nodeId(Coord(1, 0)));
+    EXPECT_EQ(algo.congestionClass(topo, near), 8);
+}
+
+TEST(BonusCardsFlex, AnyHopSpendingStaysDeadlockSafe)
+{
+    BonusCardRouting algo(BonusCardRouting::SpendMode::AnyHop);
+    EXPECT_EQ(algo.name(), "nbc-flex");
+    Torus topo = Torus::square(8);
+    int max_class = algo.numVcClasses(topo) - 1;
+    for (NodeId dst = 1; dst < topo.numNodes(); dst += 5) {
+        for (std::size_t pick = 0; pick < 3; ++pick) {
+            Message m = makeMessage(algo, topo, 0, dst);
+            NodeId cur = m.src();
+            VcClass prev = -1;
+            int hops = 0;
+            while (cur != m.dst()) {
+                auto cands = candidatesOf(algo, topo, cur, m);
+                ASSERT_FALSE(cands.empty());
+                const RouteCandidate &c = cands[pick % cands.size()];
+                // Lemma 1: classes never decrease, never exceed the max.
+                EXPECT_GE(c.vc, prev);
+                EXPECT_LE(c.vc, max_class);
+                NodeId next = topo.neighbor(cur, c.dir);
+                algo.onHop(topo, cur, next, c.vc, m);
+                prev = c.vc;
+                cur = next;
+                ASSERT_LT(++hops, 100);
+            }
+            EXPECT_EQ(hops, topo.distance(0, dst)); // still minimal
+        }
+    }
+}
+
+TEST(BonusCardsFlex, LaterHopsStillOfferUnspentCards)
+{
+    BonusCardRouting algo(BonusCardRouting::SpendMode::AnyHop);
+    Torus topo = Torus::square(16);
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(0, 0)),
+                            topo.nodeId(Coord(2, 0)));
+    ASSERT_EQ(m.route().bonusCards, 7);
+    // Take the first hop WITHOUT spending (class 0).
+    NodeId next = topo.neighbor(m.src(), {0, +1});
+    algo.onHop(topo, m.src(), next, 0, m);
+    EXPECT_EQ(m.route().boost, 0);
+    // Second hop: negHops is 0 (left an even node); all 8 boosted classes
+    // remain on offer.
+    auto cands = candidatesOf(algo, topo, next, m);
+    std::set<VcClass> classes;
+    for (const auto &c : cands)
+        classes.insert(c.vc);
+    EXPECT_EQ(classes.size(), 8u);
+    EXPECT_TRUE(classes.count(0));
+    EXPECT_TRUE(classes.count(7));
+}
+
+TEST(BonusCardsFlex, SpendingReducesRemainingEntitlement)
+{
+    BonusCardRouting algo(BonusCardRouting::SpendMode::AnyHop);
+    Torus topo = Torus::square(16);
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(0, 0)),
+                            topo.nodeId(Coord(3, 0)));
+    int bonus = m.route().bonusCards;
+    // Spend 3 cards on the first hop.
+    NodeId next = topo.neighbor(m.src(), {0, +1});
+    algo.onHop(topo, m.src(), next, 3, m);
+    EXPECT_EQ(m.route().boost, 3);
+    auto cands = candidatesOf(algo, topo, next, m);
+    VcClass top = 0;
+    for (const auto &c : cands)
+        top = std::max(top, c.vc);
+    // Left an even node: negHops still 0; classes 3 .. bonus on offer.
+    EXPECT_EQ(top, static_cast<VcClass>(bonus));
+    for (const auto &c : cands)
+        EXPECT_GE(c.vc, 3);
+}
+
+TEST(BonusCardsFlex, FirstHopModeRestrictsLaterSpending)
+{
+    BonusCardRouting algo; // FirstHop (the paper's nbc)
+    Torus topo = Torus::square(16);
+    Message m = makeMessage(algo, topo, topo.nodeId(Coord(0, 0)),
+                            topo.nodeId(Coord(2, 0)));
+    NodeId next = topo.neighbor(m.src(), {0, +1});
+    algo.onHop(topo, m.src(), next, 0, m); // no boost taken
+    auto cands = candidatesOf(algo, topo, next, m);
+    for (const auto &c : cands)
+        EXPECT_EQ(c.vc, 0); // forfeited: later hops cannot spend
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(Registry, CreatesAllKnownAlgorithms)
+{
+    Torus topo = Torus::square(16);
+    for (const std::string &name : knownAlgorithms()) {
+        auto algo = makeRoutingAlgorithm(name);
+        ASSERT_NE(algo, nullptr) << name;
+        EXPECT_EQ(algo->name(), name);
+        EXPECT_GE(algo->numVcClasses(topo), 1) << name;
+    }
+}
+
+TEST(Registry, PaperAlgorithmsAreSix)
+{
+    EXPECT_EQ(paperAlgorithms().size(), 6u);
+}
+
+TEST(Registry, EcubeLaneFamily)
+{
+    auto algo = makeRoutingAlgorithm("ecube4x");
+    Torus topo = Torus::square(16);
+    EXPECT_EQ(algo->numVcClasses(topo), 8);
+}
+
+TEST(Registry, UnknownNameIsFatal)
+{
+    setLoggingThrows(true);
+    EXPECT_THROW(makeRoutingAlgorithm("warp-speed"), std::runtime_error);
+    setLoggingThrows(false);
+}
+
+// ----------------------------------------------- cross-algorithm sweeps
+
+struct AlgoCase
+{
+    std::string name;
+    bool minimalOnTorus;
+};
+
+class AllAlgorithms : public ::testing::TestWithParam<AlgoCase>
+{
+};
+
+TEST_P(AllAlgorithms, WalksTerminateAndRespectMinimality)
+{
+    auto algo = makeRoutingAlgorithm(GetParam().name);
+    Torus topo = Torus::square(8);
+    for (NodeId src : {0, 9, 36, 63}) {
+        for (NodeId dst = 0; dst < topo.numNodes(); dst += 5) {
+            if (dst == src)
+                continue;
+            for (std::size_t pick = 0; pick < 2; ++pick) {
+                Message m(1, src, dst, 16, 0);
+                m.setMinDistance(topo.distance(src, dst));
+                algo->initMessage(topo, m);
+                std::vector<RouteCandidate> cands;
+                NodeId cur = src;
+                int hops = 0;
+                while (cur != dst) {
+                    cands.clear();
+                    algo->candidates(topo, cur, m, cands);
+                    ASSERT_FALSE(cands.empty());
+                    const RouteCandidate &c = cands[pick % cands.size()];
+                    ASSERT_GE(c.vc, 0);
+                    ASSERT_LT(c.vc, algo->numVcClasses(topo));
+                    NodeId next = topo.neighbor(cur, c.dir);
+                    algo->onHop(topo, cur, next, c.vc, m);
+                    cur = next;
+                    ASSERT_LT(++hops, 200) << "non-terminating walk";
+                }
+                if (GetParam().minimalOnTorus) {
+                    EXPECT_EQ(hops, topo.distance(src, dst))
+                        << GetParam().name << " " << src << "->" << dst;
+                }
+            }
+        }
+    }
+}
+
+TEST_P(AllAlgorithms, CongestionClassInRange)
+{
+    auto algo = makeRoutingAlgorithm(GetParam().name);
+    Torus topo = Torus::square(8);
+    int classes = algo->numCongestionClasses(topo);
+    EXPECT_GE(classes, 1);
+    for (NodeId dst = 1; dst < topo.numNodes(); dst += 3) {
+        Message m(2, 0, dst, 16, 0);
+        m.setMinDistance(topo.distance(0, dst));
+        algo->initMessage(topo, m);
+        int cls = algo->congestionClass(topo, m);
+        EXPECT_GE(cls, 0);
+        EXPECT_LT(cls, classes);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSet, AllAlgorithms,
+    ::testing::Values(AlgoCase{"ecube", true}, AlgoCase{"nlast", false},
+                      AlgoCase{"2pn", false}, AlgoCase{"2pn-minimal", true},
+                      AlgoCase{"phop", true}, AlgoCase{"nhop", true},
+                      AlgoCase{"nbc", true}),
+    [](const ::testing::TestParamInfo<AlgoCase> &info) {
+        std::string n = info.param.name;
+        for (char &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+} // namespace
+} // namespace wormsim

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for wormsim/stats: accumulators, histograms, the stratified
+ * estimator, and the paper's double convergence criterion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/stats/accumulator.hh"
+#include "wormsim/stats/convergence.hh"
+#include "wormsim/stats/histogram.hh"
+#include "wormsim/stats/strata.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+TEST(Accumulator, MomentsMatchHandComputation)
+{
+    Accumulator acc;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+    // Population SS = 32; sample variance = 32/7.
+    EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_NEAR(acc.meanVariance(), 32.0 / 7.0 / 8.0, 1e-12);
+}
+
+TEST(Accumulator, EmptyIsSafe)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleObservationHasZeroVariance)
+{
+    Accumulator acc;
+    acc.add(3.5);
+    EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeEqualsSequential)
+{
+    Accumulator all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        double x = std::sin(i) * 10.0 + i * 0.1;
+        all.add(x);
+        (i < 37 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty)
+{
+    Accumulator a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    Accumulator copy = a;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), copy.count());
+    EXPECT_DOUBLE_EQ(a.mean(), copy.mean());
+    empty.merge(a);
+    EXPECT_DOUBLE_EQ(empty.mean(), a.mean());
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator acc;
+    acc.add(5.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0); // underflow
+    h.add(0.0);  // bucket 0
+    h.add(1.9);  // bucket 0
+    h.add(2.0);  // bucket 1
+    h.add(9.99); // bucket 4
+    h.add(10.0); // overflow
+    h.add(25.0); // overflow
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_DOUBLE_EQ(h.bucketLeft(1), 2.0);
+}
+
+TEST(Histogram, QuantileInterpolates)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    // Uniform mass: the median should be ~50.
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 5.0);
+    EXPECT_NEAR(h.quantile(0.95), 95.0, 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, RenderMentionsCounts)
+{
+    Histogram h(0.0, 4.0, 2);
+    h.add(1.0);
+    h.add(1.5);
+    h.add(3.0);
+    std::string out = h.render();
+    EXPECT_NE(out.find("2"), std::string::npos);
+    EXPECT_NE(out.find("#"), std::string::npos);
+}
+
+TEST(Histogram, ResetClearsCounts)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.5);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(StratifiedEstimator, MatchesHandComputedPopulationMean)
+{
+    // Two strata, weights 0.25 / 0.75.
+    StratifiedEstimator est({0.25, 0.75});
+    est.add(0, 10.0);
+    est.add(0, 14.0); // stratum 0: mean 12, var 8, n 2
+    est.add(1, 20.0);
+    est.add(1, 22.0);
+    est.add(1, 24.0); // stratum 1: mean 22, var 4, n 3
+    StratifiedEstimate e = est.estimate();
+    ASSERT_TRUE(e.valid);
+    EXPECT_NEAR(e.mean, 0.25 * 12.0 + 0.75 * 22.0, 1e-12);
+    double var = 0.25 * 0.25 * (8.0 / 2.0) + 0.75 * 0.75 * (4.0 / 3.0);
+    EXPECT_NEAR(e.meanVariance, var, 1e-12);
+    EXPECT_NEAR(e.errorBound, 2.0 * std::sqrt(var), 1e-12);
+}
+
+TEST(StratifiedEstimator, EmptyPositiveStratumInvalidates)
+{
+    StratifiedEstimator est({0.5, 0.5});
+    est.add(0, 1.0);
+    EXPECT_FALSE(est.estimate().valid);
+}
+
+TEST(StratifiedEstimator, ZeroWeightStratumMayBeEmpty)
+{
+    StratifiedEstimator est({1.0, 0.0});
+    est.add(0, 3.0);
+    est.add(0, 5.0);
+    StratifiedEstimate e = est.estimate();
+    EXPECT_TRUE(e.valid);
+    EXPECT_DOUBLE_EQ(e.mean, 4.0);
+}
+
+TEST(StratifiedEstimator, TotalCountAndReset)
+{
+    StratifiedEstimator est({0.5, 0.5});
+    est.add(0, 1.0);
+    est.add(1, 2.0);
+    est.add(1, 3.0);
+    EXPECT_EQ(est.totalCount(), 3u);
+    est.reset();
+    EXPECT_EQ(est.totalCount(), 0u);
+}
+
+StratifiedEstimate
+tightEstimate(double mean)
+{
+    StratifiedEstimate e;
+    e.valid = true;
+    e.mean = mean;
+    e.meanVariance = 1e-8;
+    e.errorBound = 2e-4;
+    return e;
+}
+
+TEST(Convergence, ConvergesAfterThreeConsistentSamples)
+{
+    ConvergenceController ctl;
+    EXPECT_EQ(ctl.addSample(tightEstimate(100.0), 100.0),
+              StopReason::NotDone);
+    EXPECT_EQ(ctl.addSample(tightEstimate(100.5), 100.5),
+              StopReason::NotDone);
+    EXPECT_EQ(ctl.addSample(tightEstimate(99.8), 99.8),
+              StopReason::Converged);
+    EXPECT_TRUE(ctl.bothCriteriaMet());
+    EXPECT_NEAR(ctl.grandMean(), 100.1, 1e-9);
+}
+
+TEST(Convergence, NoisySamplesHitMaxCap)
+{
+    ConvergencePolicy pol;
+    pol.maxSamples = 5;
+    ConvergenceController ctl(pol);
+    StopReason r = StopReason::NotDone;
+    double values[] = {50.0, 200.0, 80.0, 300.0, 20.0};
+    for (double v : values)
+        r = ctl.addSample(tightEstimate(v), v);
+    EXPECT_EQ(r, StopReason::MaxSamples);
+    EXPECT_EQ(ctl.numSamples(), 5u);
+}
+
+TEST(Convergence, WideStratifiedBoundBlocksConvergence)
+{
+    ConvergenceController ctl;
+    StratifiedEstimate wide;
+    wide.valid = true;
+    wide.mean = 100.0;
+    wide.meanVariance = 100.0; // error bound 20 -> 20% > 5%
+    wide.errorBound = 20.0;
+    StopReason r = StopReason::NotDone;
+    for (int i = 0; i < 10; ++i)
+        r = ctl.addSample(wide, 100.0);
+    EXPECT_EQ(r, StopReason::NotDone);
+    EXPECT_FALSE(ctl.bothCriteriaMet());
+    EXPECT_NEAR(ctl.stratifiedRelativeError(), 0.2, 1e-12);
+}
+
+TEST(Convergence, InvalidStratifiedEstimateBlocksConvergence)
+{
+    ConvergenceController ctl;
+    StratifiedEstimate invalid; // valid = false
+    StopReason r = StopReason::NotDone;
+    for (int i = 0; i < 5; ++i)
+        r = ctl.addSample(invalid, 100.0);
+    EXPECT_EQ(r, StopReason::NotDone);
+}
+
+TEST(Convergence, MinSamplesEnforcedEvenIfTight)
+{
+    ConvergencePolicy pol;
+    pol.minSamples = 4;
+    ConvergenceController ctl(pol);
+    // Third sample meets both criteria but minSamples = 4.
+    ctl.addSample(tightEstimate(10.0), 10.0);
+    ctl.addSample(tightEstimate(10.0), 10.0);
+    EXPECT_EQ(ctl.addSample(tightEstimate(10.0), 10.0),
+              StopReason::NotDone);
+    EXPECT_EQ(ctl.addSample(tightEstimate(10.0), 10.0),
+              StopReason::Converged);
+}
+
+TEST(Convergence, RecentWindowUsesLatestSamples)
+{
+    ConvergenceController ctl;
+    // Early wild samples, then stable: the 3-sample window forgives them.
+    ctl.addSample(tightEstimate(500.0), 500.0);
+    ctl.addSample(tightEstimate(50.0), 50.0);
+    ctl.addSample(tightEstimate(100.0), 100.0);
+    ctl.addSample(tightEstimate(100.2), 100.2);
+    EXPECT_EQ(ctl.addSample(tightEstimate(99.9), 99.9),
+              StopReason::Converged);
+}
+
+TEST(Convergence, ResetStartsOver)
+{
+    ConvergenceController ctl;
+    ctl.addSample(tightEstimate(10.0), 10.0);
+    ctl.reset();
+    EXPECT_EQ(ctl.numSamples(), 0u);
+    EXPECT_EQ(ctl.addSample(tightEstimate(10.0), 10.0),
+              StopReason::NotDone);
+}
+
+TEST(Convergence, BadPolicyPanics)
+{
+    setLoggingThrows(true);
+    ConvergencePolicy pol;
+    pol.minSamples = 5;
+    pol.maxSamples = 3;
+    EXPECT_THROW(ConvergenceController{pol}, std::runtime_error);
+    setLoggingThrows(false);
+}
+
+} // namespace
+} // namespace wormsim

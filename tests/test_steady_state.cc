@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for MSER/MSER-5 steady-state detection and the warmup-probe
+ * driver helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/driver/warmup.hh"
+#include "wormsim/rng/distributions.hh"
+#include "wormsim/stats/steady_state.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+/** Transient ramp from @p start down to @p level over @p ramp samples,
+ *  then stationary noise around @p level. */
+std::vector<double>
+transientSeries(std::size_t n, std::size_t ramp, double start,
+                double level, double noise, std::uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    std::vector<double> s(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double base = i < ramp
+                          ? start + (level - start) *
+                                        (static_cast<double>(i) / ramp)
+                          : level;
+        s[i] = base + (uniform01(rng) - 0.5) * 2.0 * noise;
+    }
+    return s;
+}
+
+TEST(Mser, StationarySeriesNeedsNoTruncation)
+{
+    auto s = transientSeries(200, 0, 50.0, 50.0, 1.0, 7);
+    MserResult r = mser(s);
+    EXPECT_TRUE(r.reliable);
+    EXPECT_LT(r.truncateAt, 30u);
+}
+
+TEST(Mser, FindsTheEndOfATransient)
+{
+    // 60-sample decaying transient from 300 to 50, then stationary.
+    auto s = transientSeries(300, 60, 300.0, 50.0, 2.0, 11);
+    MserResult r = mser(s);
+    EXPECT_TRUE(r.reliable);
+    EXPECT_GE(r.truncateAt, 40u);
+    EXPECT_LE(r.truncateAt, 80u);
+}
+
+TEST(Mser, TooShortRunIsUnreliable)
+{
+    // The transient covers almost the whole series.
+    auto s = transientSeries(100, 90, 300.0, 50.0, 1.0, 13);
+    MserResult r = mser(s);
+    EXPECT_FALSE(r.reliable);
+}
+
+TEST(Mser, RejectsTinySeries)
+{
+    setLoggingThrows(true);
+    std::vector<double> s{1.0, 2.0};
+    EXPECT_THROW(mser(s), std::runtime_error);
+    setLoggingThrows(false);
+}
+
+TEST(Mser5, BatchingSmoothsAndScalesBack)
+{
+    auto s = transientSeries(500, 100, 300.0, 50.0, 10.0, 17);
+    MserResult r = mser5(s, 5);
+    EXPECT_TRUE(r.reliable);
+    // Truncation reported in raw indices (multiple of the batch).
+    EXPECT_EQ(r.truncateAt % 5, 0u);
+    EXPECT_GE(r.truncateAt, 60u);
+    EXPECT_LE(r.truncateAt, 160u);
+}
+
+TEST(Mser5, BatchOneEqualsPlainMser)
+{
+    auto s = transientSeries(120, 30, 100.0, 20.0, 1.0, 19);
+    MserResult a = mser5(s, 1);
+    MserResult b = mser(s);
+    EXPECT_EQ(a.truncateAt, b.truncateAt);
+    EXPECT_DOUBLE_EQ(a.statistic, b.statistic);
+}
+
+TEST(WarmupProbe, SuggestsAReasonableTruncation)
+{
+    SimulationConfig cfg;
+    cfg.radices = {8, 8};
+    cfg.algorithm = "nbc";
+    cfg.offeredLoad = 0.3;
+    WarmupSuggestion s = suggestWarmup(cfg, 8000, 100);
+    EXPECT_EQ(s.windows, 80u);
+    EXPECT_TRUE(s.reliable);
+    // At a moderate load an 8x8 torus settles within a couple thousand
+    // cycles.
+    EXPECT_LT(s.warmupCycles, 4000u);
+}
+
+TEST(WarmupProbe, DeterministicForFixedSeed)
+{
+    SimulationConfig cfg;
+    cfg.radices = {8, 8};
+    cfg.offeredLoad = 0.2;
+    WarmupSuggestion a = suggestWarmup(cfg, 6000, 100);
+    WarmupSuggestion b = suggestWarmup(cfg, 6000, 100);
+    EXPECT_EQ(a.warmupCycles, b.warmupCycles);
+}
+
+} // namespace
+} // namespace wormsim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic timing-law tests for the fabric: routing-decision delay,
+ * multi-worm link sharing, and congestion-control release timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "wormsim/network/network.hh"
+#include "wormsim/routing/ecube.hh"
+#include "wormsim/topology/torus.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+struct DelayCase
+{
+    Cycle routingDelay;
+    int length;
+    int distance;
+};
+
+class RoutingDelayTiming : public ::testing::TestWithParam<DelayCase>
+{
+};
+
+TEST_P(RoutingDelayTiming, LatencyLawWithSlowRouters)
+{
+    // Uncontended latency with a w-cycle routing decision per hop:
+    //   latency = m_l + d - 1 + w * d
+    // (each of the d allocations is pushed back w cycles).
+    const DelayCase &c = GetParam();
+    Torus topo = Torus::square(16);
+    EcubeRouting algo;
+    Xoshiro256 rng(1);
+    NetworkParams params;
+    params.routingDelay = c.routingDelay;
+    Network net(topo, algo, params, rng);
+
+    Cycle latency = 0;
+    net.setDeliveryHook([&](const Message &m, Cycle now) {
+        latency = now - m.createdAt() + 1;
+    });
+    net.offerMessage(topo.nodeId(Coord(0, 0)),
+                     topo.nodeId(Coord(c.distance, 0)), c.length, 0);
+    Cycle t = 0;
+    while (net.busy() && t < 10000)
+        net.step(t++);
+    ASSERT_FALSE(net.busy());
+    Cycle expected = static_cast<Cycle>(c.length + c.distance - 1) +
+                     c.routingDelay * static_cast<Cycle>(c.distance);
+    EXPECT_EQ(latency, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Laws, RoutingDelayTiming,
+    ::testing::Values(DelayCase{0, 16, 5}, DelayCase{1, 16, 5},
+                      DelayCase{2, 8, 3}, DelayCase{3, 1, 4},
+                      DelayCase{1, 16, 1}),
+    [](const ::testing::TestParamInfo<DelayCase> &info) {
+        return "w" + std::to_string(info.param.routingDelay) + "_len" +
+               std::to_string(info.param.length) + "_d" +
+               std::to_string(info.param.distance);
+    });
+
+TEST(LinkSharing, TwoWormsTimeMultiplexExactly)
+{
+    // Two worms with the same 3-hop path on different VC classes (one
+    // wraps, one does not... instead: use phop-like sharing via two
+    // e-cube lanes). Each gets every other cycle on the shared links, so
+    // both finish in about twice the solo time.
+    Torus topo = Torus::square(16);
+    EcubeRouting algo(2); // 2 lanes -> both worms can hold the same link
+    Xoshiro256 rng(1);
+    NetworkParams params;
+    params.select = VcSelectPolicy::FirstFree;
+    Network net(topo, algo, params, rng);
+
+    std::vector<Cycle> latencies;
+    net.setDeliveryHook([&](const Message &m, Cycle now) {
+        latencies.push_back(now - m.createdAt() + 1);
+    });
+    NodeId src = topo.nodeId(Coord(0, 0));
+    NodeId dst = topo.nodeId(Coord(3, 0));
+    net.offerMessage(src, dst, 16, 0);
+    net.offerMessage(src, dst, 16, 0);
+    Cycle t = 0;
+    while (net.busy() && t < 1000)
+        net.step(t++);
+    ASSERT_EQ(latencies.size(), 2u);
+    // Solo latency is 16 + 3 - 1 = 18; shared bandwidth roughly doubles
+    // the tail's arrival. Both must be well beyond solo and bounded.
+    Cycle solo = 18;
+    EXPECT_GT(latencies[1], solo + 8);
+    EXPECT_LE(latencies[1], 2 * solo + 4);
+    // Total flit work is conserved: 2 worms x 16 flits x 3 hops.
+    EXPECT_EQ(net.flitsTransferred(), 2u * 16u * 3u);
+}
+
+TEST(CongestionTiming, SlotFreesExactlyWhenTailLeavesSource)
+{
+    // With limit 1 and one congestion class per (port,vc), a second
+    // message to the same destination is admitted only after the first's
+    // tail flit leaves the source (16 cycles for a 16-flit worm).
+    Torus topo = Torus::square(16);
+    EcubeRouting algo;
+    Xoshiro256 rng(1);
+    NetworkParams params;
+    params.injectionLimit = 1;
+    Network net(topo, algo, params, rng);
+
+    NodeId src = topo.nodeId(Coord(0, 0));
+    NodeId dst = topo.nodeId(Coord(5, 0));
+    Message *first = net.offerMessage(src, dst, 16, 0);
+    ASSERT_NE(first, nullptr);
+    // Same class while the first is still injecting: refused.
+    EXPECT_EQ(net.offerMessage(src, dst, 16, 0), nullptr);
+    Cycle t = 0;
+    while (!first->fullyInjected()) {
+        net.step(t++);
+        ASSERT_LT(t, 100u);
+    }
+    // 16 flits at 1 flit/cycle: tail leaves during cycle 15.
+    EXPECT_EQ(t, 16u);
+    EXPECT_NE(net.offerMessage(src, dst, 16, t), nullptr);
+    while (net.busy() && t < 1000)
+        net.step(t++);
+    EXPECT_EQ(net.counters().messagesDelivered, 2u);
+    EXPECT_EQ(net.counters().messagesDropped, 1u);
+}
+
+TEST(HeaderProgress, OneHopPerCycleAtZeroLoad)
+{
+    // The header advances exactly one hop per cycle: after k steps it has
+    // crossed at most k links (tracked via per-link transfer counters).
+    Torus topo = Torus::square(16);
+    EcubeRouting algo;
+    Xoshiro256 rng(1);
+    Network net(topo, algo, NetworkParams{}, rng);
+    NodeId src = topo.nodeId(Coord(0, 0));
+    net.offerMessage(src, topo.nodeId(Coord(6, 0)), 4, 0);
+    for (Cycle t = 0; t < 6; ++t) {
+        net.step(t);
+        // After cycle t, link t (0-indexed along the path) has started.
+        Link &l = net.link(topo.nodeId(Coord(static_cast<int>(t), 0)),
+                           Direction{0, +1});
+        EXPECT_GE(l.flitsTransferred(), 1u) << "cycle " << t;
+    }
+}
+
+} // namespace
+} // namespace wormsim

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for wormsim/topology: coordinates, torus/mesh adjacency,
+ * minimal travel, distances, coloring, datelines, and channel indexing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/topology/mesh.hh"
+#include "wormsim/topology/torus.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+TEST(Coord, SumAndString)
+{
+    Coord c(3, 4);
+    EXPECT_EQ(c.coordinateSum(), 7);
+    EXPECT_EQ(c.str(), "(3,4)");
+    Coord d(std::vector<int>{1, 2, 3});
+    EXPECT_EQ(d.dims(), 3u);
+    EXPECT_EQ(d.coordinateSum(), 6);
+}
+
+TEST(Direction, IndexRoundTrip)
+{
+    for (int idx = 0; idx < 6; ++idx) {
+        Direction d = Direction::fromIndex(idx);
+        EXPECT_EQ(d.index(), idx);
+    }
+    EXPECT_EQ((Direction{0, +1}).index(), 0);
+    EXPECT_EQ((Direction{0, -1}).index(), 1);
+    EXPECT_EQ((Direction{1, +1}).index(), 2);
+}
+
+TEST(Torus, NodeIdCoordRoundTrip)
+{
+    Torus t = Torus::square(16);
+    EXPECT_EQ(t.numNodes(), 256);
+    for (NodeId id = 0; id < t.numNodes(); ++id)
+        EXPECT_EQ(t.nodeId(t.coordOf(id)), id);
+}
+
+TEST(Torus, NeighborsWrapAround)
+{
+    Torus t = Torus::square(16);
+    NodeId corner = t.nodeId(Coord(15, 0));
+    EXPECT_EQ(t.coordOf(t.neighbor(corner, {0, +1})), Coord(0, 0));
+    EXPECT_EQ(t.coordOf(t.neighbor(corner, {0, -1})), Coord(14, 0));
+    EXPECT_EQ(t.coordOf(t.neighbor(corner, {1, -1})), Coord(15, 15));
+    EXPECT_EQ(t.coordOf(t.neighbor(corner, {1, +1})), Coord(15, 1));
+}
+
+TEST(Torus, EveryLinkExists)
+{
+    Torus t = Torus::square(4);
+    for (NodeId id = 0; id < t.numNodes(); ++id) {
+        for (int p = 0; p < t.numPorts(); ++p)
+            EXPECT_TRUE(t.hasLink(id, Direction::fromIndex(p)));
+    }
+    EXPECT_EQ(t.numChannels(), 4 * 16);
+}
+
+TEST(Torus, TravelPicksShorterWay)
+{
+    Torus t = Torus::square(16);
+    DimTravel tr = t.travel(0, 14, 2); // +4 via wrap vs -12
+    EXPECT_EQ(tr.plusHops, 4);
+    EXPECT_EQ(tr.minusHops, 12);
+    EXPECT_TRUE(tr.plusMinimal);
+    EXPECT_FALSE(tr.minusMinimal);
+    EXPECT_EQ(tr.minHops(), 4);
+    EXPECT_TRUE(tr.needed());
+}
+
+TEST(Torus, TravelTieAtHalfRing)
+{
+    Torus t = Torus::square(16);
+    DimTravel tr = t.travel(0, 0, 8);
+    EXPECT_EQ(tr.plusHops, 8);
+    EXPECT_EQ(tr.minusHops, 8);
+    EXPECT_TRUE(tr.plusMinimal);
+    EXPECT_TRUE(tr.minusMinimal);
+}
+
+TEST(Torus, TravelSamePositionNotNeeded)
+{
+    Torus t = Torus::square(16);
+    DimTravel tr = t.travel(0, 5, 5);
+    EXPECT_FALSE(tr.needed());
+    EXPECT_EQ(tr.minHops(), 0);
+}
+
+TEST(Torus, DistanceAndDiameter)
+{
+    Torus t = Torus::square(16);
+    EXPECT_EQ(t.distance(t.nodeId(Coord(4, 4)), t.nodeId(Coord(2, 2))), 4);
+    EXPECT_EQ(t.distance(t.nodeId(Coord(0, 0)), t.nodeId(Coord(8, 8))), 16);
+    EXPECT_EQ(t.distance(t.nodeId(Coord(15, 15)), t.nodeId(Coord(0, 0))),
+              2);
+    EXPECT_EQ(t.diameter(), 16);
+}
+
+TEST(Torus, MeanUniformDistanceMatchesPaper)
+{
+    // The paper: "16^2 has an average diameter of 8.03 for uniform traffic".
+    Torus t = Torus::square(16);
+    EXPECT_NEAR(t.meanUniformDistance(), 8.03, 0.005);
+}
+
+TEST(Torus, ColoringProperOnlyForEvenRadix)
+{
+    Torus even = Torus::square(16);
+    EXPECT_TRUE(even.properColoring());
+    Torus odd = Torus::square(5);
+    EXPECT_FALSE(odd.properColoring());
+
+    // Proper coloring: adjacent nodes differ.
+    for (NodeId id = 0; id < even.numNodes(); ++id) {
+        for (int p = 0; p < even.numPorts(); ++p) {
+            NodeId nb = even.neighbor(id, Direction::fromIndex(p));
+            EXPECT_NE(even.color(id), even.color(nb));
+        }
+    }
+}
+
+TEST(Torus, CrossesWrapMatchesDallySeitz)
+{
+    // Traveling +: wrap needed iff cur > dst.
+    EXPECT_TRUE(Torus::crossesWrap(14, 2, +1, 16));
+    EXPECT_FALSE(Torus::crossesWrap(2, 7, +1, 16));
+    // Traveling -: wrap needed iff cur < dst.
+    EXPECT_TRUE(Torus::crossesWrap(2, 14, -1, 16));
+    EXPECT_FALSE(Torus::crossesWrap(7, 2, -1, 16));
+    // Dateline VC: 0 while a wrap is still ahead, 1 after.
+    EXPECT_EQ(Torus::datelineVc(14, 2, +1, 16), 0);
+    EXPECT_EQ(Torus::datelineVc(1, 2, +1, 16), 1);
+}
+
+TEST(Torus, ChannelIdRoundTrip)
+{
+    Torus t = Torus::square(8);
+    std::set<ChannelId> seen;
+    for (NodeId id = 0; id < t.numNodes(); ++id) {
+        for (int p = 0; p < t.numPorts(); ++p) {
+            Direction d = Direction::fromIndex(p);
+            ChannelId ch = t.channelId(id, d);
+            EXPECT_EQ(t.channelSource(ch), id);
+            EXPECT_EQ(t.channelDirection(ch).index(), d.index());
+            EXPECT_TRUE(seen.insert(ch).second) << "duplicate channel id";
+        }
+    }
+    EXPECT_EQ(static_cast<ChannelId>(seen.size()), t.numChannelSlots());
+}
+
+TEST(Torus, MultiDimensional)
+{
+    Torus t({4, 4, 4});
+    EXPECT_EQ(t.numNodes(), 64);
+    EXPECT_EQ(t.numDims(), 3);
+    EXPECT_EQ(t.numPorts(), 6);
+    EXPECT_EQ(t.diameter(), 6);
+    NodeId n = t.nodeId(Coord(std::vector<int>{3, 0, 2}));
+    EXPECT_EQ(t.coordOf(t.neighbor(n, {2, +1})),
+              Coord(std::vector<int>{3, 0, 3}));
+    EXPECT_EQ(t.name(), "torus(4,4,4)");
+}
+
+TEST(Torus, NonSquareRadices)
+{
+    Torus t({8, 4});
+    EXPECT_EQ(t.numNodes(), 32);
+    EXPECT_EQ(t.radixOf(0), 8);
+    EXPECT_EQ(t.radixOf(1), 4);
+    EXPECT_EQ(t.distance(t.nodeId(Coord(7, 3)), t.nodeId(Coord(0, 0))), 2);
+}
+
+TEST(Mesh, BoundaryLinksMissing)
+{
+    Mesh m = Mesh::square(4);
+    NodeId corner = m.nodeId(Coord(0, 0));
+    EXPECT_EQ(m.neighbor(corner, {0, -1}), kInvalidNode);
+    EXPECT_EQ(m.neighbor(corner, {1, -1}), kInvalidNode);
+    EXPECT_NE(m.neighbor(corner, {0, +1}), kInvalidNode);
+    EXPECT_FALSE(m.hasLink(corner, {0, -1}));
+    EXPECT_TRUE(m.hasLink(corner, {0, +1}));
+}
+
+TEST(Mesh, ChannelCount)
+{
+    // 4x4 mesh: per dimension 2*(k-1)*rows = 2*3*4 = 24; two dims = 48.
+    Mesh m = Mesh::square(4);
+    EXPECT_EQ(m.numChannels(), 48);
+    EXPECT_EQ(m.numChannelSlots(), 64);
+}
+
+TEST(Mesh, TravelIsUnidirectional)
+{
+    Mesh m = Mesh::square(10);
+    DimTravel tr = m.travel(0, 3, 1);
+    EXPECT_TRUE(tr.minusMinimal);
+    EXPECT_FALSE(tr.plusMinimal);
+    EXPECT_EQ(tr.minHops(), 2);
+    DimTravel fw = m.travel(0, 1, 7);
+    EXPECT_TRUE(fw.plusMinimal);
+    EXPECT_EQ(fw.minHops(), 6);
+}
+
+TEST(Mesh, DiameterAndColoring)
+{
+    Mesh m = Mesh::square(10);
+    EXPECT_EQ(m.diameter(), 18);
+    EXPECT_TRUE(m.properColoring());
+    EXPECT_FALSE(m.isTorus());
+    EXPECT_EQ(m.name(), "mesh(10,10)");
+}
+
+TEST(Mesh, DistanceIsManhattan)
+{
+    Mesh m = Mesh::square(16);
+    EXPECT_EQ(m.distance(m.nodeId(Coord(15, 15)), m.nodeId(Coord(0, 0))),
+              30);
+}
+
+TEST(Topology, InvalidCoordinatePanics)
+{
+    setLoggingThrows(true);
+    Torus t = Torus::square(4);
+    EXPECT_THROW(t.nodeId(Coord(4, 0)), std::runtime_error);
+    EXPECT_THROW(t.coordOf(16), std::runtime_error);
+    EXPECT_THROW(Torus({1}), std::runtime_error);
+    setLoggingThrows(false);
+}
+
+} // namespace
+} // namespace wormsim

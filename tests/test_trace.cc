@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for trace-driven traffic: text-format round trips,
+ * validation, generation from patterns, and replay through TraceRunner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/driver/trace_runner.hh"
+#include "wormsim/topology/torus.hh"
+#include "wormsim/traffic/trace.hh"
+#include "wormsim/traffic/uniform.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+TEST(Trace, ParseSkipsCommentsAndBlankLines)
+{
+    std::istringstream in("# header\n"
+                          "\n"
+                          "0 1 2 16\n"
+                          "5 3 4 8   # trailing comment\n");
+    Trace t = Trace::parse(in);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.records()[0], (TraceRecord{0, 1, 2, 16}));
+    EXPECT_EQ(t.records()[1], (TraceRecord{5, 3, 4, 8}));
+    EXPECT_EQ(t.horizon(), 5u);
+}
+
+TEST(Trace, ParseRejectsMalformedLines)
+{
+    setLoggingThrows(true);
+    {
+        std::istringstream in("0 1 2\n"); // missing length
+        EXPECT_THROW(Trace::parse(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("0 1 2 16 junk\n");
+        EXPECT_THROW(Trace::parse(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("5 1 2 16\n3 1 2 16\n"); // out of order
+        EXPECT_THROW(Trace::parse(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("0 1 2 0\n"); // zero length
+        EXPECT_THROW(Trace::parse(in), std::runtime_error);
+    }
+    setLoggingThrows(false);
+}
+
+TEST(Trace, WriteParseRoundTrip)
+{
+    Trace t;
+    t.append({0, 1, 2, 16});
+    t.append({3, 5, 9, 4});
+    t.append({3, 0, 7, 1});
+    std::ostringstream out;
+    t.write(out);
+    std::istringstream in(out.str());
+    Trace back = Trace::parse(in);
+    ASSERT_EQ(back.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(back.records()[i], t.records()[i]);
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    Trace t;
+    t.append({1, 2, 3, 16});
+    std::string path = ::testing::TempDir() + "/wormsim_trace_test.txt";
+    t.save(path);
+    Trace back = Trace::load(path);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back.records()[0], t.records()[0]);
+}
+
+TEST(Trace, AppendRejectsTimeTravel)
+{
+    setLoggingThrows(true);
+    Trace t;
+    t.append({5, 0, 1, 16});
+    EXPECT_THROW(t.append({4, 0, 1, 16}), std::runtime_error);
+    setLoggingThrows(false);
+}
+
+TEST(Trace, ValidateCatchesBadRecords)
+{
+    setLoggingThrows(true);
+    Torus topo = Torus::square(4);
+    {
+        Trace t;
+        t.append({0, 0, 99, 16}); // node out of range
+        EXPECT_THROW(t.validate(topo), std::runtime_error);
+    }
+    {
+        Trace t;
+        t.append({0, 3, 3, 16}); // self message
+        EXPECT_THROW(t.validate(topo), std::runtime_error);
+    }
+    {
+        Trace t;
+        t.append({0, 0, 1, 16});
+        EXPECT_NO_THROW(t.validate(topo));
+    }
+    setLoggingThrows(false);
+}
+
+TEST(TraceGenerator, RespectsHorizonRateAndPattern)
+{
+    Torus topo = Torus::square(8);
+    UniformTraffic traffic(topo);
+    Xoshiro256 rng(5);
+    TraceGenerator gen(traffic, rng);
+    const Cycle kHorizon = 2000;
+    const double kRate = 0.02;
+    Trace t = gen.generate(kRate, kHorizon, 16);
+    ASSERT_GT(t.size(), 0u);
+    EXPECT_LT(t.horizon(), kHorizon);
+    t.validate(topo);
+    // Expected count ~ nodes * rate * horizon = 64*0.02*2000 = 2560.
+    double expected = topo.numNodes() * kRate * kHorizon;
+    EXPECT_NEAR(static_cast<double>(t.size()), expected, expected * 0.1);
+    // Time ordering and fixed lengths.
+    for (std::size_t i = 1; i < t.size(); ++i)
+        EXPECT_LE(t.records()[i - 1].when, t.records()[i].when);
+    for (const TraceRecord &r : t.records())
+        EXPECT_EQ(r.length, 16);
+}
+
+TEST(TraceRunner, ReplaysToCompletionWithSaneStats)
+{
+    Torus topo = Torus::square(8);
+    UniformTraffic traffic(topo);
+    Xoshiro256 rng(7);
+    Trace trace = TraceGenerator(traffic, rng).generate(0.01, 1500, 16);
+
+    SimulationConfig cfg;
+    cfg.radices = {8, 8};
+    cfg.algorithm = "nbc";
+    TraceRunner runner(cfg);
+    TraceReplayResult r = runner.replay(trace);
+    EXPECT_EQ(r.messages, trace.size());
+    EXPECT_EQ(r.delivered + r.dropped, trace.size());
+    EXPECT_GT(r.delivered, 0u);
+    EXPECT_GE(r.makespan, trace.horizon());
+    EXPECT_GE(r.avgLatency, 16.0); // at least the message length
+    EXPECT_GE(r.maxLatency, r.avgLatency);
+    EXPECT_FALSE(r.deadlockDetected);
+    EXPECT_NE(r.summary().find("delivered"), std::string::npos);
+}
+
+TEST(TraceRunner, SameTraceIsDeterministic)
+{
+    Torus topo = Torus::square(8);
+    UniformTraffic traffic(topo);
+    Xoshiro256 rng(11);
+    Trace trace = TraceGenerator(traffic, rng).generate(0.01, 1000, 16);
+
+    SimulationConfig cfg;
+    cfg.radices = {8, 8};
+    cfg.algorithm = "phop";
+    TraceReplayResult a = TraceRunner(cfg).replay(trace);
+    TraceReplayResult b = TraceRunner(cfg).replay(trace);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+}
+
+TEST(TraceRunner, AdaptiveBeatsDeterministicOnAdversarialTrace)
+{
+    // Hammer one column with cross traffic: the fully-adaptive hop scheme
+    // should finish the same trace no later than (usually sooner than)
+    // e-cube.
+    Torus topo = Torus::square(8);
+    Trace trace;
+    Cycle t = 0;
+    for (int wave = 0; wave < 40; ++wave) {
+        for (int y = 0; y < 8; ++y) {
+            NodeId src = topo.nodeId(Coord(0, y));
+            NodeId dst = topo.nodeId(Coord(4, (y + 4) % 8));
+            trace.append({t, src, dst, 16});
+        }
+        t += 4;
+    }
+
+    SimulationConfig cfg;
+    cfg.radices = {8, 8};
+    cfg.injectionLimit = 0; // deliver everything; compare makespans
+    cfg.algorithm = "ecube";
+    TraceReplayResult ecube = TraceRunner(cfg).replay(trace);
+    cfg.algorithm = "nbc";
+    TraceReplayResult nbc = TraceRunner(cfg).replay(trace);
+    EXPECT_EQ(ecube.delivered, trace.size());
+    EXPECT_EQ(nbc.delivered, trace.size());
+    EXPECT_LE(nbc.makespan, ecube.makespan + 32);
+}
+
+} // namespace
+} // namespace wormsim

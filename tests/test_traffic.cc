@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit tests for the traffic patterns: samplers match their analytic
+ * distributions, and the paper's quoted constants (hotspot probabilities,
+ * local hop-class weights, mean distances) come out right.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/topology/mesh.hh"
+#include "wormsim/topology/torus.hh"
+#include "wormsim/traffic/hotspot.hh"
+#include "wormsim/traffic/local.hh"
+#include "wormsim/traffic/permutations.hh"
+#include "wormsim/traffic/registry.hh"
+#include "wormsim/traffic/uniform.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+/** Empirical destination frequencies from @p draws samples. */
+std::map<NodeId, double>
+sampleDests(const TrafficPattern &pattern, NodeId src, int draws,
+            std::uint64_t seed = 7)
+{
+    Xoshiro256 rng(seed);
+    std::map<NodeId, double> freq;
+    for (int i = 0; i < draws; ++i)
+        freq[pattern.pickDest(src, rng)] += 1.0 / draws;
+    return freq;
+}
+
+/** Checks sum-to-one and self-exclusion of destProbability. */
+void
+checkDistribution(const TrafficPattern &pattern, NodeId src)
+{
+    const Topology &topo = pattern.topology();
+    double total = 0.0;
+    for (NodeId d = 0; d < topo.numNodes(); ++d)
+        total += pattern.destProbability(src, d);
+    EXPECT_NEAR(total, 1.0, 1e-9) << pattern.name() << " from " << src;
+    EXPECT_DOUBLE_EQ(pattern.destProbability(src, src), 0.0);
+}
+
+TEST(Uniform, AnalyticDistribution)
+{
+    Torus topo = Torus::square(16);
+    UniformTraffic traffic(topo);
+    checkDistribution(traffic, 0);
+    checkDistribution(traffic, 137);
+    EXPECT_NEAR(traffic.destProbability(0, 1), 1.0 / 255.0, 1e-12);
+}
+
+TEST(Uniform, SamplerNeverPicksSelfAndCoversAll)
+{
+    Torus topo = Torus::square(4);
+    UniformTraffic traffic(topo);
+    auto freq = sampleDests(traffic, 5, 30000);
+    EXPECT_EQ(freq.count(5), 0u);
+    EXPECT_EQ(freq.size(), 15u); // all other nodes hit
+    for (const auto &[node, p] : freq)
+        EXPECT_NEAR(p, 1.0 / 15.0, 0.01);
+}
+
+TEST(Uniform, MeanDistanceMatchesPaper)
+{
+    Torus topo = Torus::square(16);
+    UniformTraffic traffic(topo);
+    EXPECT_NEAR(traffic.meanDistance(), 8.03, 0.005);
+}
+
+TEST(Uniform, HopClassWeightsMatchPaperFootnote)
+{
+    // Paper footnote 3: "hop-class 1 has a weight of 0.0157 and hop-class
+    // 16 has a weight of 0.0039, since each node has four neighbors but
+    // only one diametrically opposite node."
+    Torus topo = Torus::square(16);
+    UniformTraffic traffic(topo);
+    auto w = traffic.hopClassWeights();
+    ASSERT_EQ(w.size(), 16u);
+    EXPECT_NEAR(w[0], 4.0 / 255.0, 1e-9);   // 0.0157
+    EXPECT_NEAR(w[15], 1.0 / 255.0, 1e-9);  // 0.0039
+    double total = 0.0;
+    for (double x : w)
+        total += x;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Hotspot, PaperProbabilities)
+{
+    // Paper: 4% hotspot on 16^2 -> 0.0438 to the hotspot, 0.0038 to any
+    // other node, about 11.5x.
+    Torus topo = Torus::square(16);
+    NodeId hot = topo.nodeId(Coord(15, 15));
+    HotspotTraffic traffic(topo, hot, 0.04);
+    double p_hot = traffic.destProbability(0, hot);
+    double p_other = traffic.destProbability(0, 1);
+    EXPECT_NEAR(p_hot, 0.0438, 0.0002);
+    EXPECT_NEAR(p_other, 0.0038, 0.0002);
+    EXPECT_NEAR(p_hot / p_other, 11.6, 0.2);
+    checkDistribution(traffic, 0);
+    checkDistribution(traffic, hot);
+}
+
+TEST(Hotspot, SamplerMatchesAnalytic)
+{
+    Torus topo = Torus::square(8);
+    NodeId hot = topo.numNodes() - 1;
+    HotspotTraffic traffic(topo, hot, 0.10);
+    auto freq = sampleDests(traffic, 0, 200000);
+    EXPECT_NEAR(freq[hot], traffic.destProbability(0, hot), 0.005);
+    EXPECT_NEAR(freq[1], traffic.destProbability(0, 1), 0.003);
+}
+
+TEST(Hotspot, HotspotNodeSendsPlainUniform)
+{
+    Torus topo = Torus::square(8);
+    NodeId hot = 10;
+    HotspotTraffic traffic(topo, hot, 0.25);
+    auto freq = sampleDests(traffic, hot, 50000);
+    EXPECT_EQ(freq.count(hot), 0u);
+    for (const auto &[node, p] : freq)
+        EXPECT_NEAR(p, 1.0 / 63.0, 0.01);
+}
+
+TEST(Local, WindowAndWeightsMatchPaper)
+{
+    // Paper: 7x7 window on 16^2; hop classes 1..6 weigh 0.0833, 0.1667,
+    // 0.25, 0.25, 0.1667, 0.0833; mean distance 3.5.
+    Torus topo = Torus::square(16);
+    LocalTraffic traffic(topo, 3);
+    EXPECT_EQ(traffic.windowSize(), 48);
+    auto w = traffic.hopClassWeights();
+    EXPECT_NEAR(w[0], 0.0833, 0.0002);
+    EXPECT_NEAR(w[1], 0.1667, 0.0002);
+    EXPECT_NEAR(w[2], 0.25, 0.0002);
+    EXPECT_NEAR(w[3], 0.25, 0.0002);
+    EXPECT_NEAR(w[4], 0.1667, 0.0002);
+    EXPECT_NEAR(w[5], 0.0833, 0.0002);
+    for (std::size_t i = 6; i < w.size(); ++i)
+        EXPECT_DOUBLE_EQ(w[i], 0.0);
+    EXPECT_NEAR(traffic.meanDistance(), 3.5, 1e-9);
+    checkDistribution(traffic, 0);
+    checkDistribution(traffic, 255);
+}
+
+TEST(Local, SamplerStaysInWindowAndWraps)
+{
+    Torus topo = Torus::square(16);
+    LocalTraffic traffic(topo, 3);
+    Xoshiro256 rng(11);
+    NodeId src = topo.nodeId(Coord(15, 0)); // window wraps both dims
+    for (int i = 0; i < 5000; ++i) {
+        NodeId d = traffic.pickDest(src, rng);
+        ASSERT_NE(d, src);
+        ASSERT_GT(traffic.destProbability(src, d), 0.0);
+        ASSERT_LE(topo.distance(src, d), 6);
+    }
+}
+
+TEST(Local, MeshWindowsClipAtBoundary)
+{
+    Mesh topo = Mesh::square(16);
+    LocalTraffic traffic(topo, 3);
+    checkDistribution(traffic, 0);                        // corner
+    checkDistribution(traffic, topo.nodeId(Coord(8, 8))); // center
+    // Corner window is 4x4 - 1 = 15 destinations.
+    EXPECT_NEAR(traffic.destProbability(0, 1), 1.0 / 15.0, 1e-12);
+}
+
+TEST(Local, WindowTooLargeIsRejected)
+{
+    setLoggingThrows(true);
+    Torus topo = Torus::square(4);
+    EXPECT_THROW(LocalTraffic(topo, 2), std::runtime_error);
+    setLoggingThrows(false);
+}
+
+TEST(Permutation, TransposeMapsCoordinates)
+{
+    Torus topo = Torus::square(8);
+    auto traffic = PermutationTraffic::transpose(topo);
+    NodeId src = topo.nodeId(Coord(2, 5));
+    EXPECT_DOUBLE_EQ(
+        traffic.destProbability(src, topo.nodeId(Coord(5, 2))), 1.0);
+    Xoshiro256 rng(3);
+    EXPECT_EQ(traffic.pickDest(src, rng), topo.nodeId(Coord(5, 2)));
+    checkDistribution(traffic, src);
+}
+
+TEST(Permutation, TransposeDiagonalFallsBackToUniform)
+{
+    Torus topo = Torus::square(8);
+    auto traffic = PermutationTraffic::transpose(topo);
+    NodeId diag = topo.nodeId(Coord(3, 3));
+    checkDistribution(traffic, diag);
+    auto freq = sampleDests(traffic, diag, 20000);
+    EXPECT_GT(freq.size(), 50u); // spread over many nodes
+}
+
+TEST(Permutation, ComplementIsInvolution)
+{
+    Torus topo = Torus::square(8);
+    auto traffic = PermutationTraffic::complement(topo);
+    Xoshiro256 rng(5);
+    NodeId src = topo.nodeId(Coord(1, 6));
+    NodeId dst = traffic.pickDest(src, rng);
+    EXPECT_EQ(dst, topo.nodeId(Coord(6, 1)));
+    EXPECT_EQ(traffic.pickDest(dst, rng), src);
+}
+
+TEST(Permutation, RandomIsABijection)
+{
+    Torus topo = Torus::square(8);
+    Xoshiro256 rng(17);
+    auto traffic = PermutationTraffic::random(topo, rng);
+    std::vector<int> hit(topo.numNodes(), 0);
+    Xoshiro256 pick(1);
+    for (NodeId s = 0; s < topo.numNodes(); ++s) {
+        for (NodeId d = 0; d < topo.numNodes(); ++d) {
+            if (traffic.destProbability(s, d) == 1.0)
+                ++hit[d];
+        }
+    }
+    // Every non-fixed-point target hit exactly once.
+    for (NodeId d = 0; d < topo.numNodes(); ++d)
+        EXPECT_LE(hit[d], 1);
+}
+
+TEST(Permutation, BitReverseIsAnInvolution)
+{
+    Torus topo = Torus::square(8); // 64 nodes, 6 bits
+    auto traffic = PermutationTraffic::bitReverse(topo);
+    for (NodeId s = 0; s < topo.numNodes(); ++s) {
+        // Find pi(s) and check pi(pi(s)) == s.
+        NodeId d = kInvalidNode;
+        for (NodeId c = 0; c < topo.numNodes(); ++c) {
+            if (c != s && traffic.destProbability(s, c) == 1.0)
+                d = c;
+        }
+        if (d == kInvalidNode)
+            continue; // fixed point (palindromic index)
+        NodeId back = kInvalidNode;
+        for (NodeId c = 0; c < topo.numNodes(); ++c) {
+            if (c != d && traffic.destProbability(d, c) == 1.0)
+                back = c;
+        }
+        EXPECT_EQ(back, s);
+    }
+    // Spot value: 0b000001 -> 0b100000 (1 -> 32).
+    EXPECT_DOUBLE_EQ(traffic.destProbability(1, 32), 1.0);
+}
+
+TEST(Permutation, ShuffleRotatesBits)
+{
+    Torus topo = Torus::square(8); // 64 nodes, 6 bits
+    auto traffic = PermutationTraffic::shuffle(topo);
+    // 0b000011 (3) -> 0b000110 (6); 0b100000 (32) -> 0b000001 (1).
+    EXPECT_DOUBLE_EQ(traffic.destProbability(3, 6), 1.0);
+    EXPECT_DOUBLE_EQ(traffic.destProbability(32, 1), 1.0);
+    checkDistribution(traffic, 3);
+}
+
+TEST(Permutation, BitPatternsRejectNonPowerOfTwo)
+{
+    setLoggingThrows(true);
+    Torus topo = Torus::square(6); // 36 nodes
+    EXPECT_THROW(PermutationTraffic::bitReverse(topo),
+                 std::runtime_error);
+    EXPECT_THROW(PermutationTraffic::shuffle(topo), std::runtime_error);
+    setLoggingThrows(false);
+}
+
+TEST(TrafficRegistry, CreatesAllKnownPatterns)
+{
+    Torus topo = Torus::square(16);
+    for (const std::string &name : knownTrafficPatterns()) {
+        auto p = makeTrafficPattern(name, topo);
+        ASSERT_NE(p, nullptr) << name;
+        checkDistribution(*p, 3);
+    }
+}
+
+TEST(TrafficRegistry, HotspotDefaultsToHighestNode)
+{
+    Torus topo = Torus::square(16);
+    auto p = makeTrafficPattern("hotspot", topo);
+    auto *hot = dynamic_cast<HotspotTraffic *>(p.get());
+    ASSERT_NE(hot, nullptr);
+    EXPECT_EQ(hot->hotspotNode(), topo.nodeId(Coord(15, 15)));
+    EXPECT_DOUBLE_EQ(hot->hotspotFraction(), 0.04);
+}
+
+TEST(TrafficRegistry, UnknownPatternIsFatal)
+{
+    setLoggingThrows(true);
+    Torus topo = Torus::square(4);
+    EXPECT_THROW(makeTrafficPattern("tsunami", topo), std::runtime_error);
+    setLoggingThrows(false);
+}
+
+} // namespace
+} // namespace wormsim

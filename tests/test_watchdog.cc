@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the deadlock watchdog's wait-for-graph analysis, driven
+ * with synthetic WaitInfo structures (no network needed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "wormsim/network/message.hh"
+#include "wormsim/network/watchdog.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+class WatchdogFixture : public ::testing::Test
+{
+  protected:
+    WatchdogFixture() : dog(100)
+    {
+        for (MessageId i = 0; i < 6; ++i) {
+            msgs.emplace_back(i, 0, 1, 16, /*created*/ 0);
+            msgs.back().setWaitingSince(0); // stuck since cycle 0
+        }
+    }
+
+    DeadlockWatchdog::WaitInfo
+    waiting(std::size_t who, std::vector<std::size_t> on,
+            bool fully_blocked = true)
+    {
+        DeadlockWatchdog::WaitInfo info;
+        info.msg = &msgs[who];
+        for (std::size_t idx : on)
+            info.waitingOn.push_back(&msgs[idx]);
+        info.fullyBlocked = fully_blocked;
+        return info;
+    }
+
+    DeadlockWatchdog dog;
+    std::vector<Message> msgs;
+};
+
+TEST_F(WatchdogFixture, EmptyInputIsClean)
+{
+    DeadlockReport r = dog.scan(1000, {});
+    EXPECT_FALSE(r.suspected);
+    EXPECT_FALSE(r.confirmed);
+    EXPECT_EQ(r.describe(), "no deadlock");
+}
+
+TEST_F(WatchdogFixture, ChainWithoutCycleIsClean)
+{
+    // 0 -> 1 -> 2, no back edge.
+    std::vector<DeadlockWatchdog::WaitInfo> w{
+        waiting(0, {1}), waiting(1, {2}), waiting(2, {})};
+    DeadlockReport r = dog.scan(1000, w);
+    EXPECT_FALSE(r.suspected);
+}
+
+TEST_F(WatchdogFixture, TwoCycleIsConfirmed)
+{
+    std::vector<DeadlockWatchdog::WaitInfo> w{waiting(0, {1}),
+                                              waiting(1, {0})};
+    DeadlockReport r = dog.scan(1000, w);
+    EXPECT_TRUE(r.suspected);
+    EXPECT_TRUE(r.confirmed);
+    EXPECT_EQ(r.cycle.size(), 2u);
+    EXPECT_NE(r.describe().find("confirmed"), std::string::npos);
+}
+
+TEST_F(WatchdogFixture, LongCycleIsFound)
+{
+    std::vector<DeadlockWatchdog::WaitInfo> w{
+        waiting(0, {1}), waiting(1, {2}), waiting(2, {3}),
+        waiting(3, {4}), waiting(4, {0})};
+    DeadlockReport r = dog.scan(1000, w);
+    EXPECT_TRUE(r.confirmed);
+    EXPECT_EQ(r.cycle.size(), 5u);
+}
+
+TEST_F(WatchdogFixture, PartiallyBlockedCycleIsOnlySuspected)
+{
+    // Message 1 still has a free candidate: the "cycle" may dissolve.
+    std::vector<DeadlockWatchdog::WaitInfo> w{
+        waiting(0, {1}), waiting(1, {0}, /*fully_blocked=*/false)};
+    DeadlockReport r = dog.scan(1000, w);
+    EXPECT_TRUE(r.suspected);
+    EXPECT_FALSE(r.confirmed);
+    EXPECT_NE(r.describe().find("suspected"), std::string::npos);
+}
+
+TEST_F(WatchdogFixture, PatienceFiltersFreshWaiters)
+{
+    msgs[0].setWaitingSince(950);
+    msgs[1].setWaitingSince(950);
+    std::vector<DeadlockWatchdog::WaitInfo> w{waiting(0, {1}),
+                                              waiting(1, {0})};
+    // At cycle 1000 they have waited only 50 < patience 100.
+    EXPECT_FALSE(dog.scan(1000, w).suspected);
+    // At cycle 1100 they qualify.
+    EXPECT_TRUE(dog.scan(1100, w).suspected);
+}
+
+TEST_F(WatchdogFixture, CycleThroughNonStuckOwnerIsIgnored)
+{
+    // 0 waits on 1; 1 waits on 2; 2 waits on 0 but 2 is NOT stuck
+    // (recent waitingSince): no cycle among stuck messages.
+    msgs[2].setWaitingSince(999);
+    std::vector<DeadlockWatchdog::WaitInfo> w{
+        waiting(0, {1}), waiting(1, {2}), waiting(2, {0})};
+    DeadlockReport r = dog.scan(1000, w);
+    EXPECT_FALSE(r.suspected);
+}
+
+TEST_F(WatchdogFixture, DisjointComponentsFindTheCycle)
+{
+    // A clean chain plus a separate 3-cycle.
+    std::vector<DeadlockWatchdog::WaitInfo> w{
+        waiting(0, {1}), waiting(1, {}),
+        waiting(2, {3}), waiting(3, {4}), waiting(4, {2})};
+    DeadlockReport r = dog.scan(1000, w);
+    EXPECT_TRUE(r.confirmed);
+    EXPECT_EQ(r.cycle.size(), 3u);
+    // The cycle must consist of messages 2, 3, 4.
+    for (MessageId id : r.cycle)
+        EXPECT_GE(id, 2u);
+}
+
+TEST_F(WatchdogFixture, MultipleEdgesPerMessage)
+{
+    // 0 waits on both 1 and 2; only the 0<->2 pair forms a cycle.
+    std::vector<DeadlockWatchdog::WaitInfo> w{
+        waiting(0, {1, 2}), waiting(1, {}), waiting(2, {0})};
+    DeadlockReport r = dog.scan(1000, w);
+    EXPECT_TRUE(r.suspected);
+    EXPECT_EQ(r.cycle.size(), 2u);
+}
+
+} // namespace
+} // namespace wormsim
