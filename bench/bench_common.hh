@@ -87,17 +87,22 @@ class Harness
                   << "# windows: warmup " << cfg.warmupCycles
                   << ", sample " << cfg.samplePeriod << ", max cycles "
                   << cfg.maxCycles << ", max samples "
-                  << cfg.convergence.maxSamples
+                  << cfg.convergence.maxSamples << ", threads "
+                  << cfg.threads
                   << (full ? " (--full)" : " (quick mode; --full for "
                                            "paper-scale statistics)")
                   << "\n\n";
     }
 
-    /** Run the sweep over @p algorithms with progress logging. */
+    /**
+     * Run the sweep over @p algorithms with progress logging, on
+     * cfg.threads workers (--threads; 1 = serial, 0 = all cores —
+     * results are bit-identical either way).
+     */
     SweepResult
     runSweep(const std::vector<std::string> &algorithms)
     {
-        SweepRunner sweeper(cfg);
+        ParallelSweepRunner sweeper(cfg, cfg.threads);
         return sweeper.run(algorithms, loads);
     }
 

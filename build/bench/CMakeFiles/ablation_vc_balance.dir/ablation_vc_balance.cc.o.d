@@ -238,6 +238,8 @@ bench/CMakeFiles/ablation_vc_balance.dir/ablation_vc_balance.cc.o: \
  /root/repo/src/wormsim/stats/accumulator.hh \
  /root/repo/src/wormsim/traffic/registry.hh \
  /root/repo/src/wormsim/traffic/traffic_pattern.hh \
+ /root/repo/src/wormsim/driver/parallel_sweep.hh \
+ /root/repo/src/wormsim/driver/sweep.hh \
  /root/repo/src/wormsim/driver/results.hh \
  /root/repo/src/wormsim/driver/runner.hh \
  /root/repo/src/wormsim/rng/stream_set.hh \
@@ -247,7 +249,6 @@ bench/CMakeFiles/ablation_vc_balance.dir/ablation_vc_balance.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/wormsim/sim/event.hh \
  /root/repo/src/wormsim/stats/histogram.hh \
- /root/repo/src/wormsim/driver/sweep.hh \
  /root/repo/src/wormsim/driver/trace_runner.hh \
  /root/repo/src/wormsim/traffic/trace.hh \
  /root/repo/src/wormsim/driver/warmup.hh \

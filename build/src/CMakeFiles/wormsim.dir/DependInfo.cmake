@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/wormsim/common/string_utils.cc" "src/CMakeFiles/wormsim.dir/wormsim/common/string_utils.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/common/string_utils.cc.o.d"
   "/root/repo/src/wormsim/common/table.cc" "src/CMakeFiles/wormsim.dir/wormsim/common/table.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/common/table.cc.o.d"
   "/root/repo/src/wormsim/driver/config.cc" "src/CMakeFiles/wormsim.dir/wormsim/driver/config.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/driver/config.cc.o.d"
+  "/root/repo/src/wormsim/driver/parallel_sweep.cc" "src/CMakeFiles/wormsim.dir/wormsim/driver/parallel_sweep.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/driver/parallel_sweep.cc.o.d"
   "/root/repo/src/wormsim/driver/results.cc" "src/CMakeFiles/wormsim.dir/wormsim/driver/results.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/driver/results.cc.o.d"
   "/root/repo/src/wormsim/driver/runner.cc" "src/CMakeFiles/wormsim.dir/wormsim/driver/runner.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/driver/runner.cc.o.d"
   "/root/repo/src/wormsim/driver/sweep.cc" "src/CMakeFiles/wormsim.dir/wormsim/driver/sweep.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/driver/sweep.cc.o.d"

@@ -241,6 +241,8 @@ src/CMakeFiles/wormsim.dir/wormsim/driver/runner.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/wormsim/sim/event.hh \
- /root/repo/src/wormsim/stats/histogram.hh \
+ /root/repo/src/wormsim/stats/histogram.hh /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/wormsim/rng/distributions.hh \
  /root/repo/src/wormsim/routing/registry.hh

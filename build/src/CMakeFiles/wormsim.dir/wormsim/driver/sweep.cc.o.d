@@ -259,11 +259,4 @@ src/CMakeFiles/wormsim.dir/wormsim/driver/sweep.cc.o: \
  /root/repo/src/wormsim/common/csv.hh \
  /root/repo/src/wormsim/common/string_utils.hh \
  /root/repo/src/wormsim/common/table.hh \
- /root/repo/src/wormsim/driver/runner.hh \
- /root/repo/src/wormsim/rng/stream_set.hh \
- /root/repo/src/wormsim/sim/simulator.hh \
- /root/repo/src/wormsim/sim/event_queue.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/wormsim/sim/event.hh \
- /root/repo/src/wormsim/stats/histogram.hh
+ /root/repo/src/wormsim/driver/parallel_sweep.hh

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/wormsim_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_driver.cc.o.d"
   "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/wormsim_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_integration.cc.o.d"
   "/root/repo/tests/test_network.cc" "tests/CMakeFiles/wormsim_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_parallel_sweep.cc" "tests/CMakeFiles/wormsim_tests.dir/test_parallel_sweep.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_parallel_sweep.cc.o.d"
   "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/wormsim_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_properties.cc.o.d"
   "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/wormsim_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_rng.cc.o.d"
   "/root/repo/tests/test_routing.cc" "tests/CMakeFiles/wormsim_tests.dir/test_routing.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_routing.cc.o.d"

@@ -5,7 +5,8 @@
  * a scaled-down interactive version of bench/fig3_uniform.
  *
  *   ./adaptivity_sweep [--traffic uniform|hotspot|local]
- *                      [--loads 0.1,0.3,0.5] [--radix 8] ...
+ *                      [--loads 0.1,0.3,0.5] [--radix 8]
+ *                      [--threads N]  # parallel sweep; same results
  */
 
 #include <iostream>
@@ -33,7 +34,10 @@ main(int argc, char **argv)
     cfg.finishOptions();
     // Small-network default: keep the 16x16 only when asked for.
 
-    SweepRunner sweeper(cfg);
+    // Points are farmed out over --threads workers; per-point seeds are
+    // derived from (seed, grid position), so any thread count gives
+    // bit-identical results.
+    ParallelSweepRunner sweeper(cfg, cfg.threads);
     SweepResult sweep = sweeper.run(paperAlgorithms(), loads);
     SweepRunner::report(sweep,
                         "adaptivity sweep on " + cfg.makeTopology()->name() +

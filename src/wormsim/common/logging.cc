@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 
 namespace wormsim
@@ -12,6 +13,13 @@ namespace
 
 bool throwsInsteadOfTerminating = false;
 bool quiet = false;
+
+/**
+ * Serializes all log emission so concurrent sweep workers (see
+ * ParallelSweepRunner) never interleave half-written lines. The flags
+ * above are configuration, set before workers start.
+ */
+std::mutex logMutex;
 
 } // namespace
 
@@ -42,7 +50,10 @@ panicImpl(const char *file, int line, const std::string &msg)
     std::string full = concat("panic: ", msg, " [", file, ":", line, "]");
     if (throwsInsteadOfTerminating)
         throw std::runtime_error(full);
-    std::cerr << full << std::endl;
+    {
+        std::scoped_lock lock(logMutex);
+        std::cerr << full << std::endl;
+    }
     std::abort();
 }
 
@@ -52,22 +63,29 @@ fatalImpl(const char *file, int line, const std::string &msg)
     std::string full = concat("fatal: ", msg, " [", file, ":", line, "]");
     if (throwsInsteadOfTerminating)
         throw std::runtime_error(full);
-    std::cerr << full << std::endl;
+    {
+        std::scoped_lock lock(logMutex);
+        std::cerr << full << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (!quiet)
-        std::cerr << "warn: " << msg << std::endl;
+    if (quiet)
+        return;
+    std::scoped_lock lock(logMutex);
+    std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet)
-        std::cerr << "info: " << msg << std::endl;
+    if (quiet)
+        return;
+    std::scoped_lock lock(logMutex);
+    std::cerr << "info: " << msg << std::endl;
 }
 
 } // namespace detail

@@ -10,6 +10,10 @@
  *
  * All of them accept printf-free, iostream-free variadic arguments that are
  * stringified with operator<<.
+ *
+ * Emission is serialized behind a mutex, so concurrent sweep workers never
+ * interleave partial lines. The setLogging*() configuration setters are NOT
+ * thread-safe; call them before spawning workers.
  */
 
 #ifndef WORMSIM_COMMON_LOGGING_HH

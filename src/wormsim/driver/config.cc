@@ -56,6 +56,7 @@ SimulationConfig::registerOptions(OptionParser &parser)
     optSamplePeriod = static_cast<long long>(samplePeriod);
     optMaxCycles = static_cast<long long>(maxCycles);
     optSeed = static_cast<long long>(seed);
+    optThreads = threads;
     optHotspotNode = trafficParams.hotspotNode;
     optLocalRadius = trafficParams.localRadius;
     optSwitching = switchingModeName(switching);
@@ -84,6 +85,9 @@ SimulationConfig::registerOptions(OptionParser &parser)
                   "cycles per sampling period");
     parser.addInt("max-cycles", &optMaxCycles, "hard cycle budget");
     parser.addInt("seed", &optSeed, "master random seed");
+    parser.addInt("threads", &optThreads,
+                  "sweep worker threads (1 = serial, 0 = all cores; "
+                  "results are identical for every value)");
     parser.addInt("hotspot-node", &optHotspotNode,
                   "hotspot node id (-1 = highest-index node)");
     parser.addInt("local-radius", &optLocalRadius,
@@ -103,6 +107,7 @@ SimulationConfig::finishOptions()
     samplePeriod = static_cast<Cycle>(optSamplePeriod);
     maxCycles = static_cast<Cycle>(optMaxCycles);
     seed = static_cast<std::uint64_t>(optSeed);
+    threads = static_cast<int>(optThreads);
     trafficParams.hotspotNode = static_cast<NodeId>(optHotspotNode);
     trafficParams.localRadius = static_cast<int>(optLocalRadius);
     switching = parseSwitchingMode(optSwitching);
@@ -125,6 +130,8 @@ SimulationConfig::validate() const
         WORMSIM_FATAL("flit buffer depth must be >= 1");
     if (samplePeriod < 100)
         WORMSIM_FATAL("sample period unrealistically short");
+    if (threads < 0)
+        WORMSIM_FATAL("thread count ", threads, " must be >= 0");
     if (maxCycles < warmupCycles + samplePeriod)
         WORMSIM_FATAL("max-cycles too small for warmup plus one sample");
 }

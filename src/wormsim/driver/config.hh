@@ -52,6 +52,14 @@ struct SimulationConfig
     Cycle maxCycles = 400000; ///< hard budget (paper's time limit)
     std::uint64_t seed = 1;
 
+    // --- driver ---
+    /**
+     * Worker threads for sweep drivers (ParallelSweepRunner); not used
+     * by a single simulation point. 1 = serial, 0 = one per hardware
+     * core. Results are bit-identical for every value.
+     */
+    int threads = 1;
+
     /**
      * Per-node, per-cycle injection probability implied by offeredLoad:
      * lambda = rho * 2n / (m_l * dbar), Eq. (3)/(4) solved for lambda.
@@ -89,6 +97,7 @@ struct SimulationConfig
     long long optSamplePeriod = 8000;
     long long optMaxCycles = 400000;
     long long optSeed = 1;
+    long long optThreads = 1;
     long long optHotspotNode = -1;
     long long optLocalRadius = 3;
     std::string optSwitching = "wh";

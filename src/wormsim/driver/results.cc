@@ -16,6 +16,8 @@ SimulationResult::summary() const
         << formatFixed(avgLatency, 1) << " util="
         << formatFixed(achievedUtilization, 3) << " samples=" << numSamples
         << " cycles=" << cyclesSimulated;
+    if (cyclesPerSecond > 0.0)
+        oss << " rate=" << formatFixed(cyclesPerSecond / 1e6, 2) << "Mc/s";
     if (deadlockDetected)
         oss << " DEADLOCK(killed=" << messagesKilled << ")";
     return oss.str();

@@ -54,6 +54,12 @@ struct SimulationResult
     double channelLoadCv = 0.0; ///< physical-channel load skew (last
                                 ///< sample; see ChannelLoadStats)
 
+    // simulator performance instrumentation (host-dependent; excluded
+    // from determinism comparisons — everything above is bit-identical
+    // for a given seed, these two are not)
+    double wallSeconds = 0.0;     ///< wall-clock duration of run()
+    double cyclesPerSecond = 0.0; ///< cyclesSimulated / wallSeconds
+
     // bookkeeping
     StopReason stopReason = StopReason::NotDone;
     int numSamples = 0;

@@ -1,5 +1,7 @@
 #include "wormsim/driver/runner.hh"
 
+#include <chrono>
+
 #include "wormsim/common/logging.hh"
 #include "wormsim/rng/distributions.hh"
 #include "wormsim/routing/registry.hh"
@@ -96,6 +98,7 @@ SimulationRunner::closeSample(Cycle start)
 SimulationResult
 SimulationRunner::run()
 {
+    auto wall_start = std::chrono::steady_clock::now();
     SimulationResult result;
     result.algorithm = algo->name();
     result.traffic = traffic->name();
@@ -210,6 +213,14 @@ SimulationRunner::run()
         result.latencyP95 = latencyHist->quantile(0.95);
         result.latencyP99 = latencyHist->quantile(0.99);
     }
+    result.wallSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+    result.cyclesPerSecond =
+        result.wallSeconds > 0.0
+            ? static_cast<double>(result.cyclesSimulated) /
+                  result.wallSeconds
+            : 0.0;
     return result;
 }
 

@@ -7,7 +7,7 @@
 #include "wormsim/common/logging.hh"
 #include "wormsim/common/string_utils.hh"
 #include "wormsim/common/table.hh"
-#include "wormsim/driver/runner.hh"
+#include "wormsim/driver/parallel_sweep.hh"
 
 namespace wormsim
 {
@@ -26,8 +26,10 @@ SweepResult::peakUtilization(const std::string &algorithm) const
 }
 
 const SimulationResult &
-SweepResult::at(const std::string &algorithm, double load) const
+SweepResult::at(const std::string &algorithm, double load,
+                double tolerance) const
 {
+    WORMSIM_ASSERT(!loads.empty(), "sweep has an empty load grid");
     for (std::size_t a = 0; a < algorithms.size(); ++a) {
         if (algorithms[a] != algorithm)
             continue;
@@ -40,15 +42,21 @@ SweepResult::at(const std::string &algorithm, double load) const
                 best = l;
             }
         }
+        if (best_gap > tolerance) {
+            WORMSIM_FATAL("no sweep point within ", tolerance,
+                          " of load ", load, " (nearest grid load is ",
+                          loads[best], ")");
+        }
         return results[a][best];
     }
     WORMSIM_FATAL("algorithm '", algorithm, "' not in sweep");
 }
 
 double
-SweepResult::latencyAt(const std::string &algorithm, double load) const
+SweepResult::latencyAt(const std::string &algorithm, double load,
+                       double tolerance) const
 {
-    return at(algorithm, load).avgLatency;
+    return at(algorithm, load, tolerance).avgLatency;
 }
 
 SweepRunner::SweepRunner(SimulationConfig base_config)
@@ -65,27 +73,19 @@ SweepRunner::setProgress(std::function<void(const SimulationResult &)> cb)
     progress = std::move(cb);
 }
 
+void
+SweepRunner::setThreads(int num_threads)
+{
+    threads = num_threads;
+}
+
 SweepResult
 SweepRunner::run(const std::vector<std::string> &algorithms,
                  const std::vector<double> &loads)
 {
-    SweepResult sweep;
-    sweep.algorithms = algorithms;
-    sweep.loads = loads;
-    sweep.results.resize(algorithms.size());
-    for (std::size_t a = 0; a < algorithms.size(); ++a) {
-        for (double load : loads) {
-            SimulationConfig cfg = base;
-            cfg.algorithm = algorithms[a];
-            cfg.offeredLoad = load;
-            SimulationRunner runner(cfg);
-            SimulationResult r = runner.run();
-            if (progress)
-                progress(r);
-            sweep.results[a].push_back(std::move(r));
-        }
-    }
-    return sweep;
+    ParallelSweepRunner engine(base, threads);
+    engine.setProgress(progress);
+    return engine.run(algorithms, loads);
 }
 
 void
@@ -118,13 +118,40 @@ SweepRunner::report(const SweepResult &sweep, const std::string &title,
     panel("achieved channel utilization", [](const SimulationResult &r) {
         return formatFixed(r.achievedUtilization, 3);
     });
+    panel("simulation rate (Mcycles/s)", [](const SimulationResult &r) {
+        return formatFixed(r.cyclesPerSecond / 1e6, 2);
+    });
+
+    double point_seconds = 0.0;
+    Cycle total_cycles = 0;
+    for (const auto &row : sweep.results) {
+        for (const SimulationResult &r : row) {
+            point_seconds += r.wallSeconds;
+            total_cycles += r.cyclesSimulated;
+        }
+    }
+    os << "timing: " << sweep.algorithms.size() * sweep.loads.size()
+       << " points, " << total_cycles << " simulated cycles, "
+       << formatFixed(point_seconds, 2) << "s aggregate point time";
+    if (sweep.wallSeconds > 0.0) {
+        // aggregate/wall is the mean number of points in flight; it
+        // equals the wall-clock speedup over a serial run when each
+        // worker has a core to itself (oversubscribed hosts inflate
+        // per-point times instead, keeping this ratio honest about
+        // concurrency but not about end-to-end gain).
+        os << ", " << formatFixed(sweep.wallSeconds, 2)
+           << "s wall clock (concurrency "
+           << formatFixed(point_seconds / sweep.wallSeconds, 2) << "x)";
+    }
+    os << "\n\n";
 
     os << "csv:\n";
     CsvWriter csv(os);
     csv.writeRow({"algorithm", "traffic", "offered_load", "latency",
                   "latency_p95", "utilization", "raw_channel_utilization",
                   "throughput_msgs_node_cycle", "avg_hops",
-                  "drop_fraction", "samples", "converged", "deadlock"});
+                  "drop_fraction", "samples", "converged", "deadlock",
+                  "cycles", "wall_seconds", "mcycles_per_second"});
     for (std::size_t a = 0; a < sweep.algorithms.size(); ++a) {
         for (std::size_t l = 0; l < sweep.loads.size(); ++l) {
             const SimulationResult &r = sweep.results[a][l];
@@ -140,7 +167,10 @@ SweepRunner::report(const SweepResult &sweep, const std::string &title,
                           std::to_string(r.numSamples),
                           r.stopReason == StopReason::Converged ? "yes"
                                                                 : "no",
-                          r.deadlockDetected ? "yes" : "no"});
+                          r.deadlockDetected ? "yes" : "no",
+                          std::to_string(r.cyclesSimulated),
+                          formatFixed(r.wallSeconds, 4),
+                          formatFixed(r.cyclesPerSecond / 1e6, 3)});
         }
     }
     os << "\n";

@@ -27,15 +27,31 @@ struct SweepResult
     std::vector<double> loads;
     /** results[a][l]: algorithm a at load l. */
     std::vector<std::vector<SimulationResult>> results;
+    /** Wall-clock seconds the whole sweep took (0 when not measured). */
+    double wallSeconds = 0.0;
 
     /** Peak achieved utilization of one algorithm across the sweep. */
     double peakUtilization(const std::string &algorithm) const;
 
-    /** Latency of one algorithm at the load closest to @p load. */
-    double latencyAt(const std::string &algorithm, double load) const;
+    /** Latency of one algorithm at the grid load closest to @p load. */
+    double latencyAt(const std::string &algorithm, double load,
+                     double tolerance = kLoadTolerance) const;
 
-    const SimulationResult &at(const std::string &algorithm,
-                               double load) const;
+    /**
+     * Result of one algorithm at the grid load closest to @p load.
+     * Fatal (user error) when the algorithm is not part of the sweep or
+     * when no grid load lies within @p tolerance of the request — a
+     * silently-returned neighbour from a mismatched grid has produced
+     * wrong figure anchors before. Requires a non-empty load grid.
+     */
+    const SimulationResult &at(const std::string &algorithm, double load,
+                               double tolerance = kLoadTolerance) const;
+
+    /**
+     * Default lookup tolerance: half of the coarsest (quick-mode) load
+     * grid spacing, so a query always matches at most one grid point.
+     */
+    static constexpr double kLoadTolerance = 0.05;
 };
 
 /** Runs and reports load sweeps. */
@@ -50,6 +66,13 @@ class SweepRunner
 
     /** Progress callback (default: inform() one line per point). */
     void setProgress(std::function<void(const SimulationResult &)> cb);
+
+    /**
+     * Worker threads for run(): 1 (default) is the serial path, 0 uses
+     * one worker per hardware core. See ParallelSweepRunner — results
+     * are bit-identical for every thread count.
+     */
+    void setThreads(int num_threads);
 
     /**
      * Run the grid.
@@ -77,6 +100,7 @@ class SweepRunner
 
   private:
     SimulationConfig base;
+    int threads = 1;
     std::function<void(const SimulationResult &)> progress;
 };
 

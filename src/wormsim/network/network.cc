@@ -391,28 +391,42 @@ Network::failLink(NodeId node, Direction d)
 }
 
 ChannelLoadStats
-Network::channelLoadStats() const
+ChannelLoadStats::fromCounts(const std::vector<double> &counts)
 {
     ChannelLoadStats stats;
-    if (realLinks.empty())
+    if (counts.empty())
         return stats;
-    double n = static_cast<double>(realLinks.size());
-    double sum = 0.0, sumsq = 0.0;
-    for (ChannelId id : realLinks) {
-        auto f = static_cast<double>(links[id].flitsTransferred());
-        sum += f;
-        sumsq += f * f;
-        if (f > stats.maxFlits) {
-            stats.maxFlits = f;
-            stats.busiest = id;
+    double n = static_cast<double>(counts.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        sum += counts[i];
+        if (counts[i] > stats.maxFlits) {
+            stats.maxFlits = counts[i];
+            stats.busiest = static_cast<ChannelId>(i);
         }
     }
     stats.meanFlits = sum / n;
-    double var = sumsq / n - stats.meanFlits * stats.meanFlits;
-    if (var < 0.0)
-        var = 0.0;
+    double sum_sq_dev = 0.0;
+    for (double f : counts) {
+        double dev = f - stats.meanFlits;
+        sum_sq_dev += dev * dev;
+    }
+    double var = sum_sq_dev / n;
     stats.cv = stats.meanFlits > 0.0 ? std::sqrt(var) / stats.meanFlits
                                      : 0.0;
+    return stats;
+}
+
+ChannelLoadStats
+Network::channelLoadStats() const
+{
+    std::vector<double> flits;
+    flits.reserve(realLinks.size());
+    for (ChannelId id : realLinks)
+        flits.push_back(static_cast<double>(links[id].flitsTransferred()));
+    ChannelLoadStats stats = ChannelLoadStats::fromCounts(flits);
+    if (stats.busiest != kInvalidChannel)
+        stats.busiest = realLinks[static_cast<std::size_t>(stats.busiest)];
     return stats;
 }
 

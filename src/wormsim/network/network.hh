@@ -83,6 +83,18 @@ struct ChannelLoadStats
     double maxFlits = 0.0;  ///< busiest channel's flits
     double cv = 0.0;        ///< coefficient of variation across channels
     ChannelId busiest = kInvalidChannel;
+
+    /**
+     * Compute the stats from raw per-channel flit counts using a
+     * two-pass variance (sum of squared deviations from the mean).
+     * The naive sumsq/n - mean^2 form cancels catastrophically when
+     * long runs push per-channel counts into the 1e8+ range with a
+     * small spread, reporting cv = 0 for genuinely skewed loads.
+     * `busiest` is set to the index of the max in @p counts (the
+     * caller maps it back to a ChannelId), or kInvalidChannel when
+     * every count is zero.
+     */
+    static ChannelLoadStats fromCounts(const std::vector<double> &counts);
 };
 
 /** Aggregate counters since the last resetCounters(). */

@@ -57,22 +57,34 @@ Histogram::quantile(double q) const
     WORMSIM_ASSERT(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
     double target = q * static_cast<double>(n);
     double seen = static_cast<double>(under);
-    if (seen >= target)
+    // Underflow mass sits at `low`; any target inside it clamps there
+    // (an all-underflow histogram returns low for every q).
+    if (under > 0 && target <= seen)
         return low;
     for (std::size_t i = 0; i < counts.size(); ++i) {
         double c = static_cast<double>(counts[i]);
-        if (seen + c >= target && c > 0) {
-            double frac = (target - seen) / c;
+        if (c > 0 && seen + c >= target) {
+            // target <= seen is possible only when every preceding
+            // bucket was empty (and there is no underflow): the
+            // quantile is this bucket's left edge, not `low`
+            // interpolated across the empty prefix. In particular
+            // q = 0 lands on the first observed value's bucket.
+            double frac = target > seen ? (target - seen) / c : 0.0;
             return bucketLeft(i) + frac * width;
         }
         seen += c;
     }
+    // Only overflow mass (or an exact q = 1 boundary into it) remains.
     return high;
 }
 
 std::string
 Histogram::render(std::size_t bar_width) const
 {
+    // Bars are normalized to the tallest *in-range* bucket only; under-
+    // and overflow mass is reported as bare counts on the edge rows, so
+    // a saturated run (mass piled at >= high) cannot flatten the shape
+    // of the bucketed distribution into invisibility.
     std::uint64_t peak = 1;
     for (std::uint64_t c : counts)
         peak = std::max(peak, c);

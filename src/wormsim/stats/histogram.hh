@@ -50,12 +50,21 @@ class Histogram
     double bucketLeft(std::size_t i) const;
 
     /**
-     * Value below which @p q of the (bucketed) mass lies, by linear
-     * interpolation within the containing bucket. Requires total() > 0.
+     * Smallest value x with at least q*total() observations <= x, with
+     * linear interpolation inside the containing bucket. Underflow mass
+     * counts as sitting at `lo` and overflow mass at `hi`, so quantiles
+     * landing in them clamp to the range edges. q = 0 returns the left
+     * edge of the first non-empty bucket (not `lo`, unless there is
+     * underflow); q = 1 returns the right edge of the last non-empty
+     * bucket (or `hi` with overflow). Requires total() > 0.
      */
     double quantile(double q) const;
 
-    /** One-line-per-bucket text rendering with `#` bars. */
+    /**
+     * One-line-per-bucket text rendering with `#` bars, scaled to the
+     * tallest in-range bucket; under/overflow appear as bare counts on
+     * the edge rows and do not influence the bar scale.
+     */
     std::string render(std::size_t bar_width = 40) const;
 
   private:

@@ -20,6 +20,7 @@
 #include "wormsim/common/table.hh"
 #include "wormsim/common/types.hh"
 #include "wormsim/driver/config.hh"
+#include "wormsim/driver/parallel_sweep.hh"
 #include "wormsim/driver/results.hh"
 #include "wormsim/driver/runner.hh"
 #include "wormsim/driver/sweep.hh"

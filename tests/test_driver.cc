@@ -266,7 +266,7 @@ TEST(Sweep, RunsGridAndReports)
     EXPECT_NE(out.find("csv:"), std::string::npos);
 }
 
-TEST(Sweep, AtFindsNearestLoad)
+TEST(Sweep, AtFindsNearestLoadWithinTolerance)
 {
     SimulationConfig cfg = quickConfig();
     cfg.maxCycles = 10000;
@@ -274,9 +274,28 @@ TEST(Sweep, AtFindsNearestLoad)
     sweeper.setProgress(nullptr);
     SweepResult sweep = sweeper.run({"ecube"}, {0.1, 0.3});
     EXPECT_DOUBLE_EQ(sweep.at("ecube", 0.12).offeredLoad, 0.1);
-    EXPECT_DOUBLE_EQ(sweep.at("ecube", 0.4).offeredLoad, 0.3);
+    EXPECT_DOUBLE_EQ(sweep.at("ecube", 0.3).offeredLoad, 0.3);
     setLoggingThrows(true);
+    // 0.4 is 0.1 away from the nearest grid point — beyond the default
+    // tolerance, this must be fatal rather than silently return 0.3.
+    EXPECT_THROW(sweep.at("ecube", 0.4), std::runtime_error);
+    EXPECT_THROW(sweep.latencyAt("ecube", 0.2, 0.05), std::runtime_error);
+    // A caller who wants nearest-neighbour semantics says so explicitly.
+    EXPECT_DOUBLE_EQ(sweep.at("ecube", 0.4, 0.2).offeredLoad, 0.3);
     EXPECT_THROW(sweep.at("phop", 0.1), std::runtime_error);
+    setLoggingThrows(false);
+}
+
+TEST(Sweep, AtRejectsEmptyLoadGrid)
+{
+    // Regression: at() used to index results[a][0] even with an empty
+    // load grid (out of bounds) instead of failing loudly.
+    SweepResult sweep;
+    sweep.algorithms = {"ecube"};
+    sweep.results.resize(1);
+    setLoggingThrows(true);
+    EXPECT_THROW(sweep.at("ecube", 0.1), std::runtime_error);
+    EXPECT_THROW(sweep.latencyAt("ecube", 0.1), std::runtime_error);
     setLoggingThrows(false);
 }
 

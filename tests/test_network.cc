@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "wormsim/common/logging.hh"
 #include "wormsim/network/network.hh"
 #include "wormsim/routing/ecube.hh"
@@ -215,6 +217,44 @@ TEST_F(LinkTest, TransferCounters)
     EXPECT_EQ(link.classTransfers()[1], 2u);
     link.resetCounters();
     EXPECT_EQ(link.flitsTransferred(), 0u);
+}
+
+TEST(ChannelLoadStatsTest, FromCountsMatchesHandComputation)
+{
+    ChannelLoadStats s =
+        ChannelLoadStats::fromCounts({2.0, 4.0, 6.0, 8.0});
+    EXPECT_DOUBLE_EQ(s.meanFlits, 5.0);
+    EXPECT_DOUBLE_EQ(s.maxFlits, 8.0);
+    EXPECT_EQ(s.busiest, 3);
+    // population variance = 5, cv = sqrt(5)/5
+    EXPECT_NEAR(s.cv, std::sqrt(5.0) / 5.0, 1e-12);
+}
+
+TEST(ChannelLoadStatsTest, LargeCountsWithTinySpreadDoNotCancel)
+{
+    // Regression: the former sumsq/n - mean^2 variance lost all
+    // significant digits once per-channel flit counts reached ~1e9
+    // (long runs), reporting cv = 0 (or NaN after a negative-variance
+    // clamp) for a genuinely non-uniform load.
+    std::vector<double> counts;
+    for (int i = 0; i < 512; ++i)
+        counts.push_back(1.0e9 + (i % 2 == 0 ? 1.0 : -1.0));
+    ChannelLoadStats s = ChannelLoadStats::fromCounts(counts);
+    EXPECT_DOUBLE_EQ(s.meanFlits, 1.0e9);
+    // spread is exactly +-1 → variance 1, cv = 1e-9
+    EXPECT_NEAR(s.cv, 1.0e-9, 1e-15);
+    EXPECT_GT(s.cv, 0.0);
+}
+
+TEST(ChannelLoadStatsTest, EmptyAndAllZeroCounts)
+{
+    ChannelLoadStats empty = ChannelLoadStats::fromCounts({});
+    EXPECT_DOUBLE_EQ(empty.cv, 0.0);
+    EXPECT_EQ(empty.busiest, kInvalidChannel);
+    ChannelLoadStats zeros = ChannelLoadStats::fromCounts({0.0, 0.0});
+    EXPECT_DOUBLE_EQ(zeros.meanFlits, 0.0);
+    EXPECT_DOUBLE_EQ(zeros.cv, 0.0);
+    EXPECT_EQ(zeros.busiest, kInvalidChannel);
 }
 
 TEST(Congestion, LimitsPerNodeAndClass)

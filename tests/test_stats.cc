@@ -118,6 +118,70 @@ TEST(Histogram, QuantileInterpolates)
     EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
 }
 
+TEST(Histogram, QuantileZeroSkipsEmptyPrefix)
+{
+    // Regression: with all mass in a late bucket, q = 0 used to return
+    // `lo`, interpolated across an all-empty prefix of buckets.
+    Histogram h(0.0, 10.0, 5);
+    for (int i = 0; i < 4; ++i)
+        h.add(6.5); // bucket 3 = [6, 8)
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 6.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0); // right edge, not `hi`
+}
+
+TEST(Histogram, QuantileExactCumulativeBoundary)
+{
+    // Mass split across buckets 0 and 3: an exact-boundary target (half
+    // the mass) resolves to the right edge of the bucket that completes
+    // it, not somewhere inside the empty gap.
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(6.5);
+    h.add(7.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.75), 7.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+}
+
+TEST(Histogram, QuantileUnderAndOverflowClampToEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(-2.0);
+    h.add(5.0);
+    h.add(20.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);  // inside underflow mass
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.0); // still underflow
+    EXPECT_DOUBLE_EQ(h.quantile(0.75), 6.0); // completes bucket 2
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0); // inside overflow mass
+}
+
+TEST(Histogram, QuantileAllUnderflowClampsToLow)
+{
+    Histogram h(10.0, 20.0, 4);
+    h.add(1.0);
+    h.add(2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, RenderScalesBarsToInRangePeakOnly)
+{
+    // Under/overflow mass is reported as bare counts and must not
+    // flatten the in-range bars.
+    Histogram h(0.0, 4.0, 2);
+    for (int i = 0; i < 1000; ++i)
+        h.add(100.0); // overflow
+    h.add(1.0);
+    std::string out = h.render(10);
+    EXPECT_NE(out.find("##########"), std::string::npos);
+    EXPECT_NE(out.find("1000"), std::string::npos);
+}
+
 TEST(Histogram, RenderMentionsCounts)
 {
     Histogram h(0.0, 4.0, 2);
