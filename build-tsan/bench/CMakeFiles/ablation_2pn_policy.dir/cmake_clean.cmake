@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_2pn_policy.dir/ablation_2pn_policy.cc.o"
+  "CMakeFiles/ablation_2pn_policy.dir/ablation_2pn_policy.cc.o.d"
+  "ablation_2pn_policy"
+  "ablation_2pn_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_2pn_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

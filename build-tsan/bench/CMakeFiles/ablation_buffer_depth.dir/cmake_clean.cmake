@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_depth.dir/ablation_buffer_depth.cc.o"
+  "CMakeFiles/ablation_buffer_depth.dir/ablation_buffer_depth.cc.o.d"
+  "ablation_buffer_depth"
+  "ablation_buffer_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

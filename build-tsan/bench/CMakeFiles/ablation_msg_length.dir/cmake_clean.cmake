@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_msg_length.dir/ablation_msg_length.cc.o"
+  "CMakeFiles/ablation_msg_length.dir/ablation_msg_length.cc.o.d"
+  "ablation_msg_length"
+  "ablation_msg_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_msg_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nbc_flex.dir/ablation_nbc_flex.cc.o"
+  "CMakeFiles/ablation_nbc_flex.dir/ablation_nbc_flex.cc.o.d"
+  "ablation_nbc_flex"
+  "ablation_nbc_flex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nbc_flex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

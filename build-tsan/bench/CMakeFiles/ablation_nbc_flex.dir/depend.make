@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_nbc_flex.
+# This may be replaced when dependencies are built.

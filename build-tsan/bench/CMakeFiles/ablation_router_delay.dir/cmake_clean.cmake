@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_router_delay.dir/ablation_router_delay.cc.o"
+  "CMakeFiles/ablation_router_delay.dir/ablation_router_delay.cc.o.d"
+  "ablation_router_delay"
+  "ablation_router_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_router_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

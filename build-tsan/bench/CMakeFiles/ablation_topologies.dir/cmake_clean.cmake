@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_topologies.dir/ablation_topologies.cc.o"
+  "CMakeFiles/ablation_topologies.dir/ablation_topologies.cc.o.d"
+  "ablation_topologies"
+  "ablation_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

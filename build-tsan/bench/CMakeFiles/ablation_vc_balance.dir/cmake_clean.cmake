@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vc_balance.dir/ablation_vc_balance.cc.o"
+  "CMakeFiles/ablation_vc_balance.dir/ablation_vc_balance.cc.o.d"
+  "ablation_vc_balance"
+  "ablation_vc_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vc_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vc_count.dir/ablation_vc_count.cc.o"
+  "CMakeFiles/ablation_vc_count.dir/ablation_vc_count.cc.o.d"
+  "ablation_vc_count"
+  "ablation_vc_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vc_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

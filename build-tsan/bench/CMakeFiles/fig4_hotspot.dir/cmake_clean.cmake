@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hotspot.dir/fig4_hotspot.cc.o"
+  "CMakeFiles/fig4_hotspot.dir/fig4_hotspot.cc.o.d"
+  "fig4_hotspot"
+  "fig4_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

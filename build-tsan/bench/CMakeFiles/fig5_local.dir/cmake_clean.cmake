@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_local.dir/fig5_local.cc.o"
+  "CMakeFiles/fig5_local.dir/fig5_local.cc.o.d"
+  "fig5_local"
+  "fig5_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

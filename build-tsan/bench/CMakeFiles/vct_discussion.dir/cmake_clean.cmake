@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vct_discussion.dir/vct_discussion.cc.o"
+  "CMakeFiles/vct_discussion.dir/vct_discussion.cc.o.d"
+  "vct_discussion"
+  "vct_discussion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vct_discussion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vct_discussion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptivity_sweep.dir/adaptivity_sweep.cpp.o"
+  "CMakeFiles/adaptivity_sweep.dir/adaptivity_sweep.cpp.o.d"
+  "adaptivity_sweep"
+  "adaptivity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptivity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_study.dir/hotspot_study.cpp.o"
+  "CMakeFiles/hotspot_study.dir/hotspot_study.cpp.o.d"
+  "hotspot_study"
+  "hotspot_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

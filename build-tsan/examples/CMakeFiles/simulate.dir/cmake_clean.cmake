@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate.dir/simulate.cpp.o"
+  "CMakeFiles/simulate.dir/simulate.cpp.o.d"
+  "simulate"
+  "simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

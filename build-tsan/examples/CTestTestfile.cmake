@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-tsan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-tsan/examples/quickstart" "--radix" "8" "--load" "0.1" "--warmup" "1000" "--sample-period" "1000" "--max-cycles" "8000")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptivity_sweep "/root/repo/build-tsan/examples/adaptivity_sweep" "--loads" "0.2" "--warmup" "800" "--sample-period" "800" "--max-cycles" "5000")
+set_tests_properties(example_adaptivity_sweep PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hotspot_study "/root/repo/build-tsan/examples/hotspot_study" "--warmup" "800" "--sample-period" "800" "--max-cycles" "5000")
+set_tests_properties(example_hotspot_study PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_algorithm "/root/repo/build-tsan/examples/custom_algorithm")
+set_tests_properties(example_custom_algorithm PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_deadlock_demo "/root/repo/build-tsan/examples/deadlock_demo")
+set_tests_properties(example_deadlock_demo PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_replay "/root/repo/build-tsan/examples/trace_replay" "--horizon" "1200")
+set_tests_properties(example_trace_replay PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_simulate "/root/repo/build-tsan/examples/simulate" "--radix" "8" "--load" "0.2" "--warmup" "1000" "--sample-period" "1000" "--max-cycles" "8000" "--histogram" "--vc-shares")
+set_tests_properties(example_simulate PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")

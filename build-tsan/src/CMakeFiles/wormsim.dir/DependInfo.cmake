@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wormsim/common/chart.cc" "src/CMakeFiles/wormsim.dir/wormsim/common/chart.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/common/chart.cc.o.d"
+  "/root/repo/src/wormsim/common/csv.cc" "src/CMakeFiles/wormsim.dir/wormsim/common/csv.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/common/csv.cc.o.d"
+  "/root/repo/src/wormsim/common/logging.cc" "src/CMakeFiles/wormsim.dir/wormsim/common/logging.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/common/logging.cc.o.d"
+  "/root/repo/src/wormsim/common/options.cc" "src/CMakeFiles/wormsim.dir/wormsim/common/options.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/common/options.cc.o.d"
+  "/root/repo/src/wormsim/common/string_utils.cc" "src/CMakeFiles/wormsim.dir/wormsim/common/string_utils.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/common/string_utils.cc.o.d"
+  "/root/repo/src/wormsim/common/table.cc" "src/CMakeFiles/wormsim.dir/wormsim/common/table.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/common/table.cc.o.d"
+  "/root/repo/src/wormsim/driver/config.cc" "src/CMakeFiles/wormsim.dir/wormsim/driver/config.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/driver/config.cc.o.d"
+  "/root/repo/src/wormsim/driver/parallel_sweep.cc" "src/CMakeFiles/wormsim.dir/wormsim/driver/parallel_sweep.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/driver/parallel_sweep.cc.o.d"
+  "/root/repo/src/wormsim/driver/results.cc" "src/CMakeFiles/wormsim.dir/wormsim/driver/results.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/driver/results.cc.o.d"
+  "/root/repo/src/wormsim/driver/runner.cc" "src/CMakeFiles/wormsim.dir/wormsim/driver/runner.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/driver/runner.cc.o.d"
+  "/root/repo/src/wormsim/driver/sweep.cc" "src/CMakeFiles/wormsim.dir/wormsim/driver/sweep.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/driver/sweep.cc.o.d"
+  "/root/repo/src/wormsim/driver/trace_runner.cc" "src/CMakeFiles/wormsim.dir/wormsim/driver/trace_runner.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/driver/trace_runner.cc.o.d"
+  "/root/repo/src/wormsim/driver/warmup.cc" "src/CMakeFiles/wormsim.dir/wormsim/driver/warmup.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/driver/warmup.cc.o.d"
+  "/root/repo/src/wormsim/network/congestion.cc" "src/CMakeFiles/wormsim.dir/wormsim/network/congestion.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/network/congestion.cc.o.d"
+  "/root/repo/src/wormsim/network/link.cc" "src/CMakeFiles/wormsim.dir/wormsim/network/link.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/network/link.cc.o.d"
+  "/root/repo/src/wormsim/network/message.cc" "src/CMakeFiles/wormsim.dir/wormsim/network/message.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/network/message.cc.o.d"
+  "/root/repo/src/wormsim/network/network.cc" "src/CMakeFiles/wormsim.dir/wormsim/network/network.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/network/network.cc.o.d"
+  "/root/repo/src/wormsim/network/router.cc" "src/CMakeFiles/wormsim.dir/wormsim/network/router.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/network/router.cc.o.d"
+  "/root/repo/src/wormsim/network/watchdog.cc" "src/CMakeFiles/wormsim.dir/wormsim/network/watchdog.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/network/watchdog.cc.o.d"
+  "/root/repo/src/wormsim/rng/distributions.cc" "src/CMakeFiles/wormsim.dir/wormsim/rng/distributions.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/rng/distributions.cc.o.d"
+  "/root/repo/src/wormsim/rng/stream_set.cc" "src/CMakeFiles/wormsim.dir/wormsim/rng/stream_set.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/rng/stream_set.cc.o.d"
+  "/root/repo/src/wormsim/rng/xoshiro.cc" "src/CMakeFiles/wormsim.dir/wormsim/rng/xoshiro.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/rng/xoshiro.cc.o.d"
+  "/root/repo/src/wormsim/routing/analysis.cc" "src/CMakeFiles/wormsim.dir/wormsim/routing/analysis.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/routing/analysis.cc.o.d"
+  "/root/repo/src/wormsim/routing/bonus_cards.cc" "src/CMakeFiles/wormsim.dir/wormsim/routing/bonus_cards.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/routing/bonus_cards.cc.o.d"
+  "/root/repo/src/wormsim/routing/broken_ring.cc" "src/CMakeFiles/wormsim.dir/wormsim/routing/broken_ring.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/routing/broken_ring.cc.o.d"
+  "/root/repo/src/wormsim/routing/ecube.cc" "src/CMakeFiles/wormsim.dir/wormsim/routing/ecube.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/routing/ecube.cc.o.d"
+  "/root/repo/src/wormsim/routing/negative_hop.cc" "src/CMakeFiles/wormsim.dir/wormsim/routing/negative_hop.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/routing/negative_hop.cc.o.d"
+  "/root/repo/src/wormsim/routing/north_last.cc" "src/CMakeFiles/wormsim.dir/wormsim/routing/north_last.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/routing/north_last.cc.o.d"
+  "/root/repo/src/wormsim/routing/positive_hop.cc" "src/CMakeFiles/wormsim.dir/wormsim/routing/positive_hop.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/routing/positive_hop.cc.o.d"
+  "/root/repo/src/wormsim/routing/registry.cc" "src/CMakeFiles/wormsim.dir/wormsim/routing/registry.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/routing/registry.cc.o.d"
+  "/root/repo/src/wormsim/routing/routing_algorithm.cc" "src/CMakeFiles/wormsim.dir/wormsim/routing/routing_algorithm.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/routing/routing_algorithm.cc.o.d"
+  "/root/repo/src/wormsim/routing/two_power_n.cc" "src/CMakeFiles/wormsim.dir/wormsim/routing/two_power_n.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/routing/two_power_n.cc.o.d"
+  "/root/repo/src/wormsim/sim/event_queue.cc" "src/CMakeFiles/wormsim.dir/wormsim/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/sim/event_queue.cc.o.d"
+  "/root/repo/src/wormsim/sim/simulator.cc" "src/CMakeFiles/wormsim.dir/wormsim/sim/simulator.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/sim/simulator.cc.o.d"
+  "/root/repo/src/wormsim/stats/accumulator.cc" "src/CMakeFiles/wormsim.dir/wormsim/stats/accumulator.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/stats/accumulator.cc.o.d"
+  "/root/repo/src/wormsim/stats/convergence.cc" "src/CMakeFiles/wormsim.dir/wormsim/stats/convergence.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/stats/convergence.cc.o.d"
+  "/root/repo/src/wormsim/stats/histogram.cc" "src/CMakeFiles/wormsim.dir/wormsim/stats/histogram.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/stats/histogram.cc.o.d"
+  "/root/repo/src/wormsim/stats/steady_state.cc" "src/CMakeFiles/wormsim.dir/wormsim/stats/steady_state.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/stats/steady_state.cc.o.d"
+  "/root/repo/src/wormsim/stats/strata.cc" "src/CMakeFiles/wormsim.dir/wormsim/stats/strata.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/stats/strata.cc.o.d"
+  "/root/repo/src/wormsim/topology/coord.cc" "src/CMakeFiles/wormsim.dir/wormsim/topology/coord.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/topology/coord.cc.o.d"
+  "/root/repo/src/wormsim/topology/mesh.cc" "src/CMakeFiles/wormsim.dir/wormsim/topology/mesh.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/topology/mesh.cc.o.d"
+  "/root/repo/src/wormsim/topology/topology.cc" "src/CMakeFiles/wormsim.dir/wormsim/topology/topology.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/topology/topology.cc.o.d"
+  "/root/repo/src/wormsim/topology/torus.cc" "src/CMakeFiles/wormsim.dir/wormsim/topology/torus.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/topology/torus.cc.o.d"
+  "/root/repo/src/wormsim/traffic/hotspot.cc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/hotspot.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/hotspot.cc.o.d"
+  "/root/repo/src/wormsim/traffic/local.cc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/local.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/local.cc.o.d"
+  "/root/repo/src/wormsim/traffic/permutations.cc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/permutations.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/permutations.cc.o.d"
+  "/root/repo/src/wormsim/traffic/registry.cc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/registry.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/registry.cc.o.d"
+  "/root/repo/src/wormsim/traffic/trace.cc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/trace.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/trace.cc.o.d"
+  "/root/repo/src/wormsim/traffic/traffic_pattern.cc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/traffic_pattern.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/traffic_pattern.cc.o.d"
+  "/root/repo/src/wormsim/traffic/uniform.cc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/uniform.cc.o" "gcc" "src/CMakeFiles/wormsim.dir/wormsim/traffic/uniform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/wormsim_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/wormsim_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/wormsim_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_driver.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/wormsim_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/wormsim_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_parallel_sweep.cc" "tests/CMakeFiles/wormsim_tests.dir/test_parallel_sweep.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_parallel_sweep.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/wormsim_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/wormsim_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_routing.cc" "tests/CMakeFiles/wormsim_tests.dir/test_routing.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_routing.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/wormsim_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/wormsim_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_steady_state.cc" "tests/CMakeFiles/wormsim_tests.dir/test_steady_state.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_steady_state.cc.o.d"
+  "/root/repo/tests/test_switching.cc" "tests/CMakeFiles/wormsim_tests.dir/test_switching.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_switching.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/wormsim_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_topology.cc" "tests/CMakeFiles/wormsim_tests.dir/test_topology.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_topology.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/wormsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_traffic.cc" "tests/CMakeFiles/wormsim_tests.dir/test_traffic.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_traffic.cc.o.d"
+  "/root/repo/tests/test_watchdog.cc" "tests/CMakeFiles/wormsim_tests.dir/test_watchdog.cc.o" "gcc" "tests/CMakeFiles/wormsim_tests.dir/test_watchdog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/wormsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for wormsim_tests.
+# This may be replaced when dependencies are built.

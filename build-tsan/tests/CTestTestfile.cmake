@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/wormsim_tests[1]_include.cmake")
+add_test(parallel_sweep_tsan "/root/repo/build-tsan/tests/wormsim_tests" "--gtest_filter=ParallelSweep.*")
+set_tests_properties(parallel_sweep_tsan PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
