@@ -72,5 +72,15 @@ main(int argc, char **argv)
                       ? "yes"
                       : "NO")
               << "\n";
+
+    if (h.cfg.trace || h.cfg.metricsInterval > 0) {
+        // Per-point output files (one per algorithm x load) derived from
+        // --trace-file; see docs/observability.md for the fig4 stall
+        // attribution walkthrough.
+        std::cout << "\nobservability: per-point trace/metrics files "
+                     "derived from "
+                  << h.cfg.traceFile
+                  << "; open traces at https://ui.perfetto.dev\n";
+    }
     return 0;
 }

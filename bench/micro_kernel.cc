@@ -120,6 +120,61 @@ BM_NetworkCycle(benchmark::State &state, const std::string &algorithm)
 BENCHMARK_CAPTURE(BM_NetworkCycle, ecube, "ecube");
 BENCHMARK_CAPTURE(BM_NetworkCycle, phop, "phop");
 
+/** Observability configurations for BM_NetworkCycleObs. */
+enum class ObsMode { NullSink, CountingSink, Metrics };
+
+void
+BM_NetworkCycleObs(benchmark::State &state, ObsMode mode)
+{
+    Torus topo = Torus::square(16);
+    auto algo = makeRoutingAlgorithm("ecube");
+    Xoshiro256 rng(1);
+    NetworkParams params;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, rng);
+    UniformTraffic traffic(topo);
+    Xoshiro256 dest(2);
+
+    NullTraceSink silent;                    // mask 0: disabled path
+    NullTraceSink counting(kAllTraceEvents); // every event delivered
+    MetricsRegistry metrics(topo.numNodes(), topo.numChannelSlots(), 0);
+    switch (mode) {
+      case ObsMode::NullSink:
+        net.setTraceSink(&silent);
+        break;
+      case ObsMode::CountingSink:
+        net.setTraceSink(&counting);
+        break;
+      case ObsMode::Metrics:
+        net.setMetrics(&metrics);
+        break;
+    }
+
+    Cycle t = 0;
+    for (; t < 2000; ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if ((t + n) % 160 == 0)
+                net.offerMessage(n, traffic.pickDest(n, dest), 16, t);
+        }
+        net.step(t);
+    }
+    for (auto _ : state) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if ((t + n) % 160 == 0)
+                net.offerMessage(n, traffic.pickDest(n, dest), 16, t);
+        }
+        net.step(t);
+        ++t;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["events"] =
+        static_cast<double>(counting.eventsSeen());
+}
+BENCHMARK_CAPTURE(BM_NetworkCycleObs, null_sink, ObsMode::NullSink);
+BENCHMARK_CAPTURE(BM_NetworkCycleObs, counting_sink,
+                  ObsMode::CountingSink);
+BENCHMARK_CAPTURE(BM_NetworkCycleObs, metrics, ObsMode::Metrics);
+
 } // namespace
 } // namespace wormsim
 

@@ -68,6 +68,23 @@ main(int argc, char **argv)
     t.addRow({"deadlock detected", r.deadlockDetected ? "YES" : "no"});
     std::cout << t.render();
 
+    if (r.stalls.collected) {
+        std::cout << "\nstall-cause attribution (whole run):\n"
+                  << renderStallSummary(r.stalls);
+        const MetricsRegistry *m = runner.metricsRegistry();
+        std::string hotspots = renderStallHotspots(*m);
+        if (!hotspots.empty())
+            std::cout << "\ntop stall hotspots:\n" << hotspots;
+        if (cfg.trace)
+            std::cout << "\ntrace written to " << cfg.traceFile
+                      << " (open at https://ui.perfetto.dev)\n";
+        if (cfg.metricsInterval > 0)
+            std::cout << "time series written to "
+                      << derivedOutputPath(cfg.traceFile,
+                                           ".timeseries.csv")
+                      << "\n";
+    }
+
     if (show_vc_shares) {
         std::cout << "\nper-VC-class flit share:\n";
         for (std::size_t c = 0; c < r.vcClassLoadShare.size(); ++c) {

@@ -1,5 +1,6 @@
 #include "wormsim/common/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -14,6 +15,9 @@ namespace
 bool throwsInsteadOfTerminating = false;
 bool quiet = false;
 
+/** Armed while sweep workers are live (see lockLoggingSetters). */
+std::atomic<bool> settersLocked{false};
+
 /**
  * Serializes all log emission so concurrent sweep workers (see
  * ParallelSweepRunner) never interleave half-written lines. The flags
@@ -26,6 +30,9 @@ std::mutex logMutex;
 void
 setLoggingThrows(bool throws)
 {
+    WORMSIM_ASSERT(!settersLocked.load(std::memory_order_relaxed),
+                   "setLoggingThrows() while sweep workers are live; "
+                   "configure logging before starting the sweep");
     throwsInsteadOfTerminating = throws;
 }
 
@@ -38,8 +45,28 @@ loggingThrows()
 void
 setLoggingQuiet(bool q)
 {
+    WORMSIM_ASSERT(!settersLocked.load(std::memory_order_relaxed),
+                   "setLoggingQuiet() while sweep workers are live; "
+                   "configure logging before starting the sweep");
     quiet = q;
 }
+
+namespace detail
+{
+
+void
+lockLoggingSetters(bool locked)
+{
+    settersLocked.store(locked, std::memory_order_relaxed);
+}
+
+bool
+loggingSettersLocked()
+{
+    return settersLocked.load(std::memory_order_relaxed);
+}
+
+} // namespace detail
 
 namespace detail
 {

@@ -52,18 +52,38 @@ void warnImpl(const std::string &msg);
 /** Print a status message to stderr. */
 void informImpl(const std::string &msg);
 
+/**
+ * Arm/disarm the setter guard. While armed (ParallelSweepRunner does this
+ * for the lifetime of its worker pool), calling setLoggingThrows() or
+ * setLoggingQuiet() panics: the setters mutate unsynchronized globals
+ * that workers read concurrently, so flipping them mid-sweep is a data
+ * race. Configure logging before starting a sweep.
+ */
+void lockLoggingSetters(bool locked);
+
+/** True while the setter guard is armed. */
+bool loggingSettersLocked();
+
 } // namespace detail
 
 /**
  * Test hook: when set, panic/fatal throw std::runtime_error instead of
  * terminating, so death paths can be unit tested cheaply.
+ *
+ * NOT thread-safe: writes an unsynchronized global that every logging
+ * call reads. Call it before spawning sweep workers; calling it while a
+ * ParallelSweepRunner pool is live panics (see detail::lockLoggingSetters).
  */
 void setLoggingThrows(bool throws);
 
 /** @return whether panic/fatal currently throw instead of terminating. */
 bool loggingThrows();
 
-/** Suppress warn()/inform() output (e.g. in quiet benchmarks). */
+/**
+ * Suppress warn()/inform() output (e.g. in quiet benchmarks).
+ *
+ * NOT thread-safe; same discipline as setLoggingThrows().
+ */
 void setLoggingQuiet(bool quiet);
 
 } // namespace wormsim

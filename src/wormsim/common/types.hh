@@ -36,6 +36,9 @@ constexpr ChannelId kInvalidChannel = -1;
 /** Sentinel for "no virtual channel class". */
 constexpr VcClass kInvalidVc = -1;
 
+/** Sentinel for "no message". */
+constexpr MessageId kInvalidMessage = std::numeric_limits<MessageId>::max();
+
 /** Sentinel for "never" / unset time. */
 constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 

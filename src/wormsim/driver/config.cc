@@ -59,6 +59,7 @@ SimulationConfig::registerOptions(OptionParser &parser)
     optThreads = threads;
     optHotspotNode = trafficParams.hotspotNode;
     optLocalRadius = trafficParams.localRadius;
+    optMetricsInterval = static_cast<long long>(metricsInterval);
     optSwitching = switchingModeName(switching);
 
     parser.addString("algorithm", &algorithm,
@@ -92,6 +93,13 @@ SimulationConfig::registerOptions(OptionParser &parser)
                   "hotspot node id (-1 = highest-index node)");
     parser.addInt("local-radius", &optLocalRadius,
                   "local-traffic window radius");
+    parser.addFlag("trace", &trace,
+                   "emit a Chrome trace-event JSON (open in Perfetto)");
+    parser.addString("trace-file", &traceFile,
+                     "trace output path (default trace.json)");
+    parser.addInt("metrics-interval", &optMetricsInterval,
+                  "metrics time-series sampling interval in cycles "
+                  "(0 disables; also enables stall attribution)");
 }
 
 void
@@ -110,6 +118,10 @@ SimulationConfig::finishOptions()
     threads = static_cast<int>(optThreads);
     trafficParams.hotspotNode = static_cast<NodeId>(optHotspotNode);
     trafficParams.localRadius = static_cast<int>(optLocalRadius);
+    if (optMetricsInterval < 0)
+        WORMSIM_FATAL("metrics interval ", optMetricsInterval,
+                      " must be >= 0");
+    metricsInterval = static_cast<Cycle>(optMetricsInterval);
     switching = parseSwitchingMode(optSwitching);
 }
 
@@ -134,6 +146,8 @@ SimulationConfig::validate() const
         WORMSIM_FATAL("thread count ", threads, " must be >= 0");
     if (maxCycles < warmupCycles + samplePeriod)
         WORMSIM_FATAL("max-cycles too small for warmup plus one sample");
+    if ((trace || metricsInterval > 0) && traceFile.empty())
+        WORMSIM_FATAL("observability output needs a non-empty trace-file");
 }
 
 } // namespace wormsim

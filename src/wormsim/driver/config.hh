@@ -60,6 +60,22 @@ struct SimulationConfig
      */
     int threads = 1;
 
+    // --- observability (see obs/ and docs/observability.md) ---
+    /**
+     * Emit a Chrome trace-event JSON file (trace.json by default; see
+     * traceFile). Tracing never consumes randomness or alters fabric
+     * state, so results are bit-identical with tracing on or off.
+     */
+    bool trace = false;
+    std::string traceFile = "trace.json"; ///< --trace output path
+    /**
+     * Metrics time-series sampling interval in cycles; 0 disables the
+     * sampler. Any value > 0 (or trace = true) also enables stall-cause
+     * attribution, reported in SimulationResult::stalls. Sampled rows go
+     * to <traceFile stem>.timeseries.csv.
+     */
+    Cycle metricsInterval = 0;
+
     /**
      * Per-node, per-cycle injection probability implied by offeredLoad:
      * lambda = rho * 2n / (m_l * dbar), Eq. (3)/(4) solved for lambda.
@@ -100,6 +116,7 @@ struct SimulationConfig
     long long optThreads = 1;
     long long optHotspotNode = -1;
     long long optLocalRadius = 3;
+    long long optMetricsInterval = 0;
     std::string optSwitching = "wh";
 
   public:

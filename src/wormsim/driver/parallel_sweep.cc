@@ -6,7 +6,9 @@
 #include <thread>
 
 #include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
 #include "wormsim/driver/runner.hh"
+#include "wormsim/obs/export.hh"
 #include "wormsim/rng/splitmix.hh"
 
 namespace wormsim
@@ -74,6 +76,13 @@ ParallelSweepRunner::run(const std::vector<std::string> &algorithms,
         cfg.algorithm = algorithms[a];
         cfg.offeredLoad = loads[l];
         cfg.seed = pointSeed(base.seed, a, l);
+        if (cfg.trace || cfg.metricsInterval > 0) {
+            // One output file per sweep point: each worker's runner owns
+            // its own sink, so tracing stays mutex-free under -j.
+            cfg.traceFile = derivedOutputPath(
+                base.traceFile, "_" + algorithms[a] + "_" +
+                                    formatFixed(loads[l], 2) + ".json");
+        }
         SimulationRunner runner(cfg);
         SimulationResult r = runner.run();
         if (progress) {
@@ -89,6 +98,13 @@ ParallelSweepRunner::run(const std::vector<std::string> &algorithms,
         for (std::size_t i = 0; i < total; ++i)
             run_point(i);
     } else {
+        // The logging setters mutate unsynchronized globals the workers
+        // read; arm the guard so misuse panics instead of racing.
+        struct SetterGuard
+        {
+            SetterGuard() { detail::lockLoggingSetters(true); }
+            ~SetterGuard() { detail::lockLoggingSetters(false); }
+        } guard;
         std::atomic<std::size_t> next{0};
         {
             std::vector<std::jthread> pool;

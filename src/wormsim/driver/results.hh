@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "wormsim/common/types.hh"
+#include "wormsim/obs/metrics.hh"
 #include "wormsim/stats/convergence.hh"
 
 namespace wormsim
@@ -76,6 +77,13 @@ struct SimulationResult
      */
     std::vector<double> hopClassLatency;
     std::vector<SampleResult> samples;
+
+    /**
+     * Stall-cause attribution over the whole run (warmup included), from
+     * the observability subsystem. stalls.collected is false unless the
+     * run had tracing or metrics enabled. Deterministic for a given seed.
+     */
+    StallSummary stalls;
 
     /** One-line summary for progress logs. */
     std::string summary() const;

@@ -1,8 +1,10 @@
 #include "wormsim/driver/runner.hh"
 
 #include <chrono>
+#include <fstream>
 
 #include "wormsim/common/logging.hh"
+#include "wormsim/obs/export.hh"
 #include "wormsim/rng/distributions.hh"
 #include "wormsim/routing/registry.hh"
 
@@ -95,6 +97,53 @@ SimulationRunner::closeSample(Cycle start)
     return s;
 }
 
+void
+SimulationRunner::setupObservability()
+{
+    bool wanted = cfg.trace || cfg.metricsInterval > 0 ||
+                  externalSink != nullptr;
+    if (!wanted)
+        return;
+    obsMetrics = std::make_unique<MetricsRegistry>(
+        topo->numNodes(), topo->numChannelSlots(), cfg.metricsInterval);
+    net->setMetrics(obsMetrics.get());
+
+    if (externalSink != nullptr) {
+        // Tests / custom exporters own the sink; write no files here.
+        net->setTraceSink(externalSink);
+        return;
+    }
+    if (cfg.trace) {
+        traceStream = std::make_unique<std::ofstream>(cfg.traceFile);
+        if (!*traceStream)
+            WORMSIM_FATAL("cannot open trace file '", cfg.traceFile, "'");
+        chromeSink = std::make_unique<ChromeTraceSink>(*traceStream);
+        for (NodeId n = 0; n < topo->numNodes(); ++n)
+            chromeSink->setRouterLabel(n, topo->coordOf(n).str());
+        net->setTraceSink(chromeSink.get());
+    }
+}
+
+void
+SimulationRunner::finishObservability()
+{
+    if (chromeSink) {
+        chromeSink->finish();
+        chromeSink.reset();
+        traceStream.reset();
+    }
+    if (externalSink)
+        externalSink->finish();
+    if (obsMetrics && cfg.metricsInterval > 0 && externalSink == nullptr) {
+        std::string path =
+            derivedOutputPath(cfg.traceFile, ".timeseries.csv");
+        std::ofstream csv(path);
+        if (!csv)
+            WORMSIM_FATAL("cannot open metrics file '", path, "'");
+        writeTimeSeriesCsv(csv, *obsMetrics);
+    }
+}
+
 SimulationResult
 SimulationRunner::run()
 {
@@ -127,6 +176,7 @@ SimulationRunner::run()
         int stratum = m.minDistance() - 1;
         strata->add(static_cast<std::size_t>(stratum), latency);
     });
+    setupObservability();
 
     for (NodeId node = 0; node < topo->numNodes(); ++node)
         scheduleArrival(node);
@@ -213,6 +263,9 @@ SimulationRunner::run()
         result.latencyP95 = latencyHist->quantile(0.95);
         result.latencyP99 = latencyHist->quantile(0.99);
     }
+    finishObservability();
+    if (obsMetrics)
+        result.stalls = obsMetrics->summary();
     result.wallSeconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - wall_start)
                              .count();

@@ -14,10 +14,13 @@
 #include "wormsim/driver/config.hh"
 #include "wormsim/driver/results.hh"
 #include "wormsim/network/network.hh"
+#include "wormsim/obs/chrome_trace.hh"
 #include "wormsim/rng/stream_set.hh"
 #include "wormsim/sim/simulator.hh"
 #include "wormsim/stats/histogram.hh"
 #include "wormsim/traffic/traffic_pattern.hh"
+
+#include <iosfwd>
 
 namespace wormsim
 {
@@ -44,6 +47,24 @@ class SimulationRunner
     /** The traffic pattern in use. */
     const TrafficPattern &pattern() const { return *traffic; }
 
+    /**
+     * Attach an external trace sink (tests, custom exporters). Overrides
+     * the config's file-backed Chrome sink: with an external sink the
+     * runner writes no trace/CSV files itself. Call before run(); the
+     * sink must outlive it. Observability (metrics + stall attribution)
+     * is enabled whenever a sink is attached.
+     */
+    void setTraceSink(TraceSink *sink) { externalSink = sink; }
+
+    /**
+     * The metrics registry of the last run() (nullptr when the run had
+     * observability disabled). Valid until the runner is destroyed.
+     */
+    const MetricsRegistry *metricsRegistry() const
+    {
+        return obsMetrics.get();
+    }
+
   private:
     void scheduleArrival(NodeId node);
     void onArrival(NodeId node);
@@ -52,6 +73,9 @@ class SimulationRunner
     void runUntil(Cycle t);
     SampleResult closeSample(Cycle start);
 
+    void setupObservability();
+    void finishObservability();
+
     SimulationConfig cfg;
     std::unique_ptr<Topology> topo;
     std::unique_ptr<RoutingAlgorithm> algo;
@@ -59,6 +83,13 @@ class SimulationRunner
     StreamSet streams;
     Simulator sim;
     std::unique_ptr<Network> net;
+
+    // observability (see obs/): owned sinks for --trace, or an external
+    // sink supplied by tests via setTraceSink()
+    std::unique_ptr<MetricsRegistry> obsMetrics;
+    std::unique_ptr<std::ofstream> traceStream;
+    std::unique_ptr<ChromeTraceSink> chromeSink;
+    TraceSink *externalSink = nullptr;
 
     double lambda = 0.0; ///< per-node per-cycle injection probability
     double meanMinDistance = 0.0;

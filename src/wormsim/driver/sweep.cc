@@ -122,6 +122,41 @@ SweepRunner::report(const SweepResult &sweep, const std::string &title,
         return formatFixed(r.cyclesPerSecond / 1e6, 2);
     });
 
+    bool anyStalls = false;
+    for (const auto &row : sweep.results) {
+        for (const SimulationResult &r : row)
+            anyStalls = anyStalls || r.stalls.collected;
+    }
+    if (anyStalls) {
+        panel("dominant stall cause (share of block cycles)",
+              [](const SimulationResult &r) -> std::string {
+                  if (!r.stalls.collected)
+                      return "-";
+                  std::uint64_t total = r.stalls.sum();
+                  if (total == 0)
+                      return "none";
+                  struct
+                  {
+                      const char *name;
+                      std::uint64_t cycles;
+                  } causes[] = {{"vc_busy", r.stalls.vcBusy},
+                                {"phys_busy", r.stalls.physBusy},
+                                {"buffer_full", r.stalls.bufferFull},
+                                {"inj_limit", r.stalls.injectionLimit}};
+                  auto *top = &causes[0];
+                  for (auto &c : causes) {
+                      if (c.cycles > top->cycles)
+                          top = &c;
+                  }
+                  return std::string(top->name) + " " +
+                         formatFixed(100.0 *
+                                         static_cast<double>(top->cycles) /
+                                         static_cast<double>(total),
+                                     0) +
+                         "%";
+              });
+    }
+
     double point_seconds = 0.0;
     Cycle total_cycles = 0;
     for (const auto &row : sweep.results) {
@@ -151,7 +186,9 @@ SweepRunner::report(const SweepResult &sweep, const std::string &title,
                   "latency_p95", "utilization", "raw_channel_utilization",
                   "throughput_msgs_node_cycle", "avg_hops",
                   "drop_fraction", "samples", "converged", "deadlock",
-                  "cycles", "wall_seconds", "mcycles_per_second"});
+                  "cycles", "stall_vc_busy", "stall_phys_busy",
+                  "stall_buffer_full", "injection_refusals",
+                  "wall_seconds", "mcycles_per_second"});
     for (std::size_t a = 0; a < sweep.algorithms.size(); ++a) {
         for (std::size_t l = 0; l < sweep.loads.size(); ++l) {
             const SimulationResult &r = sweep.results[a][l];
@@ -169,6 +206,18 @@ SweepRunner::report(const SweepResult &sweep, const std::string &title,
                                                                 : "no",
                           r.deadlockDetected ? "yes" : "no",
                           std::to_string(r.cyclesSimulated),
+                          r.stalls.collected
+                              ? std::to_string(r.stalls.vcBusy)
+                              : "-",
+                          r.stalls.collected
+                              ? std::to_string(r.stalls.physBusy)
+                              : "-",
+                          r.stalls.collected
+                              ? std::to_string(r.stalls.bufferFull)
+                              : "-",
+                          r.stalls.collected
+                              ? std::to_string(r.stalls.injectionLimit)
+                              : "-",
                           formatFixed(r.wallSeconds, 4),
                           formatFixed(r.cyclesPerSecond / 1e6, 3)});
         }

@@ -56,6 +56,17 @@ Network::offerMessage(NodeId src, NodeId dst, int length_flits, Cycle now)
 
     if (!admission.tryAdmit(src, cls)) {
         ++droppedCount;
+        if (metrics)
+            metrics->recordRouterStall(src, StallCause::InjectionLimit, 1);
+        if (wantEvent(TraceEventType::Block)) {
+            TraceEvent e;
+            e.type = TraceEventType::Block;
+            e.cause = StallCause::InjectionLimit;
+            e.cycle = now;
+            e.msg = msg->id();
+            e.node = src;
+            sink->onEvent(e);
+        }
         return nullptr;
     }
 
@@ -67,6 +78,16 @@ Network::offerMessage(NodeId src, NodeId dst, int length_flits, Cycle now)
     messages.emplace(raw->id(), std::move(msg));
     routers[src].enqueueInjection(raw);
     needRoute.push_back(raw);
+    if (wantEvent(TraceEventType::Inject)) {
+        TraceEvent e;
+        e.type = TraceEventType::Inject;
+        e.cycle = now;
+        e.msg = raw->id();
+        e.node = src;
+        e.arg0 = dst;
+        e.arg1 = length_flits;
+        sink->onEvent(e);
+    }
     return raw;
 }
 
@@ -149,6 +170,17 @@ Network::allocationPhase(Cycle now)
         }
         freeCandidates(*m, scratchFree);
         if (scratchFree.empty()) {
+            if (m->retryPending() && wantEvent(TraceEventType::Block)) {
+                // First failed attempt at this node: record the onset of
+                // the wait (its length shows up in the VcAlloc event).
+                TraceEvent e;
+                e.type = TraceEventType::Block;
+                e.cause = StallCause::VcBusy;
+                e.cycle = now;
+                e.msg = m->id();
+                e.node = m->headAt();
+                sink->onEvent(e);
+            }
             m->setRetryPending(false);
             needRoute[keep++] = m; // still blocked
             continue;
@@ -160,7 +192,34 @@ Network::allocationPhase(Cycle now)
         l.allocateVc(pick.vc, m, m->headVc(), m->length());
         routing.onHop(net, m->headAt(), next, pick.vc, *m);
         m->setHeadVc(&l.vc(pick.vc));
-        (void)now;
+        // Cycles the header waited past its routing-decision latency are
+        // vc_busy stall attributed to the router it waited at.
+        Cycle waited = now - m->readyAt();
+        if (metrics)
+            metrics->recordRouterStall(m->headAt(), StallCause::VcBusy,
+                                       waited);
+        if (wantEvent(TraceEventType::RouteDecision)) {
+            TraceEvent e;
+            e.type = TraceEventType::RouteDecision;
+            e.cycle = now;
+            e.msg = m->id();
+            e.node = m->headAt();
+            e.channel = ch;
+            e.vc = pick.vc;
+            e.arg0 = pick.dir.index();
+            sink->onEvent(e);
+        }
+        if (wantEvent(TraceEventType::VcAlloc)) {
+            TraceEvent e;
+            e.type = TraceEventType::VcAlloc;
+            e.cycle = now;
+            e.msg = m->id();
+            e.node = m->headAt();
+            e.channel = ch;
+            e.vc = pick.vc;
+            e.arg0 = static_cast<std::int64_t>(waited);
+            sink->onEvent(e);
+        }
     }
     needRoute.resize(keep);
     // Dirty hints consumed; marks made later this cycle (tail releases in
@@ -175,6 +234,19 @@ Network::applyTransfer(VirtualChannel *v, Cycle now)
     VirtualChannel *u = v->upstream();
 
     links[v->channel()].noteTransfer(v->vcClass());
+    if (metrics)
+        metrics->recordFlitForward(v->channel());
+    if (wantEvent(TraceEventType::FlitForward)) {
+        TraceEvent e;
+        e.type = TraceEventType::FlitForward;
+        e.cycle = now;
+        e.msg = m->id();
+        e.node = v->toNode();
+        e.channel = v->channel();
+        e.vc = v->vcClass();
+        e.arg0 = v->flits().arrived(); // 0-based index of this flit
+        sink->onEvent(e);
+    }
 
     // Sender side.
     if (u == nullptr) {
@@ -219,9 +291,62 @@ Network::finalizeDelivery(Message *msg, Cycle now)
 {
     routers[msg->dst()].noteDelivered();
     ++deliveredCount;
+    if (metrics) {
+        metrics->noteDelivery(
+            static_cast<double>(now - msg->createdAt() + 1));
+    }
+    if (wantEvent(TraceEventType::Deliver)) {
+        TraceEvent e;
+        e.type = TraceEventType::Deliver;
+        e.cycle = now;
+        e.msg = msg->id();
+        e.node = msg->dst();
+        e.arg0 = static_cast<std::int64_t>(now - msg->createdAt() + 1);
+        e.arg1 = msg->route().hopsTaken;
+        sink->onEvent(e);
+    }
     if (onDelivery)
         onDelivery(*msg, now);
     messages.erase(msg->id());
+}
+
+bool
+Network::senderReady(const VirtualChannel &v) const
+{
+    // Mirrors the sender side of Link::eligible().
+    const Message *m = v.owner();
+    const VirtualChannel *up = v.upstream();
+    if (up == nullptr)
+        return m->flitsInjected() < m->length();
+    if (up->occupancy() <= 0)
+        return false;
+    if (cfg.switching == SwitchingMode::StoreAndForward &&
+        !up->flits().fullyArrived())
+        return false;
+    return true;
+}
+
+void
+Network::classifyChannelStalls(const Link &l, const VirtualChannel *chosen)
+{
+    for (int c = 0; c < l.numVcs(); ++c) {
+        const VirtualChannel &v = l.vc(static_cast<VcClass>(c));
+        if (v.free())
+            continue;
+        metrics->recordOccupancy(
+            static_cast<std::uint64_t>(v.occupancy()));
+        if (&v == chosen || v.flits().fullyArrived())
+            continue; // forwarded, or fully drained into this stage
+        if (!senderReady(v))
+            continue; // starved: the stall (if any) is upstream
+        if (Link::eligible(v, cfg.switching, cfg.flitBufferDepth)) {
+            // Had a flit and buffer space but another VC won the link.
+            metrics->recordChannelStall(l.id(), StallCause::PhysBusy);
+        } else {
+            // Had a flit but no receiver buffer space.
+            metrics->recordChannelStall(l.id(), StallCause::BufferFull);
+        }
+    }
 }
 
 void
@@ -232,10 +357,15 @@ Network::step(Cycle now)
     // Arbitration: pick at most one VC per link from start-of-cycle state.
     stagedTransfers.clear();
     for (ChannelId id : realLinks) {
-        VirtualChannel *v = links[id].arbitrate(cfg.switching,
-                                                cfg.flitBufferDepth);
+        Link &l = links[id];
+        VirtualChannel *v = l.arbitrate(cfg.switching,
+                                        cfg.flitBufferDepth);
         if (v)
             stagedTransfers.push_back(v);
+        // Stall attribution sees the same start-of-cycle state the
+        // arbiter used (the apply phase has not run yet).
+        if (metrics && l.activeVcs() > 0)
+            classifyChannelStalls(l, v);
     }
 
     // Apply all staged transfers.
@@ -245,6 +375,10 @@ Network::step(Cycle now)
     if (cfg.watchdogPatience > 0 && cfg.watchdogInterval > 0 &&
         now % cfg.watchdogInterval == 0 && !needRoute.empty()) {
         runWatchdog(now);
+    }
+
+    if (metrics && metrics->sampleDue(now)) {
+        metrics->takeSample(now, messages.size(), needRoute.size());
     }
 }
 
@@ -270,7 +404,7 @@ Network::runWatchdog(Cycle now)
             if (holder == nullptr)
                 info.fullyBlocked = false;
             else if (holder != m)
-                info.waitingOn.push_back(holder);
+                info.waitingOn.push_back({holder, ch, c.vc});
         }
         waiting.push_back(std::move(info));
     }
@@ -280,6 +414,19 @@ Network::runWatchdog(Cycle now)
     DeadlockReport report = watchdog.scan(now, waiting);
     if (!report.suspected)
         return;
+
+    if (metrics)
+        metrics->noteWatchdogSuspect();
+    if (sink && wantEvent(TraceEventType::WatchdogSuspect)) {
+        TraceEvent e;
+        e.type = TraceEventType::WatchdogSuspect;
+        e.cycle = now;
+        e.msg = report.cycle.empty() ? kInvalidMessage : report.cycle[0];
+        e.node = kInvalidNode; // watchdog pseudo-track
+        e.arg0 = static_cast<std::int64_t>(report.cycle.size());
+        e.arg1 = report.confirmed ? 1 : 0;
+        sink->onEvent(e);
+    }
 
     deadlockReport = report;
     if (report.confirmed)

@@ -29,6 +29,8 @@
 #include "wormsim/network/link.hh"
 #include "wormsim/network/router.hh"
 #include "wormsim/network/watchdog.hh"
+#include "wormsim/obs/metrics.hh"
+#include "wormsim/obs/trace_sink.hh"
 #include "wormsim/routing/routing_algorithm.hh"
 #include "wormsim/rng/xoshiro.hh"
 
@@ -147,6 +149,33 @@ class Network
     /** Set the delivered-message callback. */
     void setDeliveryHook(DeliveryHook hook) { onDelivery = std::move(hook); }
 
+    /**
+     * Attach a trace sink (nullptr detaches). Not owned; must outlive the
+     * network or be detached first. The sink's eventMask() is cached here,
+     * so the disabled path costs one mask test per hook site and events
+     * outside the mask are never constructed. One sink per network —
+     * sinks are not thread-safe (see trace_sink.hh).
+     */
+    void
+    setTraceSink(TraceSink *trace_sink)
+    {
+        sink = trace_sink;
+        sinkMask = sink ? sink->eventMask() : 0;
+    }
+
+    /**
+     * Attach a metrics registry (nullptr detaches). Not owned. When
+     * attached, the fabric records per-router/per-channel stall cycles by
+     * cause, flit forwards, the VC occupancy integral, and — when the
+     * registry has a sampling interval — periodic time-series snapshots.
+     * The per-cycle stall scan is O(active links); it only runs while a
+     * registry is attached.
+     */
+    void setMetrics(MetricsRegistry *registry) { metrics = registry; }
+
+    /** The attached metrics registry (nullptr when observability is off). */
+    MetricsRegistry *metricsRegistry() const { return metrics; }
+
     /** Aggregate counters since the last reset. */
     NetworkCounters counters() const;
 
@@ -204,6 +233,25 @@ class Network
     void killMessage(Message *msg);
     void removeFromNeedRoute(Message *msg);
 
+    /** True when the attached sink subscribed to @p t. */
+    bool
+    wantEvent(TraceEventType t) const
+    {
+        return (sinkMask & traceEventBit(t)) != 0;
+    }
+
+    /** Does the sending side of @p v have a flit ready to transfer? */
+    bool senderReady(const VirtualChannel &v) const;
+
+    /**
+     * Metrics pass over one link after its arbitration: occupancy
+     * integral plus phys_busy / buffer_full stall attribution for every
+     * active VC that was not the arbitration winner. Uses start-of-cycle
+     * state (runs before the apply phase).
+     */
+    void classifyChannelStalls(const Link &l,
+                               const VirtualChannel *chosen);
+
     /** A VC on an outgoing link of @p node freed: wake its waiters. */
     void markDirty(NodeId node) { nodeDirty[node] = 1; }
 
@@ -241,6 +289,9 @@ class Network
     std::vector<std::uint8_t> nodeDirty;
 
     DeliveryHook onDelivery;
+    TraceSink *sink = nullptr;       ///< not owned; nullptr = tracing off
+    std::uint32_t sinkMask = 0;      ///< cached sink->eventMask()
+    MetricsRegistry *metrics = nullptr; ///< not owned; nullptr = off
     int numFailed = 0;
     std::uint64_t deliveredCount = 0;
     std::uint64_t droppedCount = 0;

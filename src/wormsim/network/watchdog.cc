@@ -26,6 +26,20 @@ DeadlockReport::describe() const
     return oss.str();
 }
 
+std::string
+DeadlockReport::machineReadable() const
+{
+    std::ostringstream oss;
+    oss << "deadlock suspected=" << (suspected ? 1 : 0)
+        << " confirmed=" << (confirmed ? 1 : 0)
+        << " cycle_size=" << cycle.size() << "\n";
+    for (const ChannelWait &w : waits) {
+        oss << "wait waiter=" << w.waiter << " holder=" << w.holder
+            << " channel=" << w.channel << " vc=" << w.vc << "\n";
+    }
+    return oss.str();
+}
+
 DeadlockReport
 DeadlockWatchdog::scan(Cycle now,
                        const std::vector<WaitInfo> &waiting) const
@@ -52,8 +66,8 @@ DeadlockWatchdog::scan(Cycle now,
     std::function<bool(std::size_t)> dfs = [&](std::size_t u) -> bool {
         color[u] = Gray;
         path.push_back(u);
-        for (Message *held_by : stuck[u]->waitingOn) {
-            auto it = stuckIndex.find(held_by);
+        for (const WaitEdge &edge : stuck[u]->waitingOn) {
+            auto it = stuckIndex.find(edge.holder);
             if (it == stuckIndex.end())
                 continue; // owner not stuck: may still make progress
             std::size_t v = it->second;
@@ -70,6 +84,27 @@ DeadlockWatchdog::scan(Cycle now,
                     report.cycle.push_back(stuck[*p]->msg->id());
                     if (!stuck[*p]->fullyBlocked)
                         report.confirmed = false;
+                }
+                // Record the resource edges among cycle members: which
+                // channel/VC each waiter is blocked on and who holds it.
+                for (auto p = start; p != path.end(); ++p) {
+                    for (const WaitEdge &e : stuck[*p]->waitingOn) {
+                        auto held = stuckIndex.find(e.holder);
+                        if (held == stuckIndex.end())
+                            continue;
+                        bool inCycle = false;
+                        for (auto q = start; q != path.end(); ++q) {
+                            if (*q == held->second) {
+                                inCycle = true;
+                                break;
+                            }
+                        }
+                        if (inCycle) {
+                            report.waits.push_back(
+                                {stuck[*p]->msg->id(), e.holder->id(),
+                                 e.channel, e.vc});
+                        }
+                    }
                 }
                 return true;
             }

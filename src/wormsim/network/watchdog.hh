@@ -34,24 +34,53 @@ class Message;
 /** Outcome of one watchdog scan. */
 struct DeadlockReport
 {
+    /** One resource edge of the wait-for cycle: who waits on whom, where. */
+    struct ChannelWait
+    {
+        MessageId waiter = kInvalidMessage;
+        MessageId holder = kInvalidMessage;
+        ChannelId channel = kInvalidChannel; ///< the contested channel
+        VcClass vc = kInvalidVc;             ///< the contested VC class
+    };
+
     bool suspected = false;  ///< a wait-for cycle exists
     bool confirmed = false;  ///< every cycle member is fully blocked
     std::vector<MessageId> cycle; ///< messages on the detected cycle
+    /** Wait edges among cycle members (the resources closing the cycle). */
+    std::vector<ChannelWait> waits;
+
+    /** One-line human-readable summary. */
     std::string describe() const;
+
+    /**
+     * Machine-readable form: a `deadlock` header line with key=value
+     * fields (suspected, confirmed, cycle_size) followed by one `wait`
+     * line per channel-wait edge. Stable format for scripts/tests.
+     */
+    std::string machineReadable() const;
 };
 
 /** Scans stuck messages for wait-for cycles. */
 class DeadlockWatchdog
 {
   public:
+    /** One candidate VC a waiting message is blocked on, with its owner. */
+    struct WaitEdge
+    {
+        Message *holder = nullptr;
+        ChannelId channel = kInvalidChannel;
+        VcClass vc = kInvalidVc;
+    };
+
     /**
-     * A message's blocking set: the owners of every VC it is waiting on,
-     * plus whether ALL its candidates are currently held (fullyBlocked).
+     * A message's blocking set: the owners of every VC it is waiting on
+     * (with the contested channel/VC for reporting), plus whether ALL its
+     * candidates are currently held (fullyBlocked).
      */
     struct WaitInfo
     {
         Message *msg = nullptr;
-        std::vector<Message *> waitingOn;
+        std::vector<WaitEdge> waitingOn;
         bool fullyBlocked = false;
     };
 

@@ -1,0 +1,186 @@
+#include "wormsim/obs/chrome_trace.hh"
+
+#include <sstream>
+
+namespace wormsim
+{
+
+namespace
+{
+
+/** Track id of the watchdog pseudo-router. */
+constexpr long long kWatchdogTrack = 0xffff;
+
+long long
+trackOf(NodeId node)
+{
+    return node == kInvalidNode ? kWatchdogTrack
+                                : static_cast<long long>(node);
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::ostringstream oss;
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            oss << "\\\"";
+            break;
+          case '\\':
+            oss << "\\\\";
+            break;
+          case '\n':
+            oss << "\\n";
+            break;
+          case '\t':
+            oss << "\\t";
+            break;
+          case '\r':
+            oss << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                oss << buf;
+            } else {
+                oss << c;
+            }
+        }
+    }
+    return oss.str();
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os, std::uint32_t mask)
+    : out(os), subscribed(mask)
+{
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    finish();
+}
+
+void
+ChromeTraceSink::setRouterLabel(NodeId node, const std::string &label)
+{
+    labels[node] = label;
+}
+
+void
+ChromeTraceSink::emitRaw(const std::string &json_object)
+{
+    if (!first)
+        out << ",";
+    out << "\n" << json_object;
+    first = false;
+}
+
+std::string
+ChromeTraceSink::instant(const TraceEvent &e, const std::string &name,
+                         const std::string &args) const
+{
+    std::ostringstream oss;
+    oss << "{\"name\":\"" << jsonEscape(name)
+        << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.cycle
+        << ",\"pid\":0,\"tid\":" << trackOf(e.node) << ",\"args\":{"
+        << args << "}}";
+    return oss.str();
+}
+
+void
+ChromeTraceSink::onEvent(const TraceEvent &e)
+{
+    if (finished)
+        return;
+    seenTracks.insert(e.node);
+    std::ostringstream args;
+    switch (e.type) {
+      case TraceEventType::Inject:
+        args << "\"msg\":" << e.msg << ",\"dst\":" << e.arg0
+             << ",\"len\":" << e.arg1;
+        emitRaw(instant(e, "inject", args.str()));
+        break;
+      case TraceEventType::RouteDecision:
+        args << "\"msg\":" << e.msg << ",\"dir\":" << e.arg0
+             << ",\"ch\":" << e.channel << ",\"vc\":" << e.vc;
+        emitRaw(instant(e, "route", args.str()));
+        break;
+      case TraceEventType::VcAlloc: {
+        if (e.arg0 > 0) {
+            // Render the ended wait as a span on the router's track.
+            std::ostringstream span;
+            span << "{\"name\":\"wait:vc_busy\",\"ph\":\"X\",\"ts\":"
+                 << (e.cycle - static_cast<Cycle>(e.arg0))
+                 << ",\"dur\":" << e.arg0
+                 << ",\"pid\":0,\"tid\":" << trackOf(e.node)
+                 << ",\"args\":{\"msg\":" << e.msg << "}}";
+            emitRaw(span.str());
+            ++written;
+        }
+        args << "\"msg\":" << e.msg << ",\"ch\":" << e.channel
+             << ",\"vc\":" << e.vc << ",\"waited\":" << e.arg0;
+        emitRaw(instant(e, "vc_alloc", args.str()));
+        break;
+      }
+      case TraceEventType::FlitForward:
+        args << "\"msg\":" << e.msg << ",\"ch\":" << e.channel
+             << ",\"flit\":" << e.arg0;
+        emitRaw(instant(e, "flit", args.str()));
+        break;
+      case TraceEventType::Block:
+        args << "\"msg\":" << e.msg;
+        if (e.channel != kInvalidChannel)
+            args << ",\"ch\":" << e.channel;
+        emitRaw(instant(e, "block:" + stallCauseName(e.cause),
+                        args.str()));
+        break;
+      case TraceEventType::Deliver:
+        args << "\"msg\":" << e.msg << ",\"latency\":" << e.arg0
+             << ",\"hops\":" << e.arg1;
+        emitRaw(instant(e, "deliver", args.str()));
+        break;
+      case TraceEventType::WatchdogSuspect:
+        args << "\"cycle_size\":" << e.arg0
+             << ",\"confirmed\":" << (e.arg1 ? "true" : "false");
+        emitRaw(instant(e, "watchdog:suspected-cycle", args.str()));
+        break;
+    }
+    ++written;
+}
+
+void
+ChromeTraceSink::finish()
+{
+    if (finished)
+        return;
+    // Name the tracks that actually carried events.
+    emitRaw("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+            "\"args\":{\"name\":\"wormsim\"}}");
+    for (NodeId n : seenTracks) {
+        std::ostringstream oss;
+        std::string label;
+        if (n == kInvalidNode) {
+            label = "watchdog";
+        } else {
+            auto it = labels.find(n);
+            label = it != labels.end()
+                        ? it->second
+                        : "router " + std::to_string(n);
+        }
+        oss << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+            << "\"tid\":" << trackOf(n) << ",\"args\":{\"name\":\""
+            << jsonEscape(label) << "\"}}";
+        emitRaw(oss.str());
+    }
+    out << "\n]}\n";
+    out.flush();
+    finished = true;
+}
+
+} // namespace wormsim

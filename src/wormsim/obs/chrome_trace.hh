@@ -1,0 +1,81 @@
+/**
+ * @file
+ * ChromeTraceSink: streams trace events as Chrome trace-event JSON,
+ * loadable in chrome://tracing and https://ui.perfetto.dev.
+ *
+ * Mapping: one track (tid) per router inside a single "wormsim" process;
+ * one simulated cycle = one microsecond of trace time. Lifecycle events
+ * become instant events ("i") on the router where they happened; a VC
+ * grant that ended a wait additionally becomes a complete event ("X")
+ * spanning the blocked interval, so header stalls are visible as spans.
+ * Watchdog events land on a dedicated "watchdog" track (tid 0xffff).
+ *
+ * Per-flit forward events are excluded by the default mask (they multiply
+ * the file size by the message length without adding much to a timeline);
+ * pass kAllTraceEvents to include them.
+ */
+
+#ifndef WORMSIM_OBS_CHROME_TRACE_HH
+#define WORMSIM_OBS_CHROME_TRACE_HH
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "wormsim/obs/trace_sink.hh"
+
+namespace wormsim
+{
+
+/** Streams Chrome trace-event JSON to an ostream. */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    /**
+     * @param os destination stream (not owned; must outlive the sink or
+     *           at least its finish() call)
+     * @param mask event subscription (default: everything but FlitForward)
+     */
+    explicit ChromeTraceSink(std::ostream &os,
+                             std::uint32_t mask = kTraceEventsNoFlits);
+
+    /** Calls finish(). */
+    ~ChromeTraceSink() override;
+
+    std::uint32_t eventMask() const override { return subscribed; }
+
+    void onEvent(const TraceEvent &event) override;
+
+    /**
+     * Human-readable label for a router track, e.g. "router 17 (1,1)".
+     * Takes effect in the thread-name metadata written by finish().
+     */
+    void setRouterLabel(NodeId node, const std::string &label);
+
+    /** Write metadata and the closing bracket. Idempotent. */
+    void finish() override;
+
+    /** Events written so far (excludes metadata). */
+    std::uint64_t eventsWritten() const { return written; }
+
+  private:
+    void emitRaw(const std::string &json_object);
+    std::string instant(const TraceEvent &e, const std::string &name,
+                        const std::string &args) const;
+
+    std::ostream &out;
+    std::uint32_t subscribed;
+    bool first = true;
+    bool finished = false;
+    std::uint64_t written = 0;
+    std::set<NodeId> seenTracks;
+    std::map<NodeId, std::string> labels;
+};
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+} // namespace wormsim
+
+#endif // WORMSIM_OBS_CHROME_TRACE_HH

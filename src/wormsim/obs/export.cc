@@ -1,0 +1,149 @@
+#include "wormsim/obs/export.hh"
+
+#include <algorithm>
+
+#include "wormsim/common/csv.hh"
+#include "wormsim/common/string_utils.hh"
+#include "wormsim/common/table.hh"
+
+namespace wormsim
+{
+
+void
+writeTimeSeriesCsv(std::ostream &os, const MetricsRegistry &metrics)
+{
+    CsvWriter csv(os);
+    csv.writeRow({"cycle", "messages_in_flight", "headers_blocked",
+                  "delivered_cum", "flits_forwarded_cum",
+                  "mean_latency_window", "mean_vc_occupancy_window",
+                  "stall_vc_busy_cum", "stall_phys_busy_cum",
+                  "stall_buffer_full_cum", "injection_refusals_cum"});
+    for (const TimeSeriesSample &s : metrics.samples()) {
+        csv.writeRow(
+            {std::to_string(s.cycle), std::to_string(s.messagesInFlight),
+             std::to_string(s.headersBlocked),
+             std::to_string(s.delivered),
+             std::to_string(s.flitsForwarded),
+             formatFixed(s.meanLatency, 3),
+             formatFixed(s.meanVcOccupancy, 4),
+             std::to_string(
+                 s.stallCycles[stallCauseIndex(StallCause::VcBusy)]),
+             std::to_string(
+                 s.stallCycles[stallCauseIndex(StallCause::PhysBusy)]),
+             std::to_string(
+                 s.stallCycles[stallCauseIndex(StallCause::BufferFull)]),
+             std::to_string(s.stallCycles[stallCauseIndex(
+                 StallCause::InjectionLimit)])});
+    }
+}
+
+std::string
+renderStallSummary(const StallSummary &stalls)
+{
+    if (!stalls.collected)
+        return "stall attribution: not collected (run with --trace or "
+               "--metrics-interval)\n";
+
+    double total = static_cast<double>(stalls.sum());
+    auto share = [&](std::uint64_t v) {
+        return total > 0.0
+                   ? formatFixed(100.0 * static_cast<double>(v) / total, 1)
+                         + "%"
+                   : std::string("-");
+    };
+
+    TextTable t;
+    t.setHeader({"stall cause", "cycles", "share"});
+    t.addRow({"vc_busy (header waits for a VC)",
+              std::to_string(stalls.vcBusy), share(stalls.vcBusy)});
+    t.addRow({"phys_busy (lost link arbitration)",
+              std::to_string(stalls.physBusy), share(stalls.physBusy)});
+    t.addRow({"buffer_full (receiver VC buffer)",
+              std::to_string(stalls.bufferFull), share(stalls.bufferFull)});
+    t.addRow({"injection_limit (refusals)",
+              std::to_string(stalls.injectionLimit),
+              share(stalls.injectionLimit)});
+    t.addRow({"total block cycles", std::to_string(stalls.totalBlockCycles),
+              stalls.totalBlockCycles == stalls.sum() ? "consistent"
+                                                      : "MISMATCH"});
+
+    std::string out = t.render();
+    out += "flits forwarded: " + std::to_string(stalls.flitsForwarded) +
+           ", mean VC occupancy " +
+           formatFixed(stalls.meanVcOccupancy, 3) + " flits";
+    if (stalls.watchdogSuspectScans > 0) {
+        out += ", watchdog suspect scans: " +
+               std::to_string(stalls.watchdogSuspectScans);
+    }
+    out += "\n";
+    return out;
+}
+
+std::string
+renderStallHotspots(const MetricsRegistry &metrics, int count)
+{
+    struct Entry
+    {
+        std::string what;
+        std::uint64_t cycles;
+        StallCause dominant;
+    };
+    std::vector<Entry> entries;
+
+    for (NodeId n = 0; n < metrics.numNodes(); ++n) {
+        std::uint64_t vc = metrics.routerStall(n, StallCause::VcBusy);
+        std::uint64_t inj =
+            metrics.routerStall(n, StallCause::InjectionLimit);
+        if (vc + inj == 0)
+            continue;
+        entries.push_back({"router " + std::to_string(n), vc + inj,
+                           vc >= inj ? StallCause::VcBusy
+                                     : StallCause::InjectionLimit});
+    }
+    for (ChannelId c = 0; c < metrics.numChannelSlots(); ++c) {
+        std::uint64_t phys = metrics.channelStall(c, StallCause::PhysBusy);
+        std::uint64_t buf =
+            metrics.channelStall(c, StallCause::BufferFull);
+        if (phys + buf == 0)
+            continue;
+        entries.push_back({"channel " + std::to_string(c), phys + buf,
+                           phys >= buf ? StallCause::PhysBusy
+                                       : StallCause::BufferFull});
+    }
+    if (entries.empty())
+        return "";
+
+    std::partial_sort(
+        entries.begin(),
+        entries.begin() +
+            std::min<std::size_t>(entries.size(),
+                                  static_cast<std::size_t>(count)),
+        entries.end(), [](const Entry &a, const Entry &b) {
+            return a.cycles > b.cycles;
+        });
+    entries.resize(std::min<std::size_t>(
+        entries.size(), static_cast<std::size_t>(count)));
+
+    TextTable t;
+    t.setHeader({"hotspot", "stall cycles", "dominant cause"});
+    for (const Entry &e : entries) {
+        t.addRow({e.what, std::to_string(e.cycles),
+                  stallCauseName(e.dominant)});
+    }
+    return t.render();
+}
+
+std::string
+derivedOutputPath(const std::string &trace_file, const std::string &suffix)
+{
+    const std::string ext = ".json";
+    if (trace_file.size() > ext.size() &&
+        trace_file.compare(trace_file.size() - ext.size(), ext.size(),
+                           ext) == 0) {
+        return trace_file.substr(0, trace_file.size() - ext.size()) +
+               suffix;
+    }
+    return trace_file + suffix;
+}
+
+} // namespace wormsim

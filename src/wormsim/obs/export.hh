@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Exporters for the observability subsystem: time-series CSV and the
+ * human-readable stall-attribution table. (Chrome trace JSON streams
+ * directly from ChromeTraceSink; see chrome_trace.hh.)
+ */
+
+#ifndef WORMSIM_OBS_EXPORT_HH
+#define WORMSIM_OBS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "wormsim/obs/metrics.hh"
+
+namespace wormsim
+{
+
+/**
+ * Write the registry's time-series snapshots as CSV (header row plus one
+ * row per sample).
+ */
+void writeTimeSeriesCsv(std::ostream &os, const MetricsRegistry &metrics);
+
+/**
+ * Render the stall-attribution table: per-cause stall cycles, their share
+ * of the total, and the consistency line (sum vs. independently counted
+ * total block cycles).
+ */
+std::string renderStallSummary(const StallSummary &stalls);
+
+/**
+ * Render the top-@p count routers/channels by stall cycles — where the
+ * network actually blocked. Returns "" when nothing stalled.
+ */
+std::string renderStallHotspots(const MetricsRegistry &metrics,
+                                int count = 5);
+
+/**
+ * Derive a sibling output path from a trace-file path: strips a ".json"
+ * suffix if present and appends @p suffix ("trace.json" + ".timeseries.csv"
+ * -> "trace.timeseries.csv").
+ */
+std::string derivedOutputPath(const std::string &trace_file,
+                              const std::string &suffix);
+
+} // namespace wormsim
+
+#endif // WORMSIM_OBS_EXPORT_HH

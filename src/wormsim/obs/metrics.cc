@@ -1,0 +1,78 @@
+#include "wormsim/obs/metrics.hh"
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+MetricsRegistry::MetricsRegistry(NodeId num_nodes,
+                                 ChannelId num_channel_slots,
+                                 Cycle sample_interval)
+    : nodes(num_nodes), channelSlots(num_channel_slots),
+      interval(sample_interval), nextSample(sample_interval),
+      routerStalls(static_cast<std::size_t>(num_nodes) * kNumStallCauses,
+                   0),
+      channelStalls(static_cast<std::size_t>(num_channel_slots) *
+                        kNumStallCauses,
+                    0),
+      channelFlits(static_cast<std::size_t>(num_channel_slots), 0)
+{
+    WORMSIM_ASSERT(num_nodes >= 1, "metrics registry needs >= 1 node");
+    WORMSIM_ASSERT(num_channel_slots >= 1,
+                   "metrics registry needs >= 1 channel slot");
+}
+
+void
+MetricsRegistry::takeSample(Cycle now, std::uint64_t messages_in_flight,
+                            std::uint64_t headers_blocked)
+{
+    TimeSeriesSample s;
+    s.cycle = now;
+    s.messagesInFlight = messages_in_flight;
+    s.headersBlocked = headers_blocked;
+    s.delivered = deliveredTotal;
+    s.flitsForwarded = flitTotal;
+    s.meanLatency = deliveriesSinceSample > 0
+                        ? latencySinceSample /
+                              static_cast<double>(deliveriesSinceSample)
+                        : 0.0;
+    std::uint64_t occ = occupancyIntegral - occupancyAtLastSample;
+    std::uint64_t vcc = activeVcCycles - activeVcCyclesAtLastSample;
+    s.meanVcOccupancy =
+        vcc > 0 ? static_cast<double>(occ) / static_cast<double>(vcc)
+                : 0.0;
+    for (int c = 0; c < kNumStallCauses; ++c)
+        s.stallCycles[c] = causeTotals[c];
+    timeSeries.push_back(s);
+
+    latencySinceSample = 0.0;
+    deliveriesSinceSample = 0;
+    occupancyAtLastSample = occupancyIntegral;
+    activeVcCyclesAtLastSample = activeVcCycles;
+    // Advance past `now` even if the network idled across several
+    // sampling points (step() only runs while messages are in flight).
+    while (nextSample <= now)
+        nextSample += interval;
+}
+
+StallSummary
+MetricsRegistry::summary() const
+{
+    StallSummary s;
+    s.collected = true;
+    s.vcBusy = stallCycles(StallCause::VcBusy);
+    s.physBusy = stallCycles(StallCause::PhysBusy);
+    s.bufferFull = stallCycles(StallCause::BufferFull);
+    s.injectionLimit = stallCycles(StallCause::InjectionLimit);
+    s.totalBlockCycles = blockCycleTotal;
+    s.flitsForwarded = flitTotal;
+    s.watchdogSuspectScans = watchdogSuspects;
+    s.meanVcOccupancy =
+        activeVcCycles > 0
+            ? static_cast<double>(occupancyIntegral) /
+                  static_cast<double>(activeVcCycles)
+            : 0.0;
+    return s;
+}
+
+} // namespace wormsim

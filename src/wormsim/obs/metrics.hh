@@ -1,0 +1,246 @@
+/**
+ * @file
+ * MetricsRegistry: per-router and per-channel counters plus a periodic
+ * time-series sampler, maintained by the Network when a registry is
+ * attached (same single-branch discipline as TraceSink).
+ *
+ * Accounting model — every recorded stall-cycle is attributed to exactly
+ * one (entity, cause) pair, so the per-cause totals decompose the global
+ * block-cycle count exactly (property-tested in tests/test_obs.cc):
+ *
+ *  - VcBusy cycles are recorded against the ROUTER where a header waited,
+ *    at the moment it finally wins a virtual channel (cycles waited past
+ *    its routing-decision latency). Headers still blocked when the run
+ *    ends (or killed by deadlock recovery) are not attributed.
+ *  - PhysBusy / BufferFull cycles are recorded against the CHANNEL whose
+ *    virtual channel had a flit ready this cycle but lost arbitration /
+ *    found the receiver buffer full.
+ *  - InjectionLimit records one "cycle" per refused admission (the paper
+ *    drops such messages at the source, so there is no wait to measure;
+ *    the count is refusals, kept in the same table for a complete
+ *    attribution).
+ *
+ * A registry accumulates over the whole run (it is not cleared by
+ * Network::resetCounters(), which the driver calls between sampling
+ * periods) — stall attribution covers warmup plus every sample.
+ */
+
+#ifndef WORMSIM_OBS_METRICS_HH
+#define WORMSIM_OBS_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wormsim/common/types.hh"
+#include "wormsim/obs/trace_event.hh"
+
+namespace wormsim
+{
+
+/** One periodic network-wide snapshot (TimeSeriesSampler output). */
+struct TimeSeriesSample
+{
+    Cycle cycle = 0;
+    std::uint64_t messagesInFlight = 0;
+    std::uint64_t headersBlocked = 0;   ///< messages awaiting a VC
+    std::uint64_t delivered = 0;        ///< cumulative since run start
+    std::uint64_t flitsForwarded = 0;   ///< cumulative since run start
+    double meanLatency = 0.0;           ///< deliveries since last sample
+    double meanVcOccupancy = 0.0;       ///< mean buffered flits per active
+                                        ///< VC since the last sample
+    /** Cumulative stall cycles by cause (stallCauseIndex order). */
+    std::uint64_t stallCycles[kNumStallCauses] = {0, 0, 0, 0};
+};
+
+/** Stall-attribution totals attached to a SimulationResult. */
+struct StallSummary
+{
+    bool collected = false; ///< false when observability was off
+    std::uint64_t vcBusy = 0;
+    std::uint64_t physBusy = 0;
+    std::uint64_t bufferFull = 0;
+    std::uint64_t injectionLimit = 0; ///< refusals (see metrics.hh)
+    /** Independently accumulated grand total (must equal sum()). */
+    std::uint64_t totalBlockCycles = 0;
+    std::uint64_t flitsForwarded = 0;
+    std::uint64_t watchdogSuspectScans = 0;
+    double meanVcOccupancy = 0.0; ///< occupancy integral / active-VC cycles
+
+    /** Sum of the four per-cause counters. */
+    std::uint64_t
+    sum() const
+    {
+        return vcBusy + physBusy + bufferFull + injectionLimit;
+    }
+};
+
+/** Per-router and per-channel counters plus the time-series sampler. */
+class MetricsRegistry
+{
+  public:
+    /**
+     * @param num_nodes routers in the network
+     * @param num_channel_slots channel id space (Topology::numChannelSlots)
+     * @param sample_interval time-series cadence in cycles; 0 disables
+     *        sampling (counters still accumulate)
+     */
+    MetricsRegistry(NodeId num_nodes, ChannelId num_channel_slots,
+                    Cycle sample_interval);
+
+    // --- recording (called by the Network; hot path when attached) ---
+
+    /** @p cycles of header wait attributed to router @p node. */
+    void
+    recordRouterStall(NodeId node, StallCause cause, std::uint64_t cycles)
+    {
+        if (cycles == 0)
+            return;
+        routerStalls[routerIndex(node, cause)] += cycles;
+        causeTotals[stallCauseIndex(cause)] += cycles;
+        blockCycleTotal += cycles;
+    }
+
+    /** One stall cycle attributed to channel @p ch. */
+    void
+    recordChannelStall(ChannelId ch, StallCause cause)
+    {
+        channelStalls[channelIndex(ch, cause)] += 1;
+        causeTotals[stallCauseIndex(cause)] += 1;
+        blockCycleTotal += 1;
+    }
+
+    /** One flit crossed channel @p ch. */
+    void
+    recordFlitForward(ChannelId ch)
+    {
+        channelFlits[static_cast<std::size_t>(ch)] += 1;
+        flitTotal += 1;
+    }
+
+    /** Add @p occupancy buffered flits of one active VC for one cycle. */
+    void
+    recordOccupancy(std::uint64_t occupancy)
+    {
+        occupancyIntegral += occupancy;
+        activeVcCycles += 1;
+    }
+
+    /** A message was delivered with end-to-end @p latency cycles. */
+    void
+    noteDelivery(double latency)
+    {
+        deliveredTotal += 1;
+        latencySinceSample += latency;
+        deliveriesSinceSample += 1;
+    }
+
+    /** The watchdog reported a suspected wait-for cycle. */
+    void noteWatchdogSuspect() { watchdogSuspects += 1; }
+
+    // --- time series ---
+
+    /** Sampling cadence (0 = disabled). */
+    Cycle sampleInterval() const { return interval; }
+
+    /** True when a snapshot is due at @p now. */
+    bool
+    sampleDue(Cycle now) const
+    {
+        return interval > 0 && now >= nextSample;
+    }
+
+    /**
+     * Record a snapshot. The caller (Network) fills the fabric-state
+     * fields; the registry fills counters, per-sample means, and advances
+     * the cadence past @p now.
+     */
+    void takeSample(Cycle now, std::uint64_t messages_in_flight,
+                    std::uint64_t headers_blocked);
+
+    /** Snapshots recorded so far. */
+    const std::vector<TimeSeriesSample> &samples() const
+    {
+        return timeSeries;
+    }
+
+    // --- queries ---
+
+    std::uint64_t stallCycles(StallCause cause) const
+    {
+        return causeTotals[stallCauseIndex(cause)];
+    }
+
+    /** Grand total accumulated alongside every record call. */
+    std::uint64_t totalBlockCycles() const { return blockCycleTotal; }
+
+    std::uint64_t routerStall(NodeId node, StallCause cause) const
+    {
+        return routerStalls[routerIndex(node, cause)];
+    }
+
+    std::uint64_t channelStall(ChannelId ch, StallCause cause) const
+    {
+        return channelStalls[channelIndex(ch, cause)];
+    }
+
+    std::uint64_t channelFlitsForwarded(ChannelId ch) const
+    {
+        return channelFlits[static_cast<std::size_t>(ch)];
+    }
+
+    std::uint64_t flitsForwarded() const { return flitTotal; }
+    std::uint64_t messagesDelivered() const { return deliveredTotal; }
+    std::uint64_t watchdogSuspectScans() const { return watchdogSuspects; }
+
+    /** Sum of VC occupancies over all (active VC, cycle) pairs. */
+    std::uint64_t vcOccupancyIntegral() const { return occupancyIntegral; }
+
+    NodeId numNodes() const { return nodes; }
+    ChannelId numChannelSlots() const { return channelSlots; }
+
+    /** Fold the totals into the result-facing summary. */
+    StallSummary summary() const;
+
+  private:
+    std::size_t
+    routerIndex(NodeId node, StallCause cause) const
+    {
+        return static_cast<std::size_t>(node) * kNumStallCauses +
+               static_cast<std::size_t>(stallCauseIndex(cause));
+    }
+
+    std::size_t
+    channelIndex(ChannelId ch, StallCause cause) const
+    {
+        return static_cast<std::size_t>(ch) * kNumStallCauses +
+               static_cast<std::size_t>(stallCauseIndex(cause));
+    }
+
+    NodeId nodes;
+    ChannelId channelSlots;
+    Cycle interval;
+    Cycle nextSample;
+
+    std::vector<std::uint64_t> routerStalls;  ///< [node][cause]
+    std::vector<std::uint64_t> channelStalls; ///< [channel][cause]
+    std::vector<std::uint64_t> channelFlits;  ///< [channel]
+    std::uint64_t causeTotals[kNumStallCauses] = {0, 0, 0, 0};
+    std::uint64_t blockCycleTotal = 0;
+    std::uint64_t flitTotal = 0;
+    std::uint64_t deliveredTotal = 0;
+    std::uint64_t watchdogSuspects = 0;
+    std::uint64_t occupancyIntegral = 0;
+    std::uint64_t activeVcCycles = 0;
+
+    // per-sample accumulators (reset at each snapshot)
+    double latencySinceSample = 0.0;
+    std::uint64_t deliveriesSinceSample = 0;
+    std::uint64_t occupancyAtLastSample = 0;
+    std::uint64_t activeVcCyclesAtLastSample = 0;
+
+    std::vector<TimeSeriesSample> timeSeries;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_OBS_METRICS_HH

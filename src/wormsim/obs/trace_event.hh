@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Flit-level trace events: the vocabulary of the observability subsystem.
+ *
+ * Every message lifecycle transition the fabric makes can be reported as
+ * one TraceEvent to an attached TraceSink (see trace_sink.hh). Events are
+ * plain values — no heap allocation, no strings — so emitting one costs a
+ * struct fill plus a virtual call, and suppressing one costs a single
+ * mask test (see Network's obs hooks).
+ */
+
+#ifndef WORMSIM_OBS_TRACE_EVENT_HH
+#define WORMSIM_OBS_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "wormsim/common/types.hh"
+
+namespace wormsim
+{
+
+/** What a message lifecycle event reports. */
+enum class TraceEventType : std::uint8_t
+{
+    Inject,          ///< message admitted at its source
+    RouteDecision,   ///< routing algorithm picked a (direction, VC class)
+    VcAlloc,         ///< header granted a virtual channel
+    FlitForward,     ///< one flit crossed a physical channel
+    Block,           ///< progress denied (see StallCause)
+    Deliver,         ///< tail consumed at the destination
+    WatchdogSuspect, ///< watchdog found a wait-for cycle
+};
+
+/** Number of TraceEventType values (mask width). */
+constexpr int kNumTraceEventTypes = 7;
+
+/** Why a message (or flit) could not make progress this cycle. */
+enum class StallCause : std::uint8_t
+{
+    None,           ///< not a stall event
+    VcBusy,         ///< header: every candidate VC is held by another worm
+    PhysBusy,       ///< flit ready but lost physical-channel arbitration
+    BufferFull,     ///< flit ready but the receiver VC buffer is full
+    InjectionLimit, ///< refused admission by the injection buffer limit
+};
+
+/** Number of attributable StallCause values (excluding None). */
+constexpr int kNumStallCauses = 4;
+
+/** Dense index of an attributable cause (VcBusy = 0 .. InjectionLimit = 3). */
+constexpr int
+stallCauseIndex(StallCause c)
+{
+    return static_cast<int>(c) - 1;
+}
+
+/** Short machine-friendly name: "vc_busy", "phys_busy", ... */
+std::string stallCauseName(StallCause cause);
+
+/** Short machine-friendly name: "inject", "route", "vc_alloc", ... */
+std::string traceEventTypeName(TraceEventType type);
+
+/** Subscription bit of one event type. */
+constexpr std::uint32_t
+traceEventBit(TraceEventType t)
+{
+    return 1u << static_cast<int>(t);
+}
+
+/** Mask subscribing to every event type. */
+constexpr std::uint32_t kAllTraceEvents =
+    (1u << kNumTraceEventTypes) - 1;
+
+/** Mask subscribing to everything except per-flit forward events. */
+constexpr std::uint32_t kTraceEventsNoFlits =
+    kAllTraceEvents & ~traceEventBit(TraceEventType::FlitForward);
+
+/**
+ * One trace event. Field meaning by type (unused fields keep their
+ * defaults):
+ *
+ * | type            | node      | channel/vc     | arg0        | arg1    |
+ * |-----------------|-----------|----------------|-------------|---------|
+ * | Inject          | source    | —              | destination | length  |
+ * | RouteDecision   | head node | chosen ch / vc | dir index   | —       |
+ * | VcAlloc         | head node | granted ch / vc| cycles waited | —     |
+ * | FlitForward     | to-node   | ch / vc        | flit index  | —       |
+ * | Block           | head/src  | ch (if known)  | —           | —       |
+ * | Deliver         | dest      | —              | latency     | hops    |
+ * | WatchdogSuspect | —         | —              | cycle size  | confirmed |
+ */
+struct TraceEvent
+{
+    TraceEventType type = TraceEventType::Inject;
+    StallCause cause = StallCause::None; ///< Block events only
+    Cycle cycle = 0;                     ///< simulation time of the event
+    MessageId msg = 0;
+    NodeId node = kInvalidNode;
+    ChannelId channel = kInvalidChannel;
+    VcClass vc = kInvalidVc;
+    std::int64_t arg0 = 0;
+    std::int64_t arg1 = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_OBS_TRACE_EVENT_HH

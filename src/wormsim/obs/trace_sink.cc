@@ -1,0 +1,57 @@
+#include "wormsim/obs/trace_sink.hh"
+
+namespace wormsim
+{
+
+std::string
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::None:
+        return "none";
+      case StallCause::VcBusy:
+        return "vc_busy";
+      case StallCause::PhysBusy:
+        return "phys_busy";
+      case StallCause::BufferFull:
+        return "buffer_full";
+      case StallCause::InjectionLimit:
+        return "injection_limit";
+    }
+    return "?";
+}
+
+std::string
+traceEventTypeName(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::Inject:
+        return "inject";
+      case TraceEventType::RouteDecision:
+        return "route";
+      case TraceEventType::VcAlloc:
+        return "vc_alloc";
+      case TraceEventType::FlitForward:
+        return "flit";
+      case TraceEventType::Block:
+        return "block";
+      case TraceEventType::Deliver:
+        return "deliver";
+      case TraceEventType::WatchdogSuspect:
+        return "watchdog";
+    }
+    return "?";
+}
+
+std::vector<TraceEvent>
+MemoryTraceSink::eventsOfType(TraceEventType type) const
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &e : buffer) {
+        if (e.type == type)
+            out.push_back(e);
+    }
+    return out;
+}
+
+} // namespace wormsim

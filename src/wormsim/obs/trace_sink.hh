@@ -1,0 +1,103 @@
+/**
+ * @file
+ * TraceSink: where the fabric's trace events go.
+ *
+ * The Network holds one raw TraceSink pointer (default nullptr). The
+ * disabled path is a single branch: the Network caches the sink's
+ * eventMask() and each hook tests one bit of it before even constructing
+ * the event, so with no sink attached (mask 0) the entire observability
+ * layer costs one predictable test per hook site. The `trace_overhead`
+ * ctest target guards that cost at <= 2% of the network-cycle budget.
+ *
+ * Sinks are NOT thread-safe; every simulation (sweep point) must own its
+ * own sink. ParallelSweepRunner derives one trace file per grid point so
+ * concurrent workers never share a sink (mutex-free by construction).
+ */
+
+#ifndef WORMSIM_OBS_TRACE_SINK_HH
+#define WORMSIM_OBS_TRACE_SINK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wormsim/obs/trace_event.hh"
+
+namespace wormsim
+{
+
+/** Receives trace events from one Network. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /**
+     * Event types this sink wants. The Network caches the mask when the
+     * sink is attached; events outside the mask are suppressed before
+     * construction. Default: everything.
+     */
+    virtual std::uint32_t eventMask() const { return kAllTraceEvents; }
+
+    /** One event. Only types within eventMask() are delivered. */
+    virtual void onEvent(const TraceEvent &event) = 0;
+
+    /**
+     * Flush/close the sink (stream footers etc.). Idempotent; called by
+     * the driver after the run (and by destructors of sinks that buffer).
+     */
+    virtual void finish() {}
+};
+
+/**
+ * Discards events. With the default empty mask it subscribes to nothing,
+ * making an attached-but-silent sink cost exactly the disabled path plus
+ * the mask test — this is what the trace_overhead guard measures. Pass
+ * a non-empty mask to count delivered events instead (tests).
+ */
+class NullTraceSink : public TraceSink
+{
+  public:
+    /** @param mask event subscription; default subscribes to nothing */
+    explicit NullTraceSink(std::uint32_t mask = 0) : subscribed(mask) {}
+
+    std::uint32_t eventMask() const override { return subscribed; }
+
+    void onEvent(const TraceEvent &) override { ++count; }
+
+    /** Events delivered (0 unless constructed with a mask). */
+    std::uint64_t eventsSeen() const { return count; }
+
+  private:
+    std::uint32_t subscribed;
+    std::uint64_t count = 0;
+};
+
+/** Buffers every delivered event in memory (tests, programmatic export). */
+class MemoryTraceSink : public TraceSink
+{
+  public:
+    explicit MemoryTraceSink(std::uint32_t mask = kAllTraceEvents)
+        : subscribed(mask)
+    {
+    }
+
+    std::uint32_t eventMask() const override { return subscribed; }
+
+    void onEvent(const TraceEvent &event) override
+    {
+        buffer.push_back(event);
+    }
+
+    const std::vector<TraceEvent> &events() const { return buffer; }
+
+    /** Events of one type, in emission order. */
+    std::vector<TraceEvent> eventsOfType(TraceEventType type) const;
+
+  private:
+    std::uint32_t subscribed;
+    std::vector<TraceEvent> buffer;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_OBS_TRACE_SINK_HH

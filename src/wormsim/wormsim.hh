@@ -33,6 +33,11 @@
 #include "wormsim/network/router.hh"
 #include "wormsim/network/virtual_channel.hh"
 #include "wormsim/network/watchdog.hh"
+#include "wormsim/obs/chrome_trace.hh"
+#include "wormsim/obs/export.hh"
+#include "wormsim/obs/metrics.hh"
+#include "wormsim/obs/trace_event.hh"
+#include "wormsim/obs/trace_sink.hh"
 #include "wormsim/rng/distributions.hh"
 #include "wormsim/rng/splitmix.hh"
 #include "wormsim/rng/stream_set.hh"

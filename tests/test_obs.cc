@@ -1,0 +1,643 @@
+/**
+ * @file
+ * Tests for the observability subsystem (obs/): trace sinks and event
+ * masking, the metrics registry and its stall-attribution invariant,
+ * Chrome trace JSON round-tripped through a validating parser, the
+ * tracing-changes-nothing golden property, exporters, and the logging
+ * setter guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/driver/runner.hh"
+#include "wormsim/obs/chrome_trace.hh"
+#include "wormsim/obs/export.hh"
+#include "wormsim/obs/metrics.hh"
+#include "wormsim/obs/trace_sink.hh"
+#include "wormsim/routing/broken_ring.hh"
+#include "wormsim/topology/torus.hh"
+#include "wormsim/traffic/uniform.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+// ------------------- minimal validating JSON parser --------------------
+//
+// Just enough of RFC 8259 to verify that ChromeTraceSink emits
+// structurally valid JSON: objects, arrays, strings with escapes,
+// numbers, booleans. Parses into a generic value tree.
+
+struct JsonValue
+{
+    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        return pos == s.size(); // no trailing garbage
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (s.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos >= s.size())
+            return false;
+        char c = s[pos];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"') {
+            out.kind = JsonValue::String;
+            return string(out.text);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Null;
+            return literal("null");
+        }
+        return number(out);
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (s[pos] != '"')
+            return false;
+        ++pos;
+        out.clear();
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                if (pos + 1 >= s.size())
+                    return false;
+                char e = s[pos + 1];
+                if (e == 'u') {
+                    if (pos + 5 >= s.size())
+                        return false;
+                    for (int i = 2; i <= 5; ++i) {
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(s[pos + i])))
+                            return false;
+                    }
+                    out += '?'; // decoded value irrelevant here
+                    pos += 6;
+                    continue;
+                }
+                if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                    e != 'f' && e != 'n' && e != 'r' && e != 't')
+                    return false;
+                out += e;
+                pos += 2;
+                continue;
+            }
+            if (static_cast<unsigned char>(s[pos]) < 0x20)
+                return false; // control chars must be escaped
+            out += s[pos++];
+        }
+        if (pos >= s.size())
+            return false;
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return false;
+        try {
+            out.number = std::stod(s.substr(start, pos - start));
+        } catch (...) {
+            return false;
+        }
+        out.kind = JsonValue::Number;
+        return true;
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Array;
+        ++pos; // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            JsonValue item;
+            if (!value(item))
+                return false;
+            out.items.push_back(std::move(item));
+            skipWs();
+            if (pos >= s.size())
+                return false;
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Object;
+        ++pos; // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos >= s.size() || s[pos] != '"' || !string(key))
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return false;
+            ++pos;
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.fields.emplace(std::move(key), std::move(v));
+            skipWs();
+            if (pos >= s.size())
+                return false;
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+// ----------------------------- helpers ---------------------------------
+
+SimulationConfig
+quickConfig()
+{
+    SimulationConfig cfg;
+    cfg.radices = {4, 4};
+    cfg.warmupCycles = 600;
+    cfg.samplePeriod = 1000;
+    cfg.sampleGap = 100;
+    cfg.maxCycles = 8000;
+    cfg.convergence.maxSamples = 3;
+    cfg.offeredLoad = 0.25;
+    cfg.watchdogPatience = 3000;
+    return cfg;
+}
+
+// --------------------------- sinks & masks ------------------------------
+
+TEST(Obs, NullSinkDefaultMaskSuppressesEverything)
+{
+    SimulationConfig cfg = quickConfig();
+    SimulationRunner runner(cfg);
+    NullTraceSink sink; // mask 0: armed but subscribed to nothing
+    runner.setTraceSink(&sink);
+    SimulationResult r = runner.run();
+    EXPECT_GT(r.messagesDelivered, 0u);
+    EXPECT_EQ(sink.eventsSeen(), 0u);
+    // Metrics still collect even when the sink filters all events.
+    EXPECT_TRUE(r.stalls.collected);
+}
+
+TEST(Obs, EventMaskFiltersByType)
+{
+    SimulationConfig cfg = quickConfig();
+    SimulationRunner runner(cfg);
+    MemoryTraceSink sink(traceEventBit(TraceEventType::Deliver));
+    runner.setTraceSink(&sink);
+    SimulationResult r = runner.run();
+    ASSERT_GT(sink.events().size(), 0u);
+    for (const TraceEvent &e : sink.events())
+        EXPECT_EQ(e.type, TraceEventType::Deliver);
+    // One Deliver event per delivery (warmup included, so >=).
+    EXPECT_GE(sink.events().size(), r.messagesDelivered);
+}
+
+TEST(Obs, LifecycleEventsAreOrderedPerMessage)
+{
+    SimulationConfig cfg = quickConfig();
+    SimulationRunner runner(cfg);
+    MemoryTraceSink sink(kAllTraceEvents);
+    runner.setTraceSink(&sink);
+    runner.run();
+
+    // For every delivered message: exactly one Inject before everything,
+    // one Deliver after everything, and VcAlloc count == RouteDecision
+    // count (paired at allocation success).
+    struct PerMsg
+    {
+        int injects = 0, delivers = 0, routes = 0, allocs = 0;
+        Cycle firstCycle = kNeverCycle, lastCycle = 0;
+        Cycle injectCycle = kNeverCycle, deliverCycle = 0;
+    };
+    std::map<MessageId, PerMsg> perMsg;
+    for (const TraceEvent &e : sink.events()) {
+        if (e.type == TraceEventType::WatchdogSuspect)
+            continue;
+        PerMsg &m = perMsg[e.msg];
+        m.firstCycle = std::min(m.firstCycle, e.cycle);
+        m.lastCycle = std::max(m.lastCycle, e.cycle);
+        switch (e.type) {
+          case TraceEventType::Inject:
+            ++m.injects;
+            m.injectCycle = e.cycle;
+            break;
+          case TraceEventType::Deliver:
+            ++m.delivers;
+            m.deliverCycle = e.cycle;
+            break;
+          case TraceEventType::RouteDecision:
+            ++m.routes;
+            break;
+          case TraceEventType::VcAlloc:
+            ++m.allocs;
+            break;
+          default:
+            break;
+        }
+    }
+    int checked = 0;
+    for (const auto &[id, m] : perMsg) {
+        if (m.delivers == 0)
+            continue; // in flight at run end
+        if (m.injects == 0)
+            continue; // block-only record of a refused admission
+        ++checked;
+        EXPECT_EQ(m.injects, 1) << "msg " << id;
+        EXPECT_EQ(m.delivers, 1) << "msg " << id;
+        EXPECT_EQ(m.routes, m.allocs) << "msg " << id;
+        EXPECT_GE(m.routes, 1) << "msg " << id;
+        EXPECT_EQ(m.firstCycle, m.injectCycle) << "msg " << id;
+        EXPECT_EQ(m.lastCycle, m.deliverCycle) << "msg " << id;
+    }
+    EXPECT_GT(checked, 0);
+}
+
+// -------------------- stall-attribution invariant -----------------------
+
+TEST(Obs, StallCyclesByCauseSumToTotalBlockCycles)
+{
+    // Push the load up so all stall causes have a chance to appear.
+    SimulationConfig cfg = quickConfig();
+    cfg.offeredLoad = 0.6;
+    cfg.maxCycles = 12000;
+    SimulationRunner runner(cfg);
+    MemoryTraceSink sink(kAllTraceEvents);
+    runner.setTraceSink(&sink);
+    SimulationResult r = runner.run();
+
+    ASSERT_TRUE(r.stalls.collected);
+    EXPECT_GT(r.stalls.totalBlockCycles, 0u);
+    // The decomposition invariant: every recorded stall-cycle is
+    // attributed to exactly one cause.
+    EXPECT_EQ(r.stalls.sum(), r.stalls.totalBlockCycles);
+
+    // Cross-check against the registry's per-entity tables.
+    const MetricsRegistry *m = runner.metricsRegistry();
+    ASSERT_NE(m, nullptr);
+    std::uint64_t routerSum = 0, channelSum = 0;
+    for (NodeId n = 0; n < m->numNodes(); ++n) {
+        routerSum += m->routerStall(n, StallCause::VcBusy);
+        routerSum += m->routerStall(n, StallCause::InjectionLimit);
+    }
+    for (ChannelId c = 0; c < m->numChannelSlots(); ++c) {
+        channelSum += m->channelStall(c, StallCause::PhysBusy);
+        channelSum += m->channelStall(c, StallCause::BufferFull);
+    }
+    EXPECT_EQ(routerSum + channelSum, m->totalBlockCycles());
+
+    // Cross-check the trace against the registry: the VcAlloc events'
+    // waited cycles are exactly the vc_busy attribution.
+    std::uint64_t tracedWait = 0;
+    for (const TraceEvent &e :
+         sink.eventsOfType(TraceEventType::VcAlloc))
+        tracedWait += static_cast<std::uint64_t>(e.arg0);
+    EXPECT_EQ(tracedWait, m->stallCycles(StallCause::VcBusy));
+
+    // And flit forwards seen by the metrics equal the trace's.
+    EXPECT_EQ(
+        sink.eventsOfType(TraceEventType::FlitForward).size(),
+        static_cast<std::size_t>(m->flitsForwarded()));
+}
+
+// ------------------------ golden determinism ----------------------------
+
+TEST(Obs, TracingDoesNotChangeResults)
+{
+    SimulationConfig cfg = quickConfig();
+    cfg.offeredLoad = 0.35;
+
+    SimulationRunner plain(cfg);
+    SimulationResult base = plain.run();
+
+    SimulationRunner traced(cfg);
+    MemoryTraceSink sink(kAllTraceEvents);
+    traced.setTraceSink(&sink);
+    SimulationResult obs = traced.run();
+
+    EXPECT_GT(sink.events().size(), 0u);
+    // Bit-for-bit identical on every deterministic field.
+    EXPECT_EQ(base.avgLatency, obs.avgLatency);
+    EXPECT_EQ(base.latencyErrorBound, obs.latencyErrorBound);
+    EXPECT_EQ(base.achievedUtilization, obs.achievedUtilization);
+    EXPECT_EQ(base.rawChannelUtilization, obs.rawChannelUtilization);
+    EXPECT_EQ(base.avgThroughput, obs.avgThroughput);
+    EXPECT_EQ(base.avgHops, obs.avgHops);
+    EXPECT_EQ(base.dropFraction, obs.dropFraction);
+    EXPECT_EQ(base.latencyP50, obs.latencyP50);
+    EXPECT_EQ(base.latencyP95, obs.latencyP95);
+    EXPECT_EQ(base.latencyP99, obs.latencyP99);
+    EXPECT_EQ(base.channelLoadCv, obs.channelLoadCv);
+    EXPECT_EQ(base.messagesDelivered, obs.messagesDelivered);
+    EXPECT_EQ(base.messagesDropped, obs.messagesDropped);
+    EXPECT_EQ(base.cyclesSimulated, obs.cyclesSimulated);
+    EXPECT_EQ(base.numSamples, obs.numSamples);
+    EXPECT_EQ(base.vcClassLoadShare, obs.vcClassLoadShare);
+    EXPECT_EQ(base.hopClassLatency, obs.hopClassLatency);
+}
+
+// ----------------------- Chrome trace round-trip ------------------------
+
+TEST(Obs, ChromeTraceIsValidJson)
+{
+    SimulationConfig cfg = quickConfig();
+    std::ostringstream os;
+    ChromeTraceSink chrome(os);
+    SimulationRunner runner(cfg);
+    runner.setTraceSink(&chrome);
+    SimulationResult r = runner.run();
+    chrome.finish();
+
+    std::string text = os.str();
+    JsonValue doc;
+    ASSERT_TRUE(JsonParser(text).parse(doc)) << text.substr(0, 400);
+    ASSERT_EQ(doc.kind, JsonValue::Object);
+    ASSERT_TRUE(doc.fields.count("displayTimeUnit"));
+    ASSERT_TRUE(doc.fields.count("traceEvents"));
+    const JsonValue &events = doc.fields.at("traceEvents");
+    ASSERT_EQ(events.kind, JsonValue::Array);
+    EXPECT_GT(events.items.size(), r.messagesDelivered);
+
+    std::map<std::string, int> names;
+    int metadata = 0;
+    for (const JsonValue &e : events.items) {
+        ASSERT_EQ(e.kind, JsonValue::Object);
+        ASSERT_TRUE(e.fields.count("name"));
+        ASSERT_TRUE(e.fields.count("ph"));
+        ASSERT_TRUE(e.fields.count("pid"));
+        const std::string &ph = e.fields.at("ph").text;
+        if (ph == "M") {
+            ++metadata;
+            continue;
+        }
+        // Every non-metadata event carries a timestamp and a track.
+        ASSERT_TRUE(e.fields.count("ts"));
+        ASSERT_TRUE(e.fields.count("tid"));
+        ++names[e.fields.at("name").text];
+        if (ph == "X") {
+            ASSERT_TRUE(e.fields.count("dur"));
+            EXPECT_GT(e.fields.at("dur").number, 0.0);
+        } else {
+            EXPECT_EQ(ph, "i");
+        }
+    }
+    EXPECT_GT(names["inject"], 0);
+    EXPECT_GT(names["route"], 0);
+    EXPECT_GT(names["vc_alloc"], 0);
+    EXPECT_GT(names["deliver"], 0);
+    // finish() names the process and every seen router track.
+    EXPECT_GT(metadata, 1);
+}
+
+TEST(Obs, ChromeTraceFinishIsIdempotent)
+{
+    std::ostringstream os;
+    ChromeTraceSink chrome(os);
+    TraceEvent e;
+    e.type = TraceEventType::Inject;
+    e.cycle = 3;
+    e.msg = 1;
+    e.node = 0;
+    e.arg0 = 5;
+    e.arg1 = 16;
+    chrome.onEvent(e);
+    chrome.finish();
+    std::string once = os.str();
+    chrome.finish();
+    EXPECT_EQ(os.str(), once);
+    JsonValue doc;
+    EXPECT_TRUE(JsonParser(os.str()).parse(doc));
+}
+
+TEST(Obs, JsonEscapeHandlesSpecials)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+// ----------------------------- exporters --------------------------------
+
+TEST(Obs, TimeSeriesCsvHasHeaderAndRows)
+{
+    MetricsRegistry m(/*nodes=*/4, /*channels=*/16,
+                      /*interval=*/100);
+    m.recordRouterStall(1, StallCause::VcBusy, 7);
+    m.recordChannelStall(3, StallCause::PhysBusy);
+    m.recordFlitForward(3);
+    m.noteDelivery(42.0);
+    ASSERT_TRUE(m.sampleDue(100));
+    m.takeSample(100, /*in_flight=*/2, /*blocked=*/1);
+    EXPECT_FALSE(m.sampleDue(150));
+    m.takeSample(200, 0, 0);
+
+    std::ostringstream os;
+    writeTimeSeriesCsv(os, m);
+    std::istringstream is(os.str());
+    std::string header, row1, row2, extra;
+    ASSERT_TRUE(std::getline(is, header));
+    EXPECT_NE(header.find("cycle"), std::string::npos);
+    EXPECT_NE(header.find("stall_vc_busy_cum"), std::string::npos);
+    ASSERT_TRUE(std::getline(is, row1));
+    ASSERT_TRUE(std::getline(is, row2));
+    EXPECT_FALSE(std::getline(is, extra));
+    EXPECT_EQ(row1.substr(0, 4), "100,");
+    EXPECT_NE(row1.find(",42.000,"), std::string::npos); // window latency
+    EXPECT_EQ(row2.substr(0, 4), "200,");
+}
+
+TEST(Obs, StallSummaryRendersConsistencyLine)
+{
+    StallSummary s;
+    s.collected = true;
+    s.vcBusy = 10;
+    s.physBusy = 5;
+    s.bufferFull = 3;
+    s.injectionLimit = 2;
+    s.totalBlockCycles = 20;
+    std::string table = renderStallSummary(s);
+    EXPECT_NE(table.find("vc_busy"), std::string::npos);
+    EXPECT_NE(table.find("consistent"), std::string::npos);
+    s.totalBlockCycles = 21; // corrupt: sum() != total
+    EXPECT_NE(renderStallSummary(s).find("MISMATCH"), std::string::npos);
+
+    StallSummary off;
+    EXPECT_NE(renderStallSummary(off).find("not collected"),
+              std::string::npos);
+}
+
+TEST(Obs, DerivedOutputPathStripsJsonSuffix)
+{
+    EXPECT_EQ(derivedOutputPath("trace.json", ".timeseries.csv"),
+              "trace.timeseries.csv");
+    EXPECT_EQ(derivedOutputPath("trace.json", "_ecube_0.30.json"),
+              "trace_ecube_0.30.json");
+    EXPECT_EQ(derivedOutputPath("out", ".timeseries.csv"),
+              "out.timeseries.csv");
+}
+
+// ----------------------- watchdog through obs ---------------------------
+
+TEST(Obs, WatchdogSuspectReachesTraceAndMetrics)
+{
+    Torus topo = Torus::square(4);
+    BrokenRingRouting algo;
+    Xoshiro256 rng(5);
+    NetworkParams params;
+    params.watchdogPatience = 200;
+    params.watchdogInterval = 64;
+    params.deadlockAction = DeadlockAction::RecordOnly;
+    params.injectionLimit = 0;
+    Network net(topo, algo, params, rng);
+
+    MemoryTraceSink sink(kAllTraceEvents);
+    MetricsRegistry metrics(topo.numNodes(), topo.numChannelSlots(), 0);
+    net.setTraceSink(&sink);
+    net.setMetrics(&metrics);
+
+    UniformTraffic traffic(topo);
+    Xoshiro256 dest_rng(7);
+    Cycle t = 0;
+    for (; t < 4000 && !net.sawDeadlock(); ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (t % 4 == 0)
+                net.offerMessage(n, traffic.pickDest(n, dest_rng), 16, t);
+        }
+        net.step(t);
+    }
+    ASSERT_TRUE(net.sawDeadlock());
+
+    auto suspects = sink.eventsOfType(TraceEventType::WatchdogSuspect);
+    ASSERT_GE(suspects.size(), 1u);
+    EXPECT_EQ(suspects[0].node, kInvalidNode); // watchdog pseudo-track
+    EXPECT_GE(suspects[0].arg0, 2);            // cycle size
+    EXPECT_GE(metrics.watchdogSuspectScans(), 1u);
+
+    // The confirmed report carries machine-readable channel waits.
+    const DeadlockReport &report = net.lastDeadlock();
+    ASSERT_TRUE(report.confirmed);
+    EXPECT_GE(report.waits.size(), report.cycle.size());
+    std::string text = report.machineReadable();
+    EXPECT_NE(text.find("confirmed=1"), std::string::npos);
+    EXPECT_NE(text.find("wait waiter="), std::string::npos);
+}
+
+// ------------------------ logging setter guard --------------------------
+
+TEST(Obs, LoggingSettersPanicWhileLocked)
+{
+    setLoggingThrows(true);
+    detail::lockLoggingSetters(true);
+    EXPECT_TRUE(detail::loggingSettersLocked());
+    EXPECT_THROW(setLoggingThrows(false), std::runtime_error);
+    EXPECT_THROW(setLoggingQuiet(true), std::runtime_error);
+    detail::lockLoggingSetters(false);
+    EXPECT_FALSE(detail::loggingSettersLocked());
+    EXPECT_NO_THROW(setLoggingQuiet(false));
+    setLoggingThrows(false);
+}
+
+} // namespace
+} // namespace wormsim

@@ -31,8 +31,13 @@ class WatchdogFixture : public ::testing::Test
     {
         DeadlockWatchdog::WaitInfo info;
         info.msg = &msgs[who];
-        for (std::size_t idx : on)
-            info.waitingOn.push_back(&msgs[idx]);
+        for (std::size_t idx : on) {
+            // Synthetic channel id: waiter*10 + holder, VC class 0.
+            info.waitingOn.push_back(
+                {&msgs[idx],
+                 static_cast<ChannelId>(who * 10 + idx),
+                 static_cast<VcClass>(0)});
+        }
         info.fullyBlocked = fully_blocked;
         return info;
     }
@@ -125,6 +130,43 @@ TEST_F(WatchdogFixture, DisjointComponentsFindTheCycle)
     // The cycle must consist of messages 2, 3, 4.
     for (MessageId id : r.cycle)
         EXPECT_GE(id, 2u);
+}
+
+TEST_F(WatchdogFixture, MachineReadableReportListsCycleWaits)
+{
+    std::vector<DeadlockWatchdog::WaitInfo> w{waiting(0, {1}),
+                                              waiting(1, {0})};
+    DeadlockReport r = dog.scan(1000, w);
+    ASSERT_TRUE(r.confirmed);
+    ASSERT_EQ(r.waits.size(), 2u);
+    std::string text = r.machineReadable();
+    EXPECT_NE(text.find("deadlock suspected=1 confirmed=1 cycle_size=2"),
+              std::string::npos);
+    // Edges carry the contested channel/vc supplied by the fixture.
+    EXPECT_NE(text.find("wait waiter=0 holder=1 channel=1 vc=0"),
+              std::string::npos);
+    EXPECT_NE(text.find("wait waiter=1 holder=0 channel=10 vc=0"),
+              std::string::npos);
+}
+
+TEST_F(WatchdogFixture, MachineReadableCleanReport)
+{
+    DeadlockReport r = dog.scan(1000, {});
+    EXPECT_EQ(r.machineReadable(),
+              "deadlock suspected=0 confirmed=0 cycle_size=0\n");
+}
+
+TEST_F(WatchdogFixture, WaitEdgesOutsideTheCycleAreExcluded)
+{
+    // 0 waits on both 1 (no cycle) and 2 (cycle): only the 0<->2
+    // resource edges appear in the report.
+    std::vector<DeadlockWatchdog::WaitInfo> w{
+        waiting(0, {1, 2}), waiting(1, {}), waiting(2, {0})};
+    DeadlockReport r = dog.scan(1000, w);
+    ASSERT_TRUE(r.suspected);
+    ASSERT_EQ(r.waits.size(), 2u);
+    for (const DeadlockReport::ChannelWait &cw : r.waits)
+        EXPECT_NE(cw.holder, msgs[1].id());
 }
 
 TEST_F(WatchdogFixture, MultipleEdgesPerMessage)
