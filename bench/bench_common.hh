@@ -83,7 +83,9 @@ class Harness
                   << "-flit messages, switching "
                   << switchingModeName(cfg.switching) << ", buffer depth "
                   << cfg.flitBufferDepth << ", injection limit "
-                  << cfg.injectionLimit << ", seed " << cfg.seed << "\n"
+                  << cfg.injectionLimit << ", step mode "
+                  << stepModeName(cfg.stepMode) << ", seed " << cfg.seed
+                  << "\n"
                   << "# windows: warmup " << cfg.warmupCycles
                   << ", sample " << cfg.samplePeriod << ", max cycles "
                   << cfg.maxCycles << ", max samples "

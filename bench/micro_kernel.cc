@@ -4,9 +4,25 @@
  * throughput, topology primitives, routing-function cost per algorithm,
  * and whole-network cycle cost at a moderate load. These do not reproduce
  * paper results; they track the simulator's own performance.
+ *
+ * Besides the google-benchmark suite, `micro_kernel --perf-baseline`
+ * runs the tracked perf baseline: dense-vs-active cycles-per-second on
+ * the raw network-step kernel (BENCH_kernel.json) and on full fig3
+ * simulation points per algorithm x load (BENCH_fig3.json). The JSON
+ * files are committed at the repo root so the perf trajectory is diffable
+ * PR over PR; see docs/performance.md for how to read and refresh them.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "wormsim/wormsim.hh"
 
@@ -85,13 +101,15 @@ BENCHMARK_CAPTURE(BM_RoutingCandidates, phop, "phop");
 BENCHMARK_CAPTURE(BM_RoutingCandidates, nbc, "nbc");
 
 void
-BM_NetworkCycle(benchmark::State &state, const std::string &algorithm)
+BM_NetworkCycle(benchmark::State &state, const std::string &algorithm,
+                StepMode step_mode = StepMode::Active)
 {
     Torus topo = Torus::square(16);
     auto algo = makeRoutingAlgorithm(algorithm);
     Xoshiro256 rng(1);
     NetworkParams params;
     params.watchdogPatience = 0;
+    params.stepMode = step_mode;
     Network net(topo, *algo, params, rng);
     UniformTraffic traffic(topo);
     Xoshiro256 dest(2);
@@ -119,6 +137,30 @@ BM_NetworkCycle(benchmark::State &state, const std::string &algorithm)
 }
 BENCHMARK_CAPTURE(BM_NetworkCycle, ecube, "ecube");
 BENCHMARK_CAPTURE(BM_NetworkCycle, phop, "phop");
+BENCHMARK_CAPTURE(BM_NetworkCycle, ecube_dense, "ecube",
+                  StepMode::Dense);
+BENCHMARK_CAPTURE(BM_NetworkCycle, phop_dense, "phop", StepMode::Dense);
+
+void
+BM_MessagePoolChurn(benchmark::State &state)
+{
+    // The generator -> deliver loop's allocation pattern: a bounded set
+    // of live messages with constant create/destroy churn.
+    MessagePool pool;
+    std::vector<Message *> live;
+    MessageId next = 0;
+    for (int i = 0; i < 512; ++i)
+        live.push_back(pool.create(next++, 0, 1, 16, 0));
+    std::size_t head = 0;
+    for (auto _ : state) {
+        pool.destroy(live[head]);
+        live[head] = pool.create(next++, 0, 1, 16, 0);
+        head = (head + 1) % live.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["slots"] = static_cast<double>(pool.capacity());
+}
+BENCHMARK(BM_MessagePoolChurn);
 
 /** Observability configurations for BM_NetworkCycleObs. */
 enum class ObsMode { NullSink, CountingSink, Metrics };
@@ -175,7 +217,217 @@ BENCHMARK_CAPTURE(BM_NetworkCycleObs, counting_sink,
                   ObsMode::CountingSink);
 BENCHMARK_CAPTURE(BM_NetworkCycleObs, metrics, ObsMode::Metrics);
 
+// ---------------------------------------------------------------------
+// Tracked perf baseline (--perf-baseline): BENCH_kernel.json +
+// BENCH_fig3.json, dense vs active cycles-per-second.
+// ---------------------------------------------------------------------
+
+/**
+ * Raw network-step kernel: cycles/second of Network::step() under the
+ * same synthetic injection pattern BM_NetworkCycle uses, after priming
+ * to steady state. No driver, stats, or event-queue cost — this isolates
+ * the fabric sweep itself.
+ */
+double
+kernelCps(const std::string &algorithm, StepMode mode, int inject_every,
+          Cycle measured_cycles)
+{
+    Torus topo = Torus::square(16);
+    auto algo = makeRoutingAlgorithm(algorithm);
+    Xoshiro256 rng(1);
+    NetworkParams params;
+    params.watchdogPatience = 0;
+    params.stepMode = mode;
+    Network net(topo, *algo, params, rng);
+    UniformTraffic traffic(topo);
+    Xoshiro256 dest(2);
+
+    Cycle t = 0;
+    auto drive = [&](Cycle cycles) {
+        for (Cycle end = t + cycles; t < end; ++t) {
+            for (NodeId n = 0; n < topo.numNodes(); ++n) {
+                if ((t + n) % static_cast<Cycle>(inject_every) == 0)
+                    net.offerMessage(n, traffic.pickDest(n, dest), 16, t);
+            }
+            net.step(t);
+        }
+    };
+    drive(2000); // prime to steady load
+    auto start = std::chrono::steady_clock::now();
+    drive(measured_cycles);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    return secs > 0.0 ? static_cast<double>(measured_cycles) / secs : 0.0;
+}
+
+/** Full fig3-style simulation point; returns result.cyclesPerSecond. */
+double
+fig3Cps(const std::string &algorithm, double load, StepMode mode)
+{
+    SimulationConfig cfg;
+    cfg.algorithm = algorithm;
+    cfg.traffic = "uniform";
+    cfg.offeredLoad = load;
+    cfg.stepMode = mode;
+    cfg.warmupCycles = 2000;
+    cfg.samplePeriod = 4000;
+    cfg.sampleGap = 400;
+    cfg.maxCycles = 30000;
+    cfg.convergence.maxSamples = 6;
+    cfg.seed = 1;
+    SimulationRunner runner(cfg);
+    return runner.run().cyclesPerSecond;
+}
+
+/** Best-of-@p reps wrapper: wall-clock noise on 1-CPU hosts is one-sided. */
+double
+bestOf(int reps, const std::function<double()> &measure)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r)
+        best = std::max(best, measure());
+    return best;
+}
+
+void
+writeJsonHeader(std::ofstream &out, const std::string &bench)
+{
+    out << "{\n"
+        << "  \"bench\": \"" << bench << "\",\n"
+        << "  \"generated_by\": \"micro_kernel --perf-baseline\",\n"
+        << "  \"unit\": \"simulated cycles per wall-clock second\",\n";
+}
+
+int
+runPerfBaseline(const std::string &out_dir)
+{
+    const int kReps = 3;
+    std::cout << "perf baseline: dense vs active cycles-per-second\n";
+
+    // --- BENCH_kernel.json: raw step kernel, two loads x two algorithms.
+    struct KernelPoint
+    {
+        std::string algorithm;
+        int injectEvery; ///< inject at every node each N cycles
+        double dense = 0.0, active = 0.0;
+    };
+    std::vector<KernelPoint> kernel = {
+        {"ecube", 640, 0, 0}, // light load: mostly idle links
+        {"ecube", 160, 0, 0}, // the BM_NetworkCycle moderate load
+        {"phop", 640, 0, 0},
+        {"phop", 160, 0, 0},
+    };
+    for (KernelPoint &p : kernel) {
+        p.dense = bestOf(kReps, [&] {
+            return kernelCps(p.algorithm, StepMode::Dense, p.injectEvery,
+                             20000);
+        });
+        p.active = bestOf(kReps, [&] {
+            return kernelCps(p.algorithm, StepMode::Active, p.injectEvery,
+                             20000);
+        });
+        std::cout << "  kernel " << p.algorithm << " inject-every "
+                  << p.injectEvery << ": dense "
+                  << formatFixed(p.dense / 1e3, 0) << " kc/s, active "
+                  << formatFixed(p.active / 1e3, 0) << " kc/s ("
+                  << formatFixed(p.active / p.dense, 2) << "x)\n";
+    }
+    {
+        std::ofstream out(out_dir + "/BENCH_kernel.json");
+        if (!out)
+            WORMSIM_FATAL("cannot write BENCH_kernel.json in '", out_dir,
+                          "'");
+        writeJsonHeader(out, "kernel");
+        out << "  \"points\": [\n";
+        for (std::size_t i = 0; i < kernel.size(); ++i) {
+            const KernelPoint &p = kernel[i];
+            out << "    {\"algorithm\": \"" << p.algorithm
+                << "\", \"inject_every\": " << p.injectEvery
+                << ", \"dense_cps\": " << std::llround(p.dense)
+                << ", \"active_cps\": " << std::llround(p.active)
+                << ", \"speedup\": " << formatFixed(p.active / p.dense, 3)
+                << "}" << (i + 1 < kernel.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+    }
+
+    // --- BENCH_fig3.json: full simulation points, algorithm x load.
+    const std::vector<std::string> algorithms = {"ecube", "nlast", "2pn",
+                                                 "phop", "nhop", "nbc"};
+    const std::vector<double> loads = {0.05, 0.1, 0.2, 0.3};
+    struct Fig3Point
+    {
+        std::string algorithm;
+        double load;
+        double dense, active;
+    };
+    std::vector<Fig3Point> fig3;
+    double worstLowLoadSpeedup = 1e9;
+    for (const std::string &algorithm : algorithms) {
+        for (double load : loads) {
+            Fig3Point p{algorithm, load, 0.0, 0.0};
+            p.dense = bestOf(
+                kReps, [&] { return fig3Cps(algorithm, load,
+                                            StepMode::Dense); });
+            p.active = bestOf(
+                kReps, [&] { return fig3Cps(algorithm, load,
+                                            StepMode::Active); });
+            if (load <= 0.1)
+                worstLowLoadSpeedup =
+                    std::min(worstLowLoadSpeedup, p.active / p.dense);
+            std::cout << "  fig3 " << algorithm << " load "
+                      << formatFixed(load, 2) << ": dense "
+                      << formatFixed(p.dense / 1e3, 0) << " kc/s, active "
+                      << formatFixed(p.active / 1e3, 0) << " kc/s ("
+                      << formatFixed(p.active / p.dense, 2) << "x)\n";
+            fig3.push_back(p);
+        }
+    }
+    {
+        std::ofstream out(out_dir + "/BENCH_fig3.json");
+        if (!out)
+            WORMSIM_FATAL("cannot write BENCH_fig3.json in '", out_dir,
+                          "'");
+        writeJsonHeader(out, "fig3");
+        out << "  \"points\": [\n";
+        for (std::size_t i = 0; i < fig3.size(); ++i) {
+            const Fig3Point &p = fig3[i];
+            out << "    {\"algorithm\": \"" << p.algorithm
+                << "\", \"load\": " << formatFixed(p.load, 2)
+                << ", \"dense_cps\": " << std::llround(p.dense)
+                << ", \"active_cps\": " << std::llround(p.active)
+                << ", \"speedup\": " << formatFixed(p.active / p.dense, 3)
+                << "}" << (i + 1 < fig3.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+    }
+    std::cout << "worst active/dense speedup at load <= 0.1: "
+              << formatFixed(worstLowLoadSpeedup, 2) << "x\n"
+              << "wrote " << out_dir << "/BENCH_kernel.json and "
+              << out_dir << "/BENCH_fig3.json\n";
+    return 0;
+}
+
 } // namespace
 } // namespace wormsim
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // `--perf-baseline [dir]` bypasses google-benchmark and emits the
+    // tracked BENCH_*.json baseline instead (see docs/performance.md).
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--perf-baseline") == 0) {
+            std::string dir =
+                i + 1 < argc && argv[i + 1][0] != '-' ? argv[i + 1] : ".";
+            return wormsim::runPerfBaseline(dir);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

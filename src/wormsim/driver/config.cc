@@ -36,6 +36,7 @@ SimulationConfig::networkParams() const
     p.injectionLimit = injectionLimit;
     p.routingDelay = routingDelay;
     p.select = select;
+    p.stepMode = stepMode;
     p.watchdogPatience = watchdogPatience;
     p.deadlockAction = deadlockAction;
     return p;
@@ -61,6 +62,7 @@ SimulationConfig::registerOptions(OptionParser &parser)
     optLocalRadius = trafficParams.localRadius;
     optMetricsInterval = static_cast<long long>(metricsInterval);
     optSwitching = switchingModeName(switching);
+    optStepMode = stepModeName(stepMode);
 
     parser.addString("algorithm", &algorithm,
                      "routing algorithm (ecube, nlast, 2pn, phop, nhop, "
@@ -75,6 +77,9 @@ SimulationConfig::registerOptions(OptionParser &parser)
     parser.addInt("length", &optLength, "message length in flits");
     parser.addString("switching", &optSwitching,
                      "switching mode: wh, vct, or saf");
+    parser.addString("step-mode", &optStepMode,
+                     "arbitration sweep engine: active (default) or dense "
+                     "(reference scan; results are bit-identical)");
     parser.addInt("buffer-depth", &optBufferDepth,
                   "flit buffer depth per virtual channel");
     parser.addInt("injection-limit", &optInjectionLimit,
@@ -123,6 +128,7 @@ SimulationConfig::finishOptions()
                       " must be >= 0");
     metricsInterval = static_cast<Cycle>(optMetricsInterval);
     switching = parseSwitchingMode(optSwitching);
+    stepMode = parseStepMode(optStepMode);
 }
 
 void

@@ -39,6 +39,13 @@ struct SimulationConfig
     SwitchingMode switching = SwitchingMode::Wormhole;
     int flitBufferDepth = 2;
     VcSelectPolicy select = VcSelectPolicy::LeastBusy;
+    /**
+     * Arbitration sweep engine (--step-mode). Active (the default) visits
+     * only links holding occupied VCs; Dense scans every link. Results
+     * are bit-identical either way (golden-tested); Dense exists as an
+     * escape hatch and as the reference engine for those tests.
+     */
+    StepMode stepMode = StepMode::Active;
     int injectionLimit = 4; ///< congestion control; <= 0 disables
     Cycle routingDelay = 0; ///< extra router-decision cycles per hop
     Cycle watchdogPatience = 8192;
@@ -118,6 +125,7 @@ struct SimulationConfig
     long long optLocalRadius = 3;
     long long optMetricsInterval = 0;
     std::string optSwitching = "wh";
+    std::string optStepMode = "active";
 
   public:
     /** Copy parsed option fields into the real config fields. */

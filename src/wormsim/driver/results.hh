@@ -60,6 +60,7 @@ struct SimulationResult
     // for a given seed, these two are not)
     double wallSeconds = 0.0;     ///< wall-clock duration of run()
     double cyclesPerSecond = 0.0; ///< cyclesSimulated / wallSeconds
+    std::string stepMode;         ///< arbitration engine used ("active"/"dense")
 
     // bookkeeping
     StopReason stopReason = StopReason::NotDone;

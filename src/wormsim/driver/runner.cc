@@ -152,6 +152,7 @@ SimulationRunner::run()
     result.algorithm = algo->name();
     result.traffic = traffic->name();
     result.topology = topo->name();
+    result.stepMode = stepModeName(cfg.stepMode);
     result.offeredLoad = cfg.offeredLoad;
     meanMinDistance = traffic->meanDistance();
     result.meanMinDistance = meanMinDistance;

@@ -1,6 +1,7 @@
 #include "wormsim/network/link.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "wormsim/common/logging.hh"
 #include "wormsim/common/string_utils.hh"
@@ -59,6 +60,8 @@ Link::allocateVc(VcClass c, Message *msg, VirtualChannel *upstream_vc,
     WORMSIM_ASSERT(present, "allocating VC on a non-existent link");
     vcs[c].allocate(msg, upstream_vc, message_length);
     ++active;
+    if (c < 64)
+        occupied |= std::uint64_t{1} << c;
 }
 
 void
@@ -68,6 +71,8 @@ Link::releaseVc(VcClass c)
     vcs[c].release();
     --active;
     WORMSIM_ASSERT(active >= 0, "negative active VC count");
+    if (c < 64)
+        occupied &= ~(std::uint64_t{1} << c);
 }
 
 bool
@@ -117,6 +122,19 @@ Link::arbitrate(SwitchingMode mode, int flit_buffer_depth)
     if (active == 0)
         return nullptr;
     int v = static_cast<int>(vcs.size());
+    if (active == 1 && occupied != 0) {
+        // Single occupied VC: the round-robin walk can only ever grant
+        // this one (eligibility fails on unowned VCs before any state is
+        // read), so test it directly. rrNext advances exactly as the
+        // walk would on a grant and is untouched on a miss, keeping
+        // arbitration bit-identical to the full scan.
+        int c = std::countr_zero(occupied);
+        if (eligible(vcs[c], mode, flit_buffer_depth)) {
+            rrNext = (c + 1) % v;
+            return &vcs[c];
+        }
+        return nullptr;
+    }
     for (int i = 0; i < v; ++i) {
         int c = (rrNext + i) % v;
         if (eligible(vcs[c], mode, flit_buffer_depth)) {

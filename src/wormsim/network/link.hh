@@ -59,6 +59,13 @@ class Link
     /** Number of VCs currently owned by messages. */
     int activeVcs() const { return active; }
 
+    /**
+     * Bitmask of occupied VC classes (bit c set while vc(c) has an
+     * owner). Classes >= 64 are not tracked; arbitration falls back to
+     * the full round-robin walk for such links.
+     */
+    std::uint64_t occupiedMask() const { return occupied; }
+
     /** Grant VC @p c of this link to @p msg (bookkeeping wrapper). */
     void allocateVc(VcClass c, Message *msg, VirtualChannel *upstream_vc,
                     int message_length);
@@ -114,6 +121,7 @@ class Link
     std::vector<VirtualChannel> vcs;
     int active = 0;
     int rrNext = 0; ///< arbitration scan start
+    std::uint64_t occupied = 0; ///< bit c set while vcs[c] is owned (c < 64)
 
     std::uint64_t transfers = 0;
     std::vector<std::uint64_t> perClass;

@@ -1,0 +1,160 @@
+#include "wormsim/network/message_pool.hh"
+
+#include <new>
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+namespace
+{
+/** Initial id -> slot table size (power of two). */
+constexpr std::size_t kInitialTable = 64;
+} // namespace
+
+MessagePool::MessagePool()
+    : tableIds(kInitialTable, kInvalidMessage), tableSlots(kInitialTable, 0)
+{
+}
+
+MessagePool::~MessagePool()
+{
+    // Destroy any still-live messages (simulation torn down mid-flight).
+    for (std::size_t i = 0; i < tableIds.size(); ++i) {
+        if (tableIds[i] != kInvalidMessage)
+            slotPtr(tableSlots[i])->~Message();
+    }
+}
+
+Message *
+MessagePool::slotPtr(std::uint32_t slot) const
+{
+    return std::launder(reinterpret_cast<Message *>(
+        chunks[slot / kChunkSize][slot % kChunkSize].bytes));
+}
+
+void
+MessagePool::addChunk()
+{
+    auto base = static_cast<std::uint32_t>(capacity());
+    chunks.push_back(std::make_unique<Slot[]>(kChunkSize));
+    // Push in reverse so the LIFO free-list hands out ascending slots.
+    for (std::size_t i = kChunkSize; i-- > 0;)
+        freeSlots.push_back(base + static_cast<std::uint32_t>(i));
+}
+
+std::size_t
+MessagePool::home(MessageId id) const
+{
+    // Fibonacci hashing: sequential ids scatter over the top bits.
+    std::uint64_t h = id * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h) & (tableIds.size() - 1);
+}
+
+std::size_t
+MessagePool::findIndex(MessageId id) const
+{
+    std::size_t mask = tableIds.size() - 1;
+    for (std::size_t i = home(id);; i = (i + 1) & mask) {
+        if (tableIds[i] == id)
+            return i;
+        if (tableIds[i] == kInvalidMessage)
+            return tableIds.size();
+    }
+}
+
+void
+MessagePool::insertIndex(MessageId id, std::uint32_t slot)
+{
+    if ((live + 1) * 10 > tableIds.size() * 7)
+        rehash(tableIds.size() * 2);
+    std::size_t mask = tableIds.size() - 1;
+    std::size_t i = home(id);
+    while (tableIds[i] != kInvalidMessage) {
+        WORMSIM_ASSERT(tableIds[i] != id, "duplicate message id ", id,
+                       " in pool");
+        i = (i + 1) & mask;
+    }
+    tableIds[i] = id;
+    tableSlots[i] = slot;
+}
+
+void
+MessagePool::eraseIndex(std::size_t i)
+{
+    // Backward-shift deletion (Knuth 6.4, Algorithm R): pull later
+    // probe-chain entries into the hole so lookups never need tombstones.
+    std::size_t mask = tableIds.size() - 1;
+    std::size_t j = i;
+    while (true) {
+        tableIds[i] = kInvalidMessage;
+        std::size_t k;
+        do {
+            j = (j + 1) & mask;
+            if (tableIds[j] == kInvalidMessage)
+                return;
+            k = home(tableIds[j]);
+            // Keep j in place while its home k lies cyclically in (i, j].
+        } while (i <= j ? (i < k && k <= j) : (i < k || k <= j));
+        tableIds[i] = tableIds[j];
+        tableSlots[i] = tableSlots[j];
+        i = j;
+    }
+}
+
+void
+MessagePool::rehash(std::size_t new_size)
+{
+    std::vector<MessageId> oldIds = std::move(tableIds);
+    std::vector<std::uint32_t> oldSlots = std::move(tableSlots);
+    tableIds.assign(new_size, kInvalidMessage);
+    tableSlots.assign(new_size, 0);
+    for (std::size_t i = 0; i < oldIds.size(); ++i) {
+        if (oldIds[i] != kInvalidMessage)
+            insertIndex(oldIds[i], oldSlots[i]);
+    }
+}
+
+Message *
+MessagePool::create(MessageId id, NodeId src, NodeId dst, int length_flits,
+                    Cycle created_at)
+{
+    if (freeSlots.empty())
+        addChunk();
+    std::uint32_t slot = freeSlots.back();
+    freeSlots.pop_back();
+    insertIndex(id, slot);
+    Message *m = new (chunks[slot / kChunkSize][slot % kChunkSize].bytes)
+        Message(id, src, dst, length_flits, created_at);
+    ++live;
+    ++created;
+    if (live > peak)
+        peak = live;
+    return m;
+}
+
+Message *
+MessagePool::find(MessageId id) const
+{
+    std::size_t i = findIndex(id);
+    return i == tableIds.size() ? nullptr : slotPtr(tableSlots[i]);
+}
+
+void
+MessagePool::destroy(Message *msg)
+{
+    WORMSIM_ASSERT(msg != nullptr, "destroying a null message");
+    std::size_t i = findIndex(msg->id());
+    WORMSIM_ASSERT(i != tableIds.size(), "destroying message ", msg->id(),
+                   " not live in the pool");
+    std::uint32_t slot = tableSlots[i];
+    WORMSIM_ASSERT(slotPtr(slot) == msg, "message ", msg->id(),
+                   " pointer does not match its pool slot");
+    msg->~Message();
+    eraseIndex(i);
+    freeSlots.push_back(slot);
+    --live;
+}
+
+} // namespace wormsim

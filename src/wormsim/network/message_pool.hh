@@ -1,0 +1,108 @@
+/**
+ * @file
+ * MessagePool: slab-allocated Message storage with a free-list and an
+ * open-addressing id -> slot index.
+ *
+ * The generator -> deliver loop creates and destroys one Message per
+ * delivered packet; with the previous
+ * `std::unordered_map<MessageId, std::unique_ptr<Message>>` every message
+ * cost two heap allocations (node + object) plus a chained hash lookup on
+ * every erase. The pool replaces that with:
+ *
+ *  - **slabs**: Messages live in fixed-size chunks that are never moved or
+ *    freed while the pool lives, so `Message *` stays stable for the whole
+ *    message lifetime (virtual channels hold raw owner pointers);
+ *  - **free-list**: destroyed slots are reused LIFO, so a steady-state
+ *    simulation stops allocating entirely once it reaches its high-water
+ *    mark of messages in flight;
+ *  - **open addressing**: the id -> slot index is a power-of-two linear
+ *    probe table with backward-shift deletion (no tombstones), rehashed at
+ *    ~0.7 load.
+ *
+ * Lifetime rules: a Message obtained from create() is valid until the
+ * matching destroy(); destroy() runs the destructor and recycles the slot,
+ * so any raw pointer (VC owner fields, needRoute entries, watchdog wait
+ * edges) must be dropped before or at destroy time. The pool is
+ * single-threaded, like the Network that owns it.
+ */
+
+#ifndef WORMSIM_NETWORK_MESSAGE_POOL_HH
+#define WORMSIM_NETWORK_MESSAGE_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wormsim/common/types.hh"
+#include "wormsim/network/message.hh"
+
+namespace wormsim
+{
+
+/** Slab + free-list allocator for Message with an id -> slot index. */
+class MessagePool
+{
+  public:
+    MessagePool();
+    ~MessagePool();
+    MessagePool(const MessagePool &) = delete;
+    MessagePool &operator=(const MessagePool &) = delete;
+
+    /**
+     * Construct a Message in a pooled slot and index it by @p id.
+     * @p id must not already be live in the pool.
+     */
+    Message *create(MessageId id, NodeId src, NodeId dst, int length_flits,
+                    Cycle created_at);
+
+    /** The live message with @p id, or nullptr. */
+    Message *find(MessageId id) const;
+
+    /** Destroy a live message and recycle its slot. */
+    void destroy(Message *msg);
+
+    /** Live messages. */
+    std::size_t size() const { return live; }
+    bool empty() const { return live == 0; }
+
+    // --- allocation statistics (tests, perf reporting) ---
+    /** Slots ever allocated (live + free-listed). */
+    std::size_t capacity() const { return chunks.size() * kChunkSize; }
+    /** Messages created over the pool's lifetime. */
+    std::uint64_t totalCreated() const { return created; }
+    /** High-water mark of concurrently live messages. */
+    std::size_t peakLive() const { return peak; }
+
+  private:
+    static constexpr std::size_t kChunkSize = 256;
+
+    /** Raw storage for one Message (constructed lazily in place). */
+    struct Slot
+    {
+        alignas(Message) unsigned char bytes[sizeof(Message)];
+    };
+
+    Message *slotPtr(std::uint32_t slot) const;
+    void addChunk();
+
+    // id -> slot open-addressing table (size is a power of two).
+    std::size_t home(MessageId id) const;
+    std::size_t findIndex(MessageId id) const; ///< table size when absent
+    void insertIndex(MessageId id, std::uint32_t slot);
+    void eraseIndex(std::size_t i);
+    void rehash(std::size_t new_size);
+
+    std::vector<std::unique_ptr<Slot[]>> chunks;
+    std::vector<std::uint32_t> freeSlots; ///< LIFO free-list
+
+    std::vector<MessageId> tableIds;      ///< kInvalidMessage = empty
+    std::vector<std::uint32_t> tableSlots;
+
+    std::size_t live = 0;
+    std::size_t peak = 0;
+    std::uint64_t created = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_NETWORK_MESSAGE_POOL_HH

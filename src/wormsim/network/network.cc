@@ -3,12 +3,38 @@
 #include <algorithm>
 #include <climits>
 #include <cmath>
+#include <iterator>
 
 #include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
 #include "wormsim/rng/distributions.hh"
 
 namespace wormsim
 {
+
+StepMode
+parseStepMode(const std::string &text)
+{
+    std::string t = toLower(trim(text));
+    if (t == "dense")
+        return StepMode::Dense;
+    if (t == "active")
+        return StepMode::Active;
+    WORMSIM_FATAL("unknown step mode '", text,
+                  "' (expected dense or active)");
+}
+
+std::string
+stepModeName(StepMode mode)
+{
+    switch (mode) {
+      case StepMode::Dense:
+        return "dense";
+      case StepMode::Active:
+        return "active";
+    }
+    return "?";
+}
 
 Network::Network(const Topology &topo, const RoutingAlgorithm &algo,
                  NetworkParams params, Xoshiro256 &rng)
@@ -19,6 +45,7 @@ Network::Network(const Topology &topo, const RoutingAlgorithm &algo,
       admission(topo.numNodes(), algo.numCongestionClasses(topo),
                 params.injectionLimit),
       watchdog(params.watchdogPatience),
+      linkTracked(topo.numChannelSlots(), 0),
       nodeDirty(topo.numNodes(), 0)
 {
     WORMSIM_ASSERT(vcClasses >= 1, "routing algorithm '", algo.name(),
@@ -47,12 +74,11 @@ Network::offerMessage(NodeId src, NodeId dst, int length_flits, Cycle now)
     WORMSIM_ASSERT(src != dst, "message to self (node ", src, ")");
     WORMSIM_ASSERT(length_flits >= 1, "message needs >= 1 flit");
 
-    auto msg = std::make_unique<Message>(nextId++, src, dst, length_flits,
-                                         now);
-    msg->setMinDistance(net.distance(src, dst));
-    routing.initMessage(net, *msg);
-    int cls = routing.congestionClass(net, *msg);
-    msg->setCongestionClass(cls);
+    Message *raw = pool.create(nextId++, src, dst, length_flits, now);
+    raw->setMinDistance(net.distance(src, dst));
+    routing.initMessage(net, *raw);
+    int cls = routing.congestionClass(net, *raw);
+    raw->setCongestionClass(cls);
 
     if (!admission.tryAdmit(src, cls)) {
         ++droppedCount;
@@ -63,19 +89,18 @@ Network::offerMessage(NodeId src, NodeId dst, int length_flits, Cycle now)
             e.type = TraceEventType::Block;
             e.cause = StallCause::InjectionLimit;
             e.cycle = now;
-            e.msg = msg->id();
+            e.msg = raw->id();
             e.node = src;
             sink->onEvent(e);
         }
+        pool.destroy(raw);
         return nullptr;
     }
 
-    Message *raw = msg.get();
     raw->setHeadAt(src);
     raw->setWaitingSince(now);
     raw->setReadyAt(now + cfg.routingDelay);
     raw->setRetryPending(true);
-    messages.emplace(raw->id(), std::move(msg));
     routers[src].enqueueInjection(raw);
     needRoute.push_back(raw);
     if (wantEvent(TraceEventType::Inject)) {
@@ -190,6 +215,7 @@ Network::allocationPhase(Cycle now)
         Link &l = links[ch];
         NodeId next = l.toNode();
         l.allocateVc(pick.vc, m, m->headVc(), m->length());
+        noteLinkActive(ch);
         routing.onHop(net, m->headAt(), next, pick.vc, *m);
         m->setHeadVc(&l.vc(pick.vc));
         // Cycles the header waited past its routing-decision latency are
@@ -307,7 +333,7 @@ Network::finalizeDelivery(Message *msg, Cycle now)
     }
     if (onDelivery)
         onDelivery(*msg, now);
-    messages.erase(msg->id());
+    pool.destroy(msg);
 }
 
 bool
@@ -350,12 +376,8 @@ Network::classifyChannelStalls(const Link &l, const VirtualChannel *chosen)
 }
 
 void
-Network::step(Cycle now)
+Network::arbitrationDense()
 {
-    allocationPhase(now);
-
-    // Arbitration: pick at most one VC per link from start-of-cycle state.
-    stagedTransfers.clear();
     for (ChannelId id : realLinks) {
         Link &l = links[id];
         VirtualChannel *v = l.arbitrate(cfg.switching,
@@ -367,6 +389,57 @@ Network::step(Cycle now)
         if (metrics && l.activeVcs() > 0)
             classifyChannelStalls(l, v);
     }
+}
+
+void
+Network::arbitrationActive()
+{
+    // Merge links activated by this cycle's allocation phase, keeping the
+    // set sorted so the sweep matches the dense scan's ascending order.
+    if (!newlyActive.empty()) {
+        std::sort(newlyActive.begin(), newlyActive.end());
+        scratchMerge.clear();
+        scratchMerge.reserve(activeLinks.size() + newlyActive.size());
+        std::merge(activeLinks.begin(), activeLinks.end(),
+                   newlyActive.begin(), newlyActive.end(),
+                   std::back_inserter(scratchMerge));
+        activeLinks.swap(scratchMerge);
+        newlyActive.clear();
+    }
+
+    // Sweep the active links, lazily evicting those that drained (all
+    // VCs released during an earlier apply phase, or the link failed).
+    std::size_t keep = 0;
+    for (ChannelId id : activeLinks) {
+        Link &l = links[id];
+        if (l.activeVcs() == 0) {
+            linkTracked[id] = 0;
+            continue;
+        }
+        activeLinks[keep++] = id;
+        VirtualChannel *v = l.arbitrate(cfg.switching,
+                                        cfg.flitBufferDepth);
+        if (v)
+            stagedTransfers.push_back(v);
+        // Same start-of-cycle-state rule as the dense scan; the dense
+        // scan's activeVcs() > 0 filter selects exactly this set.
+        if (metrics)
+            classifyChannelStalls(l, v);
+    }
+    activeLinks.resize(keep);
+}
+
+void
+Network::step(Cycle now)
+{
+    allocationPhase(now);
+
+    // Arbitration: pick at most one VC per link from start-of-cycle state.
+    stagedTransfers.clear();
+    if (cfg.stepMode == StepMode::Active)
+        arbitrationActive();
+    else
+        arbitrationDense();
 
     // Apply all staged transfers.
     for (VirtualChannel *v : stagedTransfers)
@@ -378,7 +451,7 @@ Network::step(Cycle now)
     }
 
     if (metrics && metrics->sampleDue(now)) {
-        metrics->takeSample(now, messages.size(), needRoute.size());
+        metrics->takeSample(now, pool.size(), needRoute.size());
     }
 }
 
@@ -443,9 +516,9 @@ Network::runWatchdog(Cycle now)
         if (report.confirmed) {
             WORMSIM_WARN("recovering from ", report.describe());
             for (MessageId id : report.cycle) {
-                auto it = messages.find(id);
-                if (it != messages.end())
-                    killMessage(it->second.get());
+                Message *victim = pool.find(id);
+                if (victim)
+                    killMessage(victim);
             }
         }
         break;
@@ -473,7 +546,7 @@ Network::killMessage(Message *msg)
     }
     removeFromNeedRoute(msg);
     ++killedCount;
-    messages.erase(msg->id());
+    pool.destroy(msg);
 }
 
 void
@@ -575,6 +648,35 @@ Network::channelLoadStats() const
     if (stats.busiest != kInvalidChannel)
         stats.busiest = realLinks[static_cast<std::size_t>(stats.busiest)];
     return stats;
+}
+
+bool
+Network::activeSetConsistent() const
+{
+    if (!std::is_sorted(activeLinks.begin(), activeLinks.end()))
+        return false;
+    // Tracked ids are flagged; each appears in exactly one of the lists.
+    std::vector<std::uint8_t> seen(links.size(), 0);
+    for (ChannelId id : activeLinks) {
+        if (!linkTracked[id] || seen[id])
+            return false;
+        seen[id] = 1;
+    }
+    for (ChannelId id : newlyActive) {
+        if (!linkTracked[id] || seen[id])
+            return false;
+        seen[id] = 1;
+    }
+    for (ChannelId id = 0; id < static_cast<ChannelId>(links.size());
+         ++id) {
+        if (linkTracked[id] != seen[id])
+            return false;
+        // No occupied link may be missing from the set.
+        if (links[id].activeVcs() > 0 &&
+            cfg.stepMode == StepMode::Active && !linkTracked[id])
+            return false;
+    }
+    return true;
 }
 
 void

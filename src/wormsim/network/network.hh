@@ -22,11 +22,12 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "wormsim/network/congestion.hh"
 #include "wormsim/network/link.hh"
+#include "wormsim/network/message_pool.hh"
 #include "wormsim/network/router.hh"
 #include "wormsim/network/watchdog.hh"
 #include "wormsim/obs/metrics.hh"
@@ -53,6 +54,24 @@ enum class DeadlockAction
     RecordOnly,    ///< record it and let the simulation stay wedged
 };
 
+/**
+ * How Network::step() visits links during arbitration. Both modes are
+ * bit-identical (same staged-transfer order, same RNG consumption); Dense
+ * is kept as an escape hatch and as the reference engine for golden
+ * dense-vs-active tests.
+ */
+enum class StepMode
+{
+    Dense,  ///< scan every existing link every cycle (reference engine)
+    Active, ///< scan only the incrementally maintained active-link set
+};
+
+/** Parse "dense" / "active"; fatal on anything else. */
+StepMode parseStepMode(const std::string &text);
+
+/** Short name of a step mode. */
+std::string stepModeName(StepMode mode);
+
 /** Fabric configuration. */
 struct NetworkParams
 {
@@ -71,6 +90,7 @@ struct NetworkParams
     Cycle watchdogPatience = 10000; ///< 0 disables the watchdog
     Cycle watchdogInterval = 1024;
     DeadlockAction deadlockAction = DeadlockAction::Panic;
+    StepMode stepMode = StepMode::Active; ///< arbitration sweep engine
 };
 
 /**
@@ -141,10 +161,10 @@ class Network
     void step(Cycle now);
 
     /** True while any message is in flight or awaiting allocation. */
-    bool busy() const { return !messages.empty(); }
+    bool busy() const { return !pool.empty(); }
 
     /** Messages currently alive (in flight or waiting). */
-    std::size_t messagesInFlight() const { return messages.size(); }
+    std::size_t messagesInFlight() const { return pool.size(); }
 
     /** Set the delivered-message callback. */
     void setDeliveryHook(DeliveryHook hook) { onDelivery = std::move(hook); }
@@ -224,9 +244,29 @@ class Network
     }
     int numVcClasses() const { return vcClasses; }
     std::size_t messagesAwaitingRoute() const { return needRoute.size(); }
+    const MessagePool &messagePool() const { return pool; }
+
+    /**
+     * Links currently tracked by the active-set engine (active-mode
+     * introspection; includes links that freed since the last sweep and
+     * will be evicted at the next one).
+     */
+    std::size_t activeLinkCount() const
+    {
+        return activeLinks.size() + newlyActive.size();
+    }
+
+    /**
+     * Active-set invariants (tests): every tracked id is flagged exactly
+     * once, activeLinks is sorted, and every link holding an occupied VC
+     * is tracked. Dense mode trivially satisfies this (empty set).
+     */
+    bool activeSetConsistent() const;
 
   private:
     void allocationPhase(Cycle now);
+    void arbitrationDense();
+    void arbitrationActive();
     void applyTransfer(VirtualChannel *v, Cycle now);
     void finalizeDelivery(Message *msg, Cycle now);
     void runWatchdog(Cycle now);
@@ -255,6 +295,21 @@ class Network
     /** A VC on an outgoing link of @p node freed: wake its waiters. */
     void markDirty(NodeId node) { nodeDirty[node] = 1; }
 
+    /**
+     * A VC on link @p ch was just allocated: ensure the link is tracked
+     * by the active set. All VC allocations happen in the allocation
+     * phase, so every newly active link is merged (in ascending id
+     * order) before the same cycle's arbitration sweep.
+     */
+    void
+    noteLinkActive(ChannelId ch)
+    {
+        if (cfg.stepMode == StepMode::Active && !linkTracked[ch]) {
+            linkTracked[ch] = 1;
+            newlyActive.push_back(ch);
+        }
+    }
+
     /** Free candidates of @p msg at its head node, filtered to real links. */
     void freeCandidates(const Message &msg,
                         std::vector<RouteCandidate> &out);
@@ -278,9 +333,22 @@ class Network
     CongestionControl admission;
     DeadlockWatchdog watchdog;
 
-    std::unordered_map<MessageId, std::unique_ptr<Message>> messages;
+    MessagePool pool;
     MessageId nextId = 0;
     std::vector<Message *> needRoute;
+    /**
+     * Active-set engine state (StepMode::Active): the sorted set of links
+     * that may have work this cycle. A link enters when one of its VCs is
+     * allocated (noteLinkActive) and leaves lazily — the arbitration
+     * sweep evicts entries whose link no longer holds any occupied VC.
+     * Iteration is in ascending ChannelId order, matching the dense scan
+     * over realLinks, so staged-transfer order (and with it arbitration
+     * state and RNG consumption) is bit-identical to Dense mode.
+     */
+    std::vector<ChannelId> activeLinks;       ///< sorted, merged each sweep
+    std::vector<ChannelId> newlyActive;       ///< activated since last sweep
+    std::vector<std::uint8_t> linkTracked;    ///< in activeLinks/newlyActive
+    std::vector<ChannelId> scratchMerge;      ///< merge buffer
     /**
      * Per-node hint set when a VC on an outgoing link frees: only then do
      * blocked messages waiting at that node retry allocation. This keeps

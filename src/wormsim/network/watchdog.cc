@@ -46,12 +46,14 @@ DeadlockWatchdog::scan(Cycle now,
 {
     DeadlockReport report;
 
-    // Index the stuck messages.
-    std::map<const Message *, std::size_t> stuckIndex;
+    // Index the stuck messages. Keyed by MessageId, not Message pointer:
+    // pointer values differ run to run (and pooled slots are reused), so
+    // a pointer-ordered map would make cycle reports irreproducible.
+    std::map<MessageId, std::size_t> stuckIndex;
     std::vector<const WaitInfo *> stuck;
     for (const WaitInfo &w : waiting) {
         if (now - w.msg->waitingSince() >= patienceCycles) {
-            stuckIndex.emplace(w.msg, stuck.size());
+            stuckIndex.emplace(w.msg->id(), stuck.size());
             stuck.push_back(&w);
         }
     }
@@ -67,7 +69,7 @@ DeadlockWatchdog::scan(Cycle now,
         color[u] = Gray;
         path.push_back(u);
         for (const WaitEdge &edge : stuck[u]->waitingOn) {
-            auto it = stuckIndex.find(edge.holder);
+            auto it = stuckIndex.find(edge.holder->id());
             if (it == stuckIndex.end())
                 continue; // owner not stuck: may still make progress
             std::size_t v = it->second;
@@ -89,7 +91,7 @@ DeadlockWatchdog::scan(Cycle now,
                 // channel/VC each waiter is blocked on and who holds it.
                 for (auto p = start; p != path.end(); ++p) {
                     for (const WaitEdge &e : stuck[*p]->waitingOn) {
-                        auto held = stuckIndex.find(e.holder);
+                        auto held = stuckIndex.find(e.holder->id());
                         if (held == stuckIndex.end())
                             continue;
                         bool inCycle = false;

@@ -23,6 +23,12 @@
  * A registry accumulates over the whole run (it is not cleared by
  * Network::resetCounters(), which the driver calls between sampling
  * periods) — stall attribution covers warmup plus every sample.
+ *
+ * Attribution reads start-of-cycle state during the arbitration sweep,
+ * and a channel stall requires an occupied VC on the channel — so the
+ * active-set engine, which visits exactly the links with occupied VCs,
+ * produces identical totals to the dense reference scan (asserted by
+ * the golden tests in tests/test_active_set.cc).
  */
 
 #ifndef WORMSIM_OBS_METRICS_HH

@@ -29,6 +29,7 @@
 #include "wormsim/network/congestion.hh"
 #include "wormsim/network/link.hh"
 #include "wormsim/network/message.hh"
+#include "wormsim/network/message_pool.hh"
 #include "wormsim/network/network.hh"
 #include "wormsim/network/router.hh"
 #include "wormsim/network/virtual_channel.hh"

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Active-set stepping engine and message pool tests.
+ *
+ * The centerpiece is the golden dense-vs-active comparison: all six paper
+ * algorithms x {uniform, hotspot, local} traffic, run once under the
+ * dense reference scan and once under the active-set engine, asserting
+ * bit-identical delivered-message digests, RNG draw counts, and
+ * stall-cause totals. Plus unit coverage for MessagePool (slab reuse,
+ * pointer stability, id index churn) and the active-set invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "wormsim/wormsim.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+    return h;
+}
+
+/**
+ * Number of next() calls that takes a fresh engine seeded with @p seed
+ * to @p final — the draw count behind an observed end-of-run RNG state.
+ */
+std::uint64_t
+countDraws(std::uint64_t seed, const std::array<std::uint64_t, 4> &final,
+           std::uint64_t cap)
+{
+    Xoshiro256 replay(seed);
+    for (std::uint64_t n = 0; n <= cap; ++n) {
+        if (replay.state() == final)
+            return n;
+        replay.next();
+    }
+    ADD_FAILURE() << "RNG final state not reached within " << cap
+                  << " draws";
+    return cap + 1;
+}
+
+constexpr std::uint64_t kVcSeed = 1234;
+
+struct GoldenResult
+{
+    std::uint64_t digest = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t flits = 0;
+    std::uint64_t vcRngDraws = 0;
+    StallSummary stalls;
+};
+
+/**
+ * Drive one Network directly (no driver machinery) with a deterministic
+ * arrival process. The arrival and destination RNGs are consumed
+ * identically in both step modes by construction; the vc-select RNG is
+ * consumed by the fabric itself, so its draw count is part of what the
+ * golden comparison proves.
+ */
+GoldenResult
+runGolden(const std::string &algorithm, const std::string &traffic,
+          StepMode mode)
+{
+    Torus topo({8, 8});
+    auto algo = makeRoutingAlgorithm(algorithm);
+    Xoshiro256 vcRng(kVcSeed);
+    NetworkParams params;
+    params.stepMode = mode;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, vcRng);
+    MetricsRegistry metrics(topo.numNodes(), topo.numChannelSlots(), 0);
+    net.setMetrics(&metrics);
+
+    GoldenResult g;
+    net.setDeliveryHook([&g](const Message &m, Cycle now) {
+        g.digest = hashCombine(g.digest, m.id());
+        g.digest = hashCombine(g.digest, now);
+        g.digest = hashCombine(g.digest, static_cast<std::uint64_t>(
+                                             m.src()));
+        g.digest = hashCombine(g.digest, static_cast<std::uint64_t>(
+                                             m.dst()));
+        g.digest = hashCombine(
+            g.digest,
+            static_cast<std::uint64_t>(m.route().hopsTaken));
+    });
+
+    TrafficParams tp;
+    auto pattern = makeTrafficPattern(traffic, topo, tp);
+    Xoshiro256 arrivals(99);
+    Xoshiro256 dest(7);
+    Cycle t = 0;
+    for (; t < 2500; ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (bernoulli(arrivals, 0.02))
+                net.offerMessage(n, pattern->pickDest(n, dest), 8, t);
+        }
+        net.step(t);
+    }
+    while (net.busy() && t < 20000) {
+        net.step(t);
+        ++t;
+    }
+    EXPECT_FALSE(net.busy()) << algorithm << "/" << traffic
+                             << " failed to drain";
+
+    NetworkCounters c = net.counters();
+    g.delivered = c.messagesDelivered;
+    g.dropped = c.messagesDropped;
+    g.flits = net.flitsTransferred();
+    g.vcRngDraws = countDraws(kVcSeed, vcRng.state(), 50'000'000);
+    g.stalls = metrics.summary();
+    EXPECT_TRUE(net.activeSetConsistent());
+    // Fully drained: one more (idle, RNG-free) sweep evicts the links
+    // that freed in the final cycle, after which the set must be empty.
+    if (mode == StepMode::Active && !net.busy()) {
+        net.step(t);
+        EXPECT_EQ(net.activeLinkCount(), 0u);
+    }
+    return g;
+}
+
+TEST(ActiveSet, GoldenBitIdenticalToDenseAcrossAlgorithmsAndTraffic)
+{
+    const std::vector<std::string> algorithms = {"ecube", "nlast", "2pn",
+                                                 "phop", "nhop", "nbc"};
+    const std::vector<std::string> traffics = {"uniform", "hotspot",
+                                               "local"};
+    for (const std::string &algorithm : algorithms) {
+        for (const std::string &traffic : traffics) {
+            SCOPED_TRACE(algorithm + "/" + traffic);
+            GoldenResult dense =
+                runGolden(algorithm, traffic, StepMode::Dense);
+            GoldenResult active =
+                runGolden(algorithm, traffic, StepMode::Active);
+            EXPECT_EQ(dense.digest, active.digest);
+            EXPECT_EQ(dense.delivered, active.delivered);
+            EXPECT_EQ(dense.dropped, active.dropped);
+            EXPECT_EQ(dense.flits, active.flits);
+            EXPECT_EQ(dense.vcRngDraws, active.vcRngDraws);
+            EXPECT_GT(dense.delivered, 0u);
+            // Stall-cause totals from the metrics pass (which reads the
+            // same start-of-cycle state in both engines).
+            EXPECT_EQ(dense.stalls.vcBusy, active.stalls.vcBusy);
+            EXPECT_EQ(dense.stalls.physBusy, active.stalls.physBusy);
+            EXPECT_EQ(dense.stalls.bufferFull, active.stalls.bufferFull);
+            EXPECT_EQ(dense.stalls.injectionLimit,
+                      active.stalls.injectionLimit);
+            EXPECT_EQ(dense.stalls.totalBlockCycles,
+                      active.stalls.totalBlockCycles);
+            EXPECT_EQ(dense.stalls.flitsForwarded,
+                      active.stalls.flitsForwarded);
+        }
+    }
+}
+
+TEST(ActiveSet, DriverLevelGoldenDenseVsActive)
+{
+    // Same comparison through the full SimulationRunner stack (events,
+    // sampling, convergence): everything deterministic must match.
+    for (const std::string algorithm : {"ecube", "phop"}) {
+        SCOPED_TRACE(algorithm);
+        SimulationConfig cfg;
+        cfg.radices = {8, 8};
+        cfg.algorithm = algorithm;
+        cfg.offeredLoad = 0.2;
+        cfg.warmupCycles = 500;
+        cfg.samplePeriod = 500;
+        cfg.sampleGap = 100;
+        cfg.maxCycles = 3000;
+        cfg.convergence.maxSamples = 3;
+        cfg.metricsInterval = 100;
+        NullTraceSink sink; // external sink: runner writes no files
+
+
+        cfg.stepMode = StepMode::Dense;
+        SimulationRunner denseRunner(cfg);
+        denseRunner.setTraceSink(&sink);
+        SimulationResult dense = denseRunner.run();
+
+        cfg.stepMode = StepMode::Active;
+        SimulationRunner activeRunner(cfg);
+        activeRunner.setTraceSink(&sink);
+        SimulationResult active = activeRunner.run();
+
+        EXPECT_EQ(dense.stepMode, "dense");
+        EXPECT_EQ(active.stepMode, "active");
+        EXPECT_DOUBLE_EQ(dense.avgLatency, active.avgLatency);
+        EXPECT_DOUBLE_EQ(dense.achievedUtilization,
+                         active.achievedUtilization);
+        EXPECT_EQ(dense.messagesDelivered, active.messagesDelivered);
+        EXPECT_EQ(dense.messagesDropped, active.messagesDropped);
+        EXPECT_EQ(dense.cyclesSimulated, active.cyclesSimulated);
+        EXPECT_EQ(dense.stalls.sum(), active.stalls.sum());
+    }
+}
+
+TEST(ActiveSet, InvariantsHoldWhileStepping)
+{
+    Torus topo({6, 6});
+    auto algo = makeRoutingAlgorithm("ecube");
+    Xoshiro256 rng(5);
+    NetworkParams params;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, rng);
+    UniformTraffic traffic(topo);
+    Xoshiro256 arrivals(3), dest(4);
+
+    for (Cycle t = 0; t < 800; ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (bernoulli(arrivals, 0.03))
+                net.offerMessage(n, traffic.pickDest(n, dest), 6, t);
+        }
+        net.step(t);
+        ASSERT_TRUE(net.activeSetConsistent()) << "cycle " << t;
+        // The set never exceeds the number of existing links.
+        ASSERT_LE(net.activeLinkCount(),
+                  static_cast<std::size_t>(topo.numChannels()));
+    }
+}
+
+TEST(ActiveSet, SingleOccupiedVcFastPathMatchesWalk)
+{
+    // One occupied VC on a 4-VC link: arbitrate must pick it and advance
+    // the round-robin pointer exactly as the full walk would.
+    Link link;
+    link.configure(0, 0, 1, 4, true);
+    Message m(1, 0, 5, 4, 0);
+    link.allocateVc(2, &m, nullptr, m.length());
+    EXPECT_EQ(link.occupiedMask(), std::uint64_t{1} << 2);
+
+    VirtualChannel *v = link.arbitrate(SwitchingMode::Wormhole, 2);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->vcClass(), 2);
+
+    // Fill the receiver buffer: the only occupied VC becomes ineligible
+    // and arbitration returns nothing.
+    v->flits().push();
+    v->flits().push();
+    EXPECT_EQ(link.arbitrate(SwitchingMode::Wormhole, 2), nullptr);
+
+    // A second occupied VC leaves the fast path; round-robin fairness
+    // resumes from after the last grant (VC 3, then wrap to VC 2).
+    Message m2(2, 0, 5, 4, 0);
+    link.allocateVc(3, &m2, nullptr, m2.length());
+    EXPECT_EQ(link.occupiedMask(),
+              (std::uint64_t{1} << 2) | (std::uint64_t{1} << 3));
+    VirtualChannel *w = link.arbitrate(SwitchingMode::Wormhole, 2);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->vcClass(), 3);
+
+    link.releaseVc(2);
+    link.releaseVc(3);
+    EXPECT_EQ(link.occupiedMask(), 0u);
+}
+
+TEST(MessagePool, CreateFindDestroyRoundTrip)
+{
+    MessagePool pool;
+    EXPECT_TRUE(pool.empty());
+    Message *m = pool.create(42, 1, 2, 16, 7);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->id(), 42u);
+    EXPECT_EQ(m->src(), 1);
+    EXPECT_EQ(m->dst(), 2);
+    EXPECT_EQ(m->length(), 16);
+    EXPECT_EQ(m->createdAt(), 7u);
+    EXPECT_EQ(pool.find(42), m);
+    EXPECT_EQ(pool.find(43), nullptr);
+    EXPECT_EQ(pool.size(), 1u);
+    pool.destroy(m);
+    EXPECT_TRUE(pool.empty());
+    EXPECT_EQ(pool.find(42), nullptr);
+    EXPECT_EQ(pool.totalCreated(), 1u);
+}
+
+TEST(MessagePool, SlotsAreReusedAndPointersStayStable)
+{
+    MessagePool pool;
+    Message *a = pool.create(1, 0, 1, 4, 0);
+    Message *b = pool.create(2, 0, 2, 4, 0);
+    pool.destroy(a);
+    // LIFO free-list: the next create reuses a's slot.
+    Message *c = pool.create(3, 0, 3, 4, 0);
+    EXPECT_EQ(static_cast<void *>(c), static_cast<void *>(a));
+    EXPECT_EQ(pool.find(3), c);
+    EXPECT_EQ(pool.find(1), nullptr);
+
+    // Growing past one chunk never moves live messages.
+    std::vector<Message *> ptrs;
+    for (MessageId id = 100; id < 1200; ++id)
+        ptrs.push_back(pool.create(id, 0, 1, 4, 0));
+    EXPECT_EQ(pool.find(2), b);
+    EXPECT_EQ(b->dst(), 2);
+    for (std::size_t i = 0; i < ptrs.size(); ++i) {
+        ASSERT_EQ(pool.find(100 + i), ptrs[i]);
+        ASSERT_EQ(ptrs[i]->id(), 100 + i);
+    }
+    EXPECT_EQ(pool.size(), 1102u);
+    EXPECT_GE(pool.capacity(), pool.size());
+    EXPECT_EQ(pool.peakLive(), 1102u);
+}
+
+TEST(MessagePool, IndexSurvivesHeavyChurn)
+{
+    // Interleave creates and deletes against a reference map so the
+    // open-addressing table's backward-shift deletion is exercised
+    // across rehashes and long probe chains.
+    MessagePool pool;
+    std::unordered_map<MessageId, Message *> reference;
+    Xoshiro256 rng(2024);
+    MessageId next = 0;
+    for (int op = 0; op < 20000; ++op) {
+        bool doCreate = reference.empty() || bernoulli(rng, 0.55);
+        if (doCreate) {
+            MessageId id = next++;
+            reference.emplace(id, pool.create(id, 0, 1, 4, 0));
+        } else {
+            std::size_t skip = static_cast<std::size_t>(
+                uniformInt(rng, reference.size()));
+            auto it = reference.begin();
+            std::advance(it, skip);
+            pool.destroy(it->second);
+            reference.erase(it);
+        }
+    }
+    EXPECT_EQ(pool.size(), reference.size());
+    for (const auto &[id, ptr] : reference) {
+        ASSERT_EQ(pool.find(id), ptr);
+        ASSERT_EQ(ptr->id(), id);
+    }
+    // Every id ever destroyed must be absent.
+    for (MessageId id = 0; id < next; ++id) {
+        if (!reference.count(id))
+            ASSERT_EQ(pool.find(id), nullptr);
+    }
+}
+
+TEST(MessagePool, NetworkReusesSlotsInSteadyState)
+{
+    // After warmup, a steady simulation must stop growing the pool: the
+    // slot high-water mark is reached early and churn reuses slots.
+    Torus topo({6, 6});
+    auto algo = makeRoutingAlgorithm("ecube");
+    Xoshiro256 rng(11);
+    NetworkParams params;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, rng);
+    UniformTraffic traffic(topo);
+    Xoshiro256 arrivals(12), dest(13);
+
+    auto drive = [&](Cycle from, Cycle to) {
+        for (Cycle t = from; t < to; ++t) {
+            for (NodeId n = 0; n < topo.numNodes(); ++n) {
+                if (bernoulli(arrivals, 0.02))
+                    net.offerMessage(n, traffic.pickDest(n, dest), 6, t);
+            }
+            net.step(t);
+        }
+    };
+    drive(0, 1000);
+    std::size_t capAfterWarmup = net.messagePool().capacity();
+    drive(1000, 4000);
+    EXPECT_EQ(net.messagePool().capacity(), capAfterWarmup);
+    EXPECT_GT(net.messagePool().totalCreated(),
+              net.messagePool().peakLive());
+}
+
+} // namespace
+} // namespace wormsim
