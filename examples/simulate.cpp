@@ -66,6 +66,25 @@ main(int argc, char **argv)
                   (r.stopReason == StopReason::Converged ? "yes" : "no")});
     t.addRow({"cycles simulated", std::to_string(r.cyclesSimulated)});
     t.addRow({"deadlock detected", r.deadlockDetected ? "YES" : "no"});
+    if (r.resilience.collected) {
+        const ResilienceStats &f = r.resilience;
+        t.addRow({"link failures / repairs",
+                  std::to_string(f.linkFailures) + " / " +
+                      std::to_string(f.linkRepairs)});
+        t.addRow({"delivered fraction",
+                  formatFixed(f.deliveredFraction, 4)});
+        t.addRow({"aborted / retried / abandoned",
+                  std::to_string(f.aborted) + " / " +
+                      std::to_string(f.retriesInjected) + " / " +
+                      std::to_string(f.abandoned)});
+        t.addRow({"degraded cycles", std::to_string(f.degradedCycles)});
+        if (f.degradedDeliveries > 0) {
+            t.addRow({"degraded p50 / p95 / p99",
+                      formatFixed(f.degradedP50, 1) + " / " +
+                          formatFixed(f.degradedP95, 1) + " / " +
+                          formatFixed(f.degradedP99, 1)});
+        }
+    }
     std::cout << t.render();
 
     if (r.stalls.collected) {
@@ -83,6 +102,25 @@ main(int argc, char **argv)
                       << derivedOutputPath(cfg.traceFile,
                                            ".timeseries.csv")
                       << "\n";
+    }
+
+    if (r.resilience.collected && !r.resilience.faults.empty()) {
+        std::cout << "\nfault events (aborts attributed per outage):\n";
+        std::size_t shown = 0;
+        for (const FaultAttribution &f : r.resilience.faults) {
+            if (++shown > 20) {
+                std::cout << "  ... " << (r.resilience.faults.size() - 20)
+                          << " more\n";
+                break;
+            }
+            std::cout << "  channel " << f.channel << " down @"
+                      << f.downCycle;
+            if (f.repaired)
+                std::cout << " up @" << f.upCycle;
+            else
+                std::cout << " (never repaired)";
+            std::cout << ", aborted " << f.aborts << "\n";
+        }
     }
 
     if (show_vc_shares) {

@@ -27,6 +27,28 @@ SimulationConfig::makeTopology() const
     return std::make_unique<Torus>(radices);
 }
 
+FaultSpec
+SimulationConfig::faultSpec() const
+{
+    FaultSpec s;
+    s.rate = faultRate;
+    s.mttr = faultMttr;
+    s.kind = faultKind;
+    if (!faultScript.empty())
+        s.script = loadFaultScript(faultScript);
+    return s;
+}
+
+RetryPolicy
+SimulationConfig::retryPolicy() const
+{
+    RetryPolicy p;
+    p.maxRetries = faultRetries;
+    p.backoffBase = faultBackoff;
+    p.maxBackoff = std::max<Cycle>(p.maxBackoff, faultBackoff);
+    return p;
+}
+
 NetworkParams
 SimulationConfig::networkParams() const
 {
@@ -61,8 +83,11 @@ SimulationConfig::registerOptions(OptionParser &parser)
     optHotspotNode = trafficParams.hotspotNode;
     optLocalRadius = trafficParams.localRadius;
     optMetricsInterval = static_cast<long long>(metricsInterval);
+    optFaultRetries = faultRetries;
+    optFaultBackoff = static_cast<long long>(faultBackoff);
     optSwitching = switchingModeName(switching);
     optStepMode = stepModeName(stepMode);
+    optFaultKind = faultKindName(faultKind);
 
     parser.addString("algorithm", &algorithm,
                      "routing algorithm (ecube, nlast, 2pn, phop, nhop, "
@@ -105,6 +130,21 @@ SimulationConfig::registerOptions(OptionParser &parser)
     parser.addInt("metrics-interval", &optMetricsInterval,
                   "metrics time-series sampling interval in cycles "
                   "(0 disables; also enables stall attribution)");
+    parser.addDouble("fault-rate", &faultRate,
+                     "per-link per-cycle failure probability (0 = no "
+                     "random faults)");
+    parser.addDouble("fault-mttr", &faultMttr,
+                     "mean outage length in cycles for transient faults");
+    parser.addString("fault-kind", &optFaultKind,
+                     "random-fault behavior: transient or permanent");
+    parser.addString("fault-script", &faultScript,
+                     "scripted fault event file (down/up <cycle> <node> "
+                     "<dir> per line)");
+    parser.addInt("fault-retries", &optFaultRetries,
+                  "re-injections allowed per fault-aborted message "
+                  "(0 disables retry)");
+    parser.addInt("fault-backoff", &optFaultBackoff,
+                  "base retry backoff in cycles (doubles per attempt)");
 }
 
 void
@@ -127,8 +167,15 @@ SimulationConfig::finishOptions()
         WORMSIM_FATAL("metrics interval ", optMetricsInterval,
                       " must be >= 0");
     metricsInterval = static_cast<Cycle>(optMetricsInterval);
+    if (optFaultRetries < 0)
+        WORMSIM_FATAL("fault retries ", optFaultRetries, " must be >= 0");
+    if (optFaultBackoff < 1)
+        WORMSIM_FATAL("fault backoff ", optFaultBackoff, " must be >= 1");
+    faultRetries = static_cast<int>(optFaultRetries);
+    faultBackoff = static_cast<Cycle>(optFaultBackoff);
     switching = parseSwitchingMode(optSwitching);
     stepMode = parseStepMode(optStepMode);
+    faultKind = parseFaultKind(optFaultKind);
 }
 
 void
@@ -154,6 +201,15 @@ SimulationConfig::validate() const
         WORMSIM_FATAL("max-cycles too small for warmup plus one sample");
     if ((trace || metricsInterval > 0) && traceFile.empty())
         WORMSIM_FATAL("observability output needs a non-empty trace-file");
+    if (faultRate < 0.0 || faultRate > 1.0)
+        WORMSIM_FATAL("fault rate ", faultRate, " out of range [0,1]");
+    if (faultRate > 0.0 && faultKind == FaultKind::Transient &&
+        faultMttr < 1.0)
+        WORMSIM_FATAL("fault mttr ", faultMttr, " must be >= 1 cycle");
+    if (faultRetries < 0)
+        WORMSIM_FATAL("fault retries ", faultRetries, " must be >= 0");
+    if (faultBackoff < 1)
+        WORMSIM_FATAL("fault backoff must be >= 1 cycle");
 }
 
 } // namespace wormsim

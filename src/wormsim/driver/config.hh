@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "wormsim/common/options.hh"
+#include "wormsim/fault/fault_spec.hh"
+#include "wormsim/fault/retry_policy.hh"
 #include "wormsim/network/network.hh"
 #include "wormsim/stats/convergence.hh"
 #include "wormsim/topology/topology.hh"
@@ -83,6 +85,37 @@ struct SimulationConfig
      */
     Cycle metricsInterval = 0;
 
+    // --- runtime faults (see fault/ and docs/faults.md) ---
+    /**
+     * Per-link per-cycle failure probability (--fault-rate); 0 disables
+     * the random fault process. With faults off the run is bit-identical
+     * to a build without the fault subsystem (golden-tested).
+     */
+    double faultRate = 0.0;
+    /** Mean outage in cycles for transient faults (--fault-mttr). */
+    double faultMttr = 1000.0;
+    /** What a random fault does to its link (--fault-kind). */
+    FaultKind faultKind = FaultKind::Transient;
+    /** Scripted fault event file (--fault-script); empty = none. */
+    std::string faultScript;
+    /** Re-injections allowed per aborted payload (--fault-retries). */
+    int faultRetries = 3;
+    /** Base retry backoff in cycles (--fault-backoff). */
+    Cycle faultBackoff = 32;
+
+    /** True when this point injects runtime faults. */
+    bool
+    faultsEnabled() const
+    {
+        return faultRate > 0.0 || !faultScript.empty();
+    }
+
+    /** The fault workload this config describes (loads faultScript). */
+    FaultSpec faultSpec() const;
+
+    /** Retry policy for fault-aborted payloads. */
+    RetryPolicy retryPolicy() const;
+
     /**
      * Per-node, per-cycle injection probability implied by offeredLoad:
      * lambda = rho * 2n / (m_l * dbar), Eq. (3)/(4) solved for lambda.
@@ -124,8 +157,11 @@ struct SimulationConfig
     long long optHotspotNode = -1;
     long long optLocalRadius = 3;
     long long optMetricsInterval = 0;
+    long long optFaultRetries = 3;
+    long long optFaultBackoff = 32;
     std::string optSwitching = "wh";
     std::string optStepMode = "active";
+    std::string optFaultKind = "transient";
 
   public:
     /** Copy parsed option fields into the real config fields. */

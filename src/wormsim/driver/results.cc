@@ -20,6 +20,11 @@ SimulationResult::summary() const
         oss << " rate=" << formatFixed(cyclesPerSecond / 1e6, 2) << "Mc/s";
     if (deadlockDetected)
         oss << " DEADLOCK(killed=" << messagesKilled << ")";
+    if (resilience.collected) {
+        oss << " faults=" << resilience.linkFailures << " delivered="
+            << formatFixed(resilience.deliveredFraction * 100.0, 1)
+            << "% aborted=" << resilience.aborted;
+    }
     return oss.str();
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "wormsim/common/types.hh"
+#include "wormsim/fault/resilience_stats.hh"
 #include "wormsim/obs/metrics.hh"
 #include "wormsim/stats/convergence.hh"
 
@@ -85,6 +86,12 @@ struct SimulationResult
      * run had tracing or metrics enabled. Deterministic for a given seed.
      */
     StallSummary stalls;
+
+    /**
+     * Whole-run fault/recovery accounting (fault/). collected is false
+     * unless the run injected faults. Deterministic for a given seed.
+     */
+    ResilienceStats resilience;
 
     /** One-line summary for progress logs. */
     std::string summary() const;

@@ -39,7 +39,9 @@ SimulationRunner::onArrival(NodeId node)
     if (collecting)
         ++offeredInSample;
     NodeId dst = traffic->pickDest(node, streams.stream("destination"));
-    net->offerMessage(node, dst, cfg.messageLength, sim.now());
+    Message *m = net->offerMessage(node, dst, cfg.messageLength, sim.now());
+    if (injector)
+        injector->noteGenerated(m != nullptr);
     armTick();
 }
 
@@ -168,6 +170,8 @@ SimulationRunner::run()
     net = std::make_unique<Network>(*topo, *algo, cfg.networkParams(),
                                     streams.stream("vc-select"));
     net->setDeliveryHook([this](const Message &m, Cycle now) {
+        if (injector)
+            injector->noteDelivery(m, now); // whole-run, never reset
         if (!collecting)
             return;
         auto latency = static_cast<double>(now - m.createdAt() + 1);
@@ -178,6 +182,25 @@ SimulationRunner::run()
         strata->add(static_cast<std::size_t>(stratum), latency);
     });
     setupObservability();
+
+    if (cfg.faultsEnabled()) {
+        // Build the whole fault timeline up front (its own derived seed;
+        // never touches the fabric's streams) and arm it before traffic,
+        // so a fault always applies ahead of same-cycle arrivals.
+        injector = std::make_unique<FaultInjector>(
+            FaultSchedule::build(cfg.faultSpec(), *topo, cfg.seed,
+                                 cfg.maxCycles),
+            cfg.retryPolicy(),
+            40.0 * (cfg.messageLength + topo->diameter()));
+        injector->arm(sim, *net,
+                      [this](NodeId src, NodeId dst, int length_flits,
+                             int attempt, Cycle now) {
+                          Message *m = net->offerRetry(
+                              src, dst, length_flits, attempt, now);
+                          armTick();
+                          return m != nullptr;
+                      });
+    }
 
     for (NodeId node = 0; node < topo->numNodes(); ++node)
         scheduleArrival(node);
@@ -267,6 +290,8 @@ SimulationRunner::run()
     finishObservability();
     if (obsMetrics)
         result.stalls = obsMetrics->summary();
+    if (injector)
+        result.resilience = injector->finish(sim.now());
     result.wallSeconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - wall_start)
                              .count();

@@ -13,6 +13,7 @@
 
 #include "wormsim/driver/config.hh"
 #include "wormsim/driver/results.hh"
+#include "wormsim/fault/fault_injector.hh"
 #include "wormsim/network/network.hh"
 #include "wormsim/obs/chrome_trace.hh"
 #include "wormsim/rng/stream_set.hh"
@@ -83,6 +84,7 @@ class SimulationRunner
     StreamSet streams;
     Simulator sim;
     std::unique_ptr<Network> net;
+    std::unique_ptr<FaultInjector> injector; ///< null when faults are off
 
     // observability (see obs/): owned sinks for --trace, or an external
     // sink supplied by tests via setTraceSink()

@@ -157,6 +157,28 @@ SweepRunner::report(const SweepResult &sweep, const std::string &title,
               });
     }
 
+    bool anyFaults = false;
+    for (const auto &row : sweep.results) {
+        for (const SimulationResult &r : row)
+            anyFaults = anyFaults || r.resilience.collected;
+    }
+    if (anyFaults) {
+        panel("delivered fraction under faults",
+              [](const SimulationResult &r) -> std::string {
+                  if (!r.resilience.collected)
+                      return "-";
+                  return formatFixed(r.resilience.deliveredFraction, 3);
+              });
+        panel("messages aborted / retried / abandoned",
+              [](const SimulationResult &r) -> std::string {
+                  if (!r.resilience.collected)
+                      return "-";
+                  return std::to_string(r.resilience.aborted) + "/" +
+                         std::to_string(r.resilience.retriesInjected) +
+                         "/" + std::to_string(r.resilience.abandoned);
+              });
+    }
+
     double point_seconds = 0.0;
     Cycle total_cycles = 0;
     for (const auto &row : sweep.results) {
@@ -188,7 +210,9 @@ SweepRunner::report(const SweepResult &sweep, const std::string &title,
                   "drop_fraction", "samples", "converged", "deadlock",
                   "cycles", "stall_vc_busy", "stall_phys_busy",
                   "stall_buffer_full", "injection_refusals",
-                  "wall_seconds", "mcycles_per_second"});
+                  "link_failures", "delivered_fraction", "aborted",
+                  "retried", "abandoned", "wall_seconds",
+                  "mcycles_per_second"});
     for (std::size_t a = 0; a < sweep.algorithms.size(); ++a) {
         for (std::size_t l = 0; l < sweep.loads.size(); ++l) {
             const SimulationResult &r = sweep.results[a][l];
@@ -217,6 +241,23 @@ SweepRunner::report(const SweepResult &sweep, const std::string &title,
                               : "-",
                           r.stalls.collected
                               ? std::to_string(r.stalls.injectionLimit)
+                              : "-",
+                          r.resilience.collected
+                              ? std::to_string(r.resilience.linkFailures)
+                              : "-",
+                          r.resilience.collected
+                              ? formatFixed(
+                                    r.resilience.deliveredFraction, 4)
+                              : "-",
+                          r.resilience.collected
+                              ? std::to_string(r.resilience.aborted)
+                              : "-",
+                          r.resilience.collected
+                              ? std::to_string(
+                                    r.resilience.retriesInjected)
+                              : "-",
+                          r.resilience.collected
+                              ? std::to_string(r.resilience.abandoned)
                               : "-",
                           formatFixed(r.wallSeconds, 4),
                           formatFixed(r.cyclesPerSecond / 1e6, 3)});

@@ -1,0 +1,157 @@
+#include "wormsim/fault/fault_injector.hh"
+
+#include <algorithm>
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+FaultInjector::FaultInjector(FaultSchedule schedule, RetryPolicy policy,
+                             double degraded_latency_hi)
+    : sched(std::move(schedule)), policy(policy),
+      degradedHist(0.0, std::max(degraded_latency_hi, 1.0), 100)
+{
+    // Attribution slots for every fault in the timeline; entries whose
+    // down event never fires (beyond the run) stay at kInvalidChannel
+    // and are dropped in finish().
+    stats.faults.resize(static_cast<std::size_t>(sched.numFaults()));
+    ChannelId maxCh = -1;
+    for (const FaultEvent &e : sched.events())
+        maxCh = std::max(maxCh, e.channel);
+    openFault.assign(static_cast<std::size_t>(maxCh + 1), -1);
+}
+
+void
+FaultInjector::arm(Simulator &sim_, Network &net_, InjectFn inject_)
+{
+    WORMSIM_ASSERT(sim == nullptr, "FaultInjector armed twice");
+    sim = &sim_;
+    net = &net_;
+    inject = std::move(inject_);
+    net->enableFaultRecovery();
+    net->setAbortHook([this](const Message &m, Cycle now, AbortCause cause,
+                             ChannelId ch) { onAbort(m, now, cause, ch); });
+    // One queue event per timeline entry. Same-cycle entries fire in
+    // timeline order (the queue breaks priority ties by insertion), and
+    // PreCycle puts each fault ahead of that cycle's network tick.
+    for (const FaultEvent &e : sched.events()) {
+        sim->scheduleAt(e.cycle, EventPriority::PreCycle,
+                        [this, e] { applyEvent(e); });
+    }
+}
+
+void
+FaultInjector::applyEvent(const FaultEvent &e)
+{
+    Cycle now = sim->now();
+    auto &fault = stats.faults[static_cast<std::size_t>(e.faultIndex)];
+    if (e.down) {
+        // Open the attribution window first: the aborts takeLinkDown()
+        // raises must land on this fault.
+        openFault[static_cast<std::size_t>(e.channel)] = e.faultIndex;
+        if (linksDown++ == 0)
+            degradeStart = now;
+        fault.channel = e.channel;
+        fault.downCycle = now;
+        net->takeLinkDown(e.channel, now);
+        ++stats.linkFailures;
+    } else {
+        net->takeLinkUp(e.channel, now);
+        ++stats.linkRepairs;
+        fault.repaired = true;
+        fault.upCycle = now;
+        openFault[static_cast<std::size_t>(e.channel)] = -1;
+        if (--linksDown == 0)
+            stats.degradedCycles += now - degradeStart;
+    }
+}
+
+void
+FaultInjector::onAbort(const Message &m, Cycle now, AbortCause cause,
+                       ChannelId channel)
+{
+    (void)cause;
+    (void)now;
+    ++stats.aborted;
+    int fi = -1;
+    if (channel != kInvalidChannel &&
+        static_cast<std::size_t>(channel) < openFault.size())
+        fi = openFault[static_cast<std::size_t>(channel)];
+    if (fi >= 0)
+        ++stats.faults[static_cast<std::size_t>(fi)].aborts;
+    else
+        ++stats.unattributedAborts;
+    scheduleRetry(m.src(), m.dst(), m.length(), m.retryAttempt() + 1);
+}
+
+void
+FaultInjector::scheduleRetry(NodeId src, NodeId dst, int length_flits,
+                             int next_attempt)
+{
+    if (next_attempt > policy.maxRetries) {
+        ++stats.abandoned;
+        return;
+    }
+    ++stats.retriesScheduled;
+    sim->scheduleIn(policy.delayFor(next_attempt), EventPriority::PreCycle,
+                    [this, src, dst, length_flits, next_attempt] {
+                        if (inject(src, dst, length_flits, next_attempt,
+                                   sim->now())) {
+                            ++stats.retriesInjected;
+                        } else {
+                            // Admission refused this re-offer: back off
+                            // again, burning one attempt.
+                            ++stats.retriesRefused;
+                            scheduleRetry(src, dst, length_flits,
+                                          next_attempt + 1);
+                        }
+                    });
+}
+
+void
+FaultInjector::noteGenerated(bool accepted)
+{
+    ++stats.generated;
+    if (!accepted)
+        ++stats.dropped;
+}
+
+void
+FaultInjector::noteDelivery(const Message &m, Cycle now)
+{
+    ++stats.delivered;
+    if (linksDown > 0) {
+        ++stats.degradedDeliveries;
+        degradedHist.add(static_cast<double>(now - m.createdAt() + 1));
+    }
+}
+
+ResilienceStats
+FaultInjector::finish(Cycle end)
+{
+    if (linksDown > 0) {
+        stats.degradedCycles += end - degradeStart;
+        degradeStart = end; // idempotent under repeated finish()
+    }
+    stats.collected = true;
+    stats.deliveredFraction =
+        stats.generated > 0
+            ? static_cast<double>(stats.delivered) /
+                  static_cast<double>(stats.generated)
+            : 0.0;
+    if (degradedHist.total() > 0) {
+        stats.degradedP50 = degradedHist.quantile(0.50);
+        stats.degradedP95 = degradedHist.quantile(0.95);
+        stats.degradedP99 = degradedHist.quantile(0.99);
+    }
+    ResilienceStats out = stats;
+    out.faults.erase(std::remove_if(out.faults.begin(), out.faults.end(),
+                                    [](const FaultAttribution &f) {
+                                        return f.channel == kInvalidChannel;
+                                    }),
+                     out.faults.end());
+    return out;
+}
+
+} // namespace wormsim

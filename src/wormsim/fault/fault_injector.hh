@@ -1,0 +1,105 @@
+/**
+ * @file
+ * FaultInjector: drives a FaultSchedule through a live simulation.
+ *
+ * The injector schedules every timeline event as a first-class PreCycle
+ * event in the simulator's queue (so a fault lands before the same
+ * cycle's network tick), applies it via Network::takeLinkDown/Up, and
+ * owns the recovery path: the Network's abort hook feeds a bounded
+ * exponential-backoff RetryPolicy that re-offers aborted payloads at
+ * their source, and every fate is accounted in ResilienceStats.
+ *
+ * Determinism: the schedule is fixed before the run starts and the
+ * injector draws no random numbers, so a faulted run is bit-identical
+ * across --step-mode and --threads for a given (seed, spec).
+ */
+
+#ifndef WORMSIM_FAULT_FAULT_INJECTOR_HH
+#define WORMSIM_FAULT_FAULT_INJECTOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "wormsim/fault/fault_schedule.hh"
+#include "wormsim/fault/resilience_stats.hh"
+#include "wormsim/fault/retry_policy.hh"
+#include "wormsim/network/network.hh"
+#include "wormsim/sim/simulator.hh"
+#include "wormsim/stats/histogram.hh"
+
+namespace wormsim
+{
+
+/** Applies a fault timeline to a network and manages retry/recovery. */
+class FaultInjector
+{
+  public:
+    /**
+     * Re-offer a payload at @p src (the driver wraps Network::offerRetry
+     * plus its own tick arming). Returns false when admission refuses.
+     */
+    using InjectFn = std::function<bool(NodeId src, NodeId dst,
+                                        int length_flits, int attempt,
+                                        Cycle now)>;
+
+    /**
+     * @param schedule the expanded fault timeline (copied)
+     * @param policy retry behavior for aborted payloads
+     * @param degraded_latency_hi histogram upper bound for
+     *        degraded-interval delivery latencies (match the driver's
+     *        latency histogram range)
+     */
+    FaultInjector(FaultSchedule schedule, RetryPolicy policy,
+                  double degraded_latency_hi);
+
+    /**
+     * Install on @p net and schedule the whole timeline on @p sim: arms
+     * fault recovery, sets the abort hook, and enqueues one PreCycle
+     * event per timeline entry. Call once, before traffic is scheduled
+     * (so same-cycle faults apply ahead of arrivals); @p sim and @p net
+     * must outlive the injector.
+     */
+    void arm(Simulator &sim, Network &net, InjectFn inject);
+
+    /** Count one arrival-process generation attempt. */
+    void noteGenerated(bool accepted);
+
+    /** Record a delivery (feeds degraded-interval accounting). */
+    void noteDelivery(const Message &m, Cycle now);
+
+    /** True while at least one link is down. */
+    bool degraded() const { return linksDown > 0; }
+
+    /**
+     * Close accounting at @p end (the final simulated cycle) and return
+     * the whole-run stats. Faults scheduled beyond the end of the run
+     * are dropped from the attribution list.
+     */
+    ResilienceStats finish(Cycle end);
+
+    /** The timeline being injected. */
+    const FaultSchedule &schedule() const { return sched; }
+
+  private:
+    void applyEvent(const FaultEvent &e);
+    void onAbort(const Message &m, Cycle now, AbortCause cause,
+                 ChannelId channel);
+    void scheduleRetry(NodeId src, NodeId dst, int length_flits,
+                       int next_attempt);
+
+    FaultSchedule sched;
+    RetryPolicy policy;
+    Simulator *sim = nullptr;
+    Network *net = nullptr;
+    InjectFn inject;
+
+    ResilienceStats stats;
+    Histogram degradedHist;
+    std::vector<int> openFault; ///< per-channel open fault index, -1 = up
+    int linksDown = 0;
+    Cycle degradeStart = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_FAULT_FAULT_INJECTOR_HH

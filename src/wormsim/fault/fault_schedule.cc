@@ -1,0 +1,122 @@
+#include "wormsim/fault/fault_schedule.hh"
+
+#include <algorithm>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/rng/distributions.hh"
+#include "wormsim/rng/splitmix.hh"
+#include "wormsim/rng/xoshiro.hh"
+
+namespace wormsim
+{
+
+std::uint64_t
+FaultSchedule::faultSeed(std::uint64_t master_seed)
+{
+    // StreamSet::seedFor("fault") at epoch 0: FNV-1a of the purpose name
+    // mixed into the master seed. Reproduced here (rather than routed
+    // through a StreamSet) so a schedule can be built without a driver.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : std::string("fault")) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return deriveSeed(master_seed ^ h, 0);
+}
+
+FaultSchedule
+FaultSchedule::build(const FaultSpec &spec, const Topology &topo,
+                     std::uint64_t master_seed, Cycle horizon)
+{
+    spec.validate();
+    FaultSchedule sched;
+
+    // Scripted events: resolve (node, dir) to channels, validating that
+    // each names a link that exists.
+    for (const ScriptedFaultEvent &e : spec.script) {
+        if (e.node < 0 || e.node >= topo.numNodes()) {
+            WORMSIM_FATAL("fault script names node ", e.node,
+                          " outside 0..", topo.numNodes() - 1);
+        }
+        if (e.dir.dim < 0 || e.dir.dim >= topo.numDims()) {
+            WORMSIM_FATAL("fault script names dimension ", e.dir.dim,
+                          " outside 0..", topo.numDims() - 1);
+        }
+        if (!topo.hasLink(e.node, e.dir)) {
+            WORMSIM_FATAL("fault script names non-existent link: node ",
+                          e.node, " direction ",
+                          (e.dir.sign > 0 ? "+" : "-"), e.dir.dim);
+        }
+        sched.timeline.push_back({e.cycle, topo.channelId(e.node, e.dir),
+                                  e.down, -1});
+    }
+
+    // Random process: one independent RNG per channel, seeded from the
+    // channel id, so each link's fail/repair history is reproducible in
+    // isolation and the timeline is independent of iteration order.
+    if (spec.rate > 0.0) {
+        std::uint64_t base = faultSeed(master_seed);
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            for (int p = 0; p < topo.numPorts(); ++p) {
+                Direction d = Direction::fromIndex(p);
+                if (!topo.hasLink(n, d))
+                    continue;
+                ChannelId ch = topo.channelId(n, d);
+                Xoshiro256 rng(deriveSeed(
+                    base, static_cast<std::uint64_t>(ch)));
+                Cycle t = 0;
+                while (true) {
+                    t += geometric(rng, spec.rate); // time to failure >= 1
+                    if (t > horizon)
+                        break;
+                    sched.timeline.push_back({t, ch, true, -1});
+                    if (spec.kind == FaultKind::Permanent)
+                        break;
+                    t += geometric(rng, 1.0 / spec.mttr); // outage >= 1
+                    if (t > horizon)
+                        break; // down for the rest of the run
+                    sched.timeline.push_back({t, ch, false, -1});
+                }
+            }
+        }
+    }
+
+    std::sort(sched.timeline.begin(), sched.timeline.end(),
+              [](const FaultEvent &a, const FaultEvent &b) {
+                  if (a.cycle != b.cycle)
+                      return a.cycle < b.cycle;
+                  if (a.channel != b.channel)
+                      return a.channel < b.channel;
+                  return a.down && !b.down; // deterministic; dup = error
+              });
+
+    // Validate per-channel alternation (starts up, down/up/down/...) and
+    // assign fault indices. A conflict can only come from the script (or
+    // script x random collision) — the random process alternates by
+    // construction on distinct cycles.
+    std::vector<int> openFault(
+        static_cast<std::size_t>(topo.numChannelSlots()), -1);
+    for (FaultEvent &e : sched.timeline) {
+        int &open = openFault[static_cast<std::size_t>(e.channel)];
+        if (e.down) {
+            if (open >= 0) {
+                WORMSIM_FATAL("fault schedule conflict: channel ",
+                              e.channel, " taken down twice (cycle ",
+                              e.cycle, ") without an intervening repair");
+            }
+            e.faultIndex = sched.faults++;
+            open = e.faultIndex;
+        } else {
+            if (open < 0) {
+                WORMSIM_FATAL("fault schedule conflict: channel ",
+                              e.channel, " repaired at cycle ", e.cycle,
+                              " while already up");
+            }
+            e.faultIndex = open;
+            open = -1;
+        }
+    }
+    return sched;
+}
+
+} // namespace wormsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * FaultSchedule: a FaultSpec expanded into a concrete, fully
+ * deterministic timeline of link_down/link_up events.
+ *
+ * Determinism contract: the whole timeline is generated up front from
+ * faultSeed(masterSeed) — the same (master, "fault") derivation the
+ * driver's StreamSet uses for its named streams — with one independent
+ * RNG per channel seeded by deriveSeed(faultSeed, channelId). The
+ * schedule therefore depends only on (seed, spec, topology, horizon):
+ * it is bit-identical across --step-mode dense/active and --threads,
+ * and never perturbs the fabric's own RNG streams (a --fault-rate 0 run
+ * is bit-identical to a build without the fault subsystem; golden-tested
+ * in tests/test_fault.cc).
+ */
+
+#ifndef WORMSIM_FAULT_FAULT_SCHEDULE_HH
+#define WORMSIM_FAULT_FAULT_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wormsim/fault/fault_spec.hh"
+#include "wormsim/topology/topology.hh"
+
+namespace wormsim
+{
+
+/** One concrete schedule entry. */
+struct FaultEvent
+{
+    Cycle cycle = 0;
+    ChannelId channel = kInvalidChannel;
+    bool down = true; ///< false = repair
+    /**
+     * Index of the fault this event belongs to: down events are numbered
+     * 0.. in timeline order; each up event carries its down's index
+     * (per-fault attribution in ResilienceStats).
+     */
+    int faultIndex = -1;
+};
+
+/** The expanded, sorted, validated fault timeline. */
+class FaultSchedule
+{
+  public:
+    /**
+     * Expand @p spec against @p topo. Random failures are generated per
+     * existing channel up to @p horizon cycles (scripted events beyond
+     * the horizon are kept — they simply never fire within the run).
+     * Fatal when the script names a non-existent link or produces a
+     * conflicting per-channel sequence (down while down / up while up).
+     */
+    static FaultSchedule build(const FaultSpec &spec, const Topology &topo,
+                               std::uint64_t master_seed, Cycle horizon);
+
+    /** Events sorted by (cycle, channel); down events before repairs. */
+    const std::vector<FaultEvent> &events() const { return timeline; }
+
+    /** Number of distinct faults (down events). */
+    int numFaults() const { return faults; }
+
+    /**
+     * The fault-process seed derived from @p master_seed: the StreamSet
+     * derivation for purpose "fault" at epoch 0. Exposed so tests can
+     * pin the exact derivation.
+     */
+    static std::uint64_t faultSeed(std::uint64_t master_seed);
+
+  private:
+    std::vector<FaultEvent> timeline;
+    int faults = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_FAULT_FAULT_SCHEDULE_HH

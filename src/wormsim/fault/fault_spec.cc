@@ -1,0 +1,130 @@
+#include "wormsim/fault/fault_spec.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
+
+namespace wormsim
+{
+
+FaultKind
+parseFaultKind(const std::string &text)
+{
+    std::string t = toLower(trim(text));
+    if (t == "transient")
+        return FaultKind::Transient;
+    if (t == "permanent")
+        return FaultKind::Permanent;
+    WORMSIM_FATAL("unknown fault kind '", text,
+                  "' (expected transient or permanent)");
+}
+
+std::string
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Transient:
+        return "transient";
+      case FaultKind::Permanent:
+        return "permanent";
+    }
+    return "?";
+}
+
+void
+FaultSpec::validate() const
+{
+    if (rate < 0.0 || rate > 1.0)
+        WORMSIM_FATAL("fault rate ", rate, " out of range [0,1]");
+    if (rate > 0.0 && kind == FaultKind::Transient && mttr < 1.0)
+        WORMSIM_FATAL("fault mttr ", mttr, " must be >= 1 cycle");
+}
+
+namespace
+{
+
+/** Parse a "+0" / "-2" direction token; fatal with context otherwise. */
+Direction
+parseDirToken(const std::string &token, int line_no)
+{
+    bool ok = token.size() >= 2 &&
+              (token[0] == '+' || token[0] == '-');
+    int dim = 0;
+    if (ok) {
+        for (std::size_t i = 1; i < token.size(); ++i) {
+            if (token[i] < '0' || token[i] > '9') {
+                ok = false;
+                break;
+            }
+            dim = dim * 10 + (token[i] - '0');
+        }
+    }
+    if (!ok) {
+        WORMSIM_FATAL("fault script line ", line_no, ": bad direction '",
+                      token, "' (expected e.g. +0, -0, +1)");
+    }
+    return Direction{dim, token[0] == '+' ? +1 : -1};
+}
+
+} // namespace
+
+std::vector<ScriptedFaultEvent>
+parseFaultScript(const std::string &text)
+{
+    std::vector<ScriptedFaultEvent> events;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        std::string op;
+        if (!(fields >> op))
+            continue; // blank / comment-only line
+        ScriptedFaultEvent e;
+        if (op == "down") {
+            e.down = true;
+        } else if (op == "up") {
+            e.down = false;
+        } else {
+            WORMSIM_FATAL("fault script line ", line_no, ": unknown op '",
+                          op, "' (expected down or up)");
+        }
+        long long cycle = -1;
+        long long node = -1;
+        std::string dir;
+        if (!(fields >> cycle >> node >> dir) || cycle < 0 || node < 0) {
+            WORMSIM_FATAL("fault script line ", line_no,
+                          ": expected '<op> <cycle> <node> <dir>', got '",
+                          trim(line), "'");
+        }
+        std::string extra;
+        if (fields >> extra) {
+            WORMSIM_FATAL("fault script line ", line_no,
+                          ": trailing text '", extra, "'");
+        }
+        e.cycle = static_cast<Cycle>(cycle);
+        e.node = static_cast<NodeId>(node);
+        e.dir = parseDirToken(dir, line_no);
+        events.push_back(e);
+    }
+    return events;
+}
+
+std::vector<ScriptedFaultEvent>
+loadFaultScript(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        WORMSIM_FATAL("cannot open fault script '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseFaultScript(buffer.str());
+}
+
+} // namespace wormsim

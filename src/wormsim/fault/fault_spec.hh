@@ -1,0 +1,82 @@
+/**
+ * @file
+ * FaultSpec: the user-facing description of a runtime fault workload —
+ * a seeded random process (per-link failure rate + mean time to repair,
+ * transient or permanent) plus an explicit scripted event list for
+ * tests. FaultSchedule (fault_schedule.hh) expands a spec into a
+ * deterministic link_down/link_up timeline.
+ */
+
+#ifndef WORMSIM_FAULT_FAULT_SPEC_HH
+#define WORMSIM_FAULT_FAULT_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "wormsim/common/types.hh"
+#include "wormsim/topology/coord.hh"
+
+namespace wormsim
+{
+
+/** What happens to a randomly failed link. */
+enum class FaultKind
+{
+    Transient, ///< repaired after a geometric(1/mttr) outage
+    Permanent, ///< stays down for the rest of the run
+};
+
+/** Parse "transient" / "permanent"; fatal listing choices otherwise. */
+FaultKind parseFaultKind(const std::string &text);
+
+/** Short name of a fault kind. */
+std::string faultKindName(FaultKind kind);
+
+/** One scripted fault event: a named link goes down or comes back up. */
+struct ScriptedFaultEvent
+{
+    Cycle cycle = 0;
+    NodeId node = kInvalidNode; ///< source node of the channel
+    Direction dir{0, +1};       ///< outgoing direction of the channel
+    bool down = true;           ///< false = repair
+};
+
+/** Description of a runtime fault workload. */
+struct FaultSpec
+{
+    /**
+     * Per-link per-cycle failure probability while the link is up
+     * (geometric MTBF = 1/rate cycles). 0 disables the random process.
+     */
+    double rate = 0.0;
+    /** Mean outage length in cycles for transient faults (>= 1). */
+    double mttr = 1000.0;
+    FaultKind kind = FaultKind::Transient;
+    /** Explicit events, applied on top of the random process. */
+    std::vector<ScriptedFaultEvent> script;
+
+    /** True when this spec injects any fault at all. */
+    bool enabled() const { return rate > 0.0 || !script.empty(); }
+
+    /** Fatal on out-of-range parameters. */
+    void validate() const;
+};
+
+/**
+ * Parse a fault script. One event per line:
+ *
+ *     down <cycle> <node> <dir>
+ *     up   <cycle> <node> <dir>
+ *
+ * where <dir> is a signed dimension like +0, -0, +1, ... ('#' starts a
+ * comment; blank lines are skipped). Fatal with the offending line on
+ * any parse error.
+ */
+std::vector<ScriptedFaultEvent> parseFaultScript(const std::string &text);
+
+/** parseFaultScript() over the contents of @p path (fatal if unreadable). */
+std::vector<ScriptedFaultEvent> loadFaultScript(const std::string &path);
+
+} // namespace wormsim
+
+#endif // WORMSIM_FAULT_FAULT_SPEC_HH

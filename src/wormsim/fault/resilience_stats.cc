@@ -1,0 +1,28 @@
+#include "wormsim/fault/resilience_stats.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace wormsim
+{
+
+std::string
+ResilienceStats::summary() const
+{
+    if (!collected)
+        return "resilience: not collected";
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(1);
+    out << "faults " << linkFailures << " (" << linkRepairs
+        << " repaired) | delivered " << (deliveredFraction * 100.0) << "% ("
+        << delivered << "/" << generated << ") aborted " << aborted
+        << " retried " << retriesInjected << " abandoned " << abandoned
+        << " | degraded " << degradedCycles << " cycles";
+    if (degradedDeliveries > 0) {
+        out << ", p50/p95/p99 " << degradedP50 << "/" << degradedP95 << "/"
+            << degradedP99;
+    }
+    return out.str();
+}
+
+} // namespace wormsim

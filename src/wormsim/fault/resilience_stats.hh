@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ResilienceStats: what happened to traffic while faults were active —
+ * delivery/abort/retry accounting, degraded-interval latency
+ * percentiles, and per-fault-event abort attribution. Assembled by
+ * FaultInjector and carried through SimulationResult into sweep reports
+ * and CSV.
+ */
+
+#ifndef WORMSIM_FAULT_RESILIENCE_STATS_HH
+#define WORMSIM_FAULT_RESILIENCE_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wormsim/common/types.hh"
+
+namespace wormsim
+{
+
+/** Abort attribution for one fault (one link_down event). */
+struct FaultAttribution
+{
+    ChannelId channel = kInvalidChannel;
+    Cycle downCycle = 0;
+    bool repaired = false; ///< a link_up fired within the run
+    Cycle upCycle = 0;     ///< valid when repaired
+    /** Messages aborted while this fault held its channel down. */
+    std::uint64_t aborts = 0;
+};
+
+/** Whole-run resilience accounting (warmup included, never reset). */
+struct ResilienceStats
+{
+    bool collected = false; ///< false unless the run injected faults
+
+    // fault timeline as applied
+    std::uint64_t linkFailures = 0;
+    std::uint64_t linkRepairs = 0;
+
+    // message fates over the whole run
+    std::uint64_t generated = 0; ///< arrival-process generation attempts
+    std::uint64_t dropped = 0;   ///< refused by admission at generation
+    std::uint64_t delivered = 0;
+    std::uint64_t aborted = 0;   ///< fault/starvation/deadlock teardowns
+    std::uint64_t retriesScheduled = 0;
+    std::uint64_t retriesInjected = 0; ///< re-offers admission accepted
+    std::uint64_t retriesRefused = 0;  ///< re-offers admission rejected
+    std::uint64_t abandoned = 0; ///< payloads that exhausted maxRetries
+    double deliveredFraction = 0.0; ///< delivered / generated
+
+    // degraded intervals (>= 1 link down)
+    Cycle degradedCycles = 0;
+    std::uint64_t degradedDeliveries = 0;
+    double degradedP50 = 0.0; ///< latency percentiles of deliveries that
+    double degradedP95 = 0.0; ///< completed while the fabric was degraded
+    double degradedP99 = 0.0;
+
+    /** Aborts whose trigger channel had no open fault (e.g. deadlock). */
+    std::uint64_t unattributedAborts = 0;
+    /** One entry per fault that actually fired, in timeline order. */
+    std::vector<FaultAttribution> faults;
+
+    /** One-line summary for progress logs and reports. */
+    std::string summary() const;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_FAULT_RESILIENCE_STATS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * RetryPolicy: bounded re-injection with exponential backoff for
+ * fault-aborted messages. Header-only; the policy is pure arithmetic.
+ */
+
+#ifndef WORMSIM_FAULT_RETRY_POLICY_HH
+#define WORMSIM_FAULT_RETRY_POLICY_HH
+
+#include <algorithm>
+
+#include "wormsim/common/types.hh"
+
+namespace wormsim
+{
+
+/**
+ * How aborted messages are re-offered at their source. An aborted
+ * payload is re-injected as a fresh Message (new id, createdAt = the
+ * re-injection cycle) carrying its attempt count; after maxRetries
+ * re-injections the payload is abandoned and counted in
+ * ResilienceStats::abandoned.
+ */
+struct RetryPolicy
+{
+    /** Re-injections allowed per payload; 0 disables retry entirely. */
+    int maxRetries = 3;
+    /** Delay before the first re-injection, in cycles (>= 1). */
+    Cycle backoffBase = 32;
+    /** Ceiling on the backoff delay. */
+    Cycle maxBackoff = 4096;
+
+    /**
+     * Backoff before re-injection @p attempt (1-based): base doubled per
+     * prior attempt, clamped to maxBackoff and to at least 1 cycle.
+     */
+    Cycle
+    delayFor(int attempt) const
+    {
+        int shift = std::clamp(attempt - 1, 0, 20);
+        Cycle d = std::max<Cycle>(backoffBase, 1) << shift;
+        return std::min(std::max<Cycle>(d, 1), std::max<Cycle>(maxBackoff, 1));
+    }
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_FAULT_RETRY_POLICY_HH

@@ -58,6 +58,7 @@ Link::allocateVc(VcClass c, Message *msg, VirtualChannel *upstream_vc,
                  int message_length)
 {
     WORMSIM_ASSERT(present, "allocating VC on a non-existent link");
+    WORMSIM_ASSERT(!down, "allocating VC on a downed link");
     vcs[c].allocate(msg, upstream_vc, message_length);
     ++active;
     if (c < 64)
@@ -159,6 +160,23 @@ Link::setFailed()
     WORMSIM_ASSERT(active == 0,
                    "failing a link with active virtual channels");
     present = false;
+}
+
+void
+Link::setDown()
+{
+    WORMSIM_ASSERT(present, "downing a non-existent link");
+    WORMSIM_ASSERT(!down, "downing a link that is already down");
+    WORMSIM_ASSERT(active == 0,
+                   "downing a link with active virtual channels");
+    down = true;
+}
+
+void
+Link::setUp()
+{
+    WORMSIM_ASSERT(down, "repairing a link that is not down");
+    down = false;
 }
 
 void

@@ -51,6 +51,26 @@ class Link
     NodeId fromNode() const { return src; }
     NodeId toNode() const { return dst; }
     bool exists() const { return present; }
+
+    /**
+     * Availability mask for runtime fault injection: a link that exists
+     * but is down keeps its slot in the fabric (it will arbitrate again
+     * after repair) yet must not be offered to routing or allocated.
+     * Contrast setFailed(), which removes the link permanently.
+     */
+    bool isDown() const { return down; }
+    bool usable() const { return present && !down; }
+
+    /**
+     * Take the link down (runtime fault). All of its virtual channels
+     * must already have been torn down (Network::takeLinkDown aborts the
+     * worms holding them first).
+     */
+    void setDown();
+
+    /** Bring a downed link back up (repair). */
+    void setUp();
+
     int numVcs() const { return static_cast<int>(vcs.size()); }
 
     VirtualChannel &vc(VcClass c) { return vcs[c]; }
@@ -117,6 +137,7 @@ class Link
     NodeId src = kInvalidNode;
     NodeId dst = kInvalidNode;
     bool present = false;
+    bool down = false; ///< runtime fault: unusable until repaired
 
     std::vector<VirtualChannel> vcs;
     int active = 0;

@@ -113,6 +113,15 @@ class Message
     int minDistance() const { return minDist; }
     void setMinDistance(int d) { minDist = d; }
 
+    /**
+     * Number of times this payload has been re-injected after a
+     * fault-layer abort (0 for a first injection). Each retry is a fresh
+     * Message with a fresh id; the attempt count is the only state that
+     * carries over (see fault/retry_policy.hh).
+     */
+    int retryAttempt() const { return attempt; }
+    void setRetryAttempt(int a) { attempt = a; }
+
     /** Short description for logs. */
     std::string str() const;
 
@@ -133,6 +142,7 @@ class Message
     Cycle ready = 0;
     bool retry = true;
     int minDist = 0;
+    int attempt = 0;
 };
 
 } // namespace wormsim

@@ -36,6 +36,20 @@ stepModeName(StepMode mode)
     return "?";
 }
 
+std::string
+abortCauseName(AbortCause cause)
+{
+    switch (cause) {
+      case AbortCause::LinkFault:
+        return "link_fault";
+      case AbortCause::Starved:
+        return "starved";
+      case AbortCause::FaultDeadlock:
+        return "fault_deadlock";
+    }
+    return "?";
+}
+
 Network::Network(const Topology &topo, const RoutingAlgorithm &algo,
                  NetworkParams params, Xoshiro256 &rng)
     : net(topo), routing(algo), cfg(params), rand(rng),
@@ -116,6 +130,29 @@ Network::offerMessage(NodeId src, NodeId dst, int length_flits, Cycle now)
     return raw;
 }
 
+Message *
+Network::offerRetry(NodeId src, NodeId dst, int length_flits, int attempt,
+                    Cycle now)
+{
+    WORMSIM_ASSERT(attempt >= 1, "retry attempt must be >= 1");
+    if (metrics)
+        metrics->noteRetry();
+    if (wantEvent(TraceEventType::MsgRetry)) {
+        TraceEvent e;
+        e.type = TraceEventType::MsgRetry;
+        e.cycle = now;
+        e.msg = nextId; // the id this retry will inject (or drop) under
+        e.node = src;
+        e.arg0 = attempt;
+        e.arg1 = dst;
+        sink->onEvent(e);
+    }
+    Message *m = offerMessage(src, dst, length_flits, now);
+    if (m)
+        m->setRetryAttempt(attempt);
+    return m;
+}
+
 void
 Network::freeCandidates(const Message &msg,
                         std::vector<RouteCandidate> &out)
@@ -129,7 +166,7 @@ Network::freeCandidates(const Message &msg,
                        routing.name());
         ChannelId ch = net.channelId(msg.headAt(), c.dir);
         const Link &l = links[ch];
-        if (!l.exists())
+        if (!l.usable()) // non-existent, statically failed, or down
             continue;
         if (l.vc(c.vc).free())
             out.push_back(c);
@@ -456,8 +493,50 @@ Network::step(Cycle now)
 }
 
 void
+Network::abortStarved(Cycle now)
+{
+    // A starved message has waited past patience at a node where every
+    // candidate link is unusable AND at least one is down (as opposed to
+    // merely busy, or statically failed — static-fault wedges keep their
+    // pre-recovery behavior). Collect first: aborting mutates needRoute.
+    struct Starved
+    {
+        Message *msg;
+        ChannelId downChannel;
+    };
+    std::vector<Starved> victims;
+    for (Message *m : needRoute) {
+        if (now - m->waitingSince() < watchdog.patience())
+            continue;
+        scratchCandidates.clear();
+        routing.candidates(net, m->headAt(), *m, scratchCandidates);
+        bool anyUsable = false;
+        ChannelId downCh = kInvalidChannel;
+        for (const RouteCandidate &c : scratchCandidates) {
+            const Link &l = links[net.channelId(m->headAt(), c.dir)];
+            if (l.usable()) {
+                anyUsable = true;
+                break;
+            }
+            if (l.isDown() && downCh == kInvalidChannel)
+                downCh = l.id();
+        }
+        if (!anyUsable && downCh != kInvalidChannel)
+            victims.push_back({m, downCh});
+    }
+    for (const Starved &v : victims)
+        abortMessage(v.msg, now, AbortCause::Starved, v.downChannel);
+}
+
+void
 Network::runWatchdog(Cycle now)
 {
+    if (faultRecovery) {
+        abortStarved(now);
+        if (needRoute.empty())
+            return;
+    }
+
     std::vector<DeadlockWatchdog::WaitInfo> waiting;
     waiting.reserve(needRoute.size());
     for (Message *m : needRoute) {
@@ -471,7 +550,7 @@ Network::runWatchdog(Cycle now)
         for (const RouteCandidate &c : scratchCandidates) {
             ChannelId ch = net.channelId(m->headAt(), c.dir);
             const Link &l = links[ch];
-            if (!l.exists())
+            if (!l.usable()) // downed links contribute no wait edge
                 continue;
             Message *holder = l.vc(c.vc).owner();
             if (holder == nullptr)
@@ -485,6 +564,7 @@ Network::runWatchdog(Cycle now)
         return;
 
     DeadlockReport report = watchdog.scan(now, waiting);
+    report.faultInduced = faultEventsCount > 0 || numFailed > 0;
     if (!report.suspected)
         return;
 
@@ -504,6 +584,23 @@ Network::runWatchdog(Cycle now)
     deadlockReport = report;
     if (report.confirmed)
         deadlockSeen = true;
+
+    // With fault recovery armed, a confirmed deadlock in a fault-altered
+    // fabric is escalated into message aborts (retryable) regardless of
+    // the configured DeadlockAction: the algorithms' deadlock-freedom
+    // proofs assume the full fabric, so an injected fault voids the
+    // "algorithm bug" presumption behind Panic.
+    if (report.confirmed && report.faultInduced && faultRecovery) {
+        WORMSIM_WARN("aborting fault-induced ", report.describe());
+        for (MessageId id : report.cycle) {
+            Message *victim = pool.find(id);
+            if (victim) {
+                abortMessage(victim, now, AbortCause::FaultDeadlock,
+                             kInvalidChannel);
+            }
+        }
+        return;
+    }
 
     switch (cfg.deadlockAction) {
       case DeadlockAction::Panic:
@@ -528,7 +625,7 @@ Network::runWatchdog(Cycle now)
 }
 
 void
-Network::killMessage(Message *msg)
+Network::teardownWorm(Message *msg)
 {
     // Release the still-held suffix of the VC chain (head backwards; VCs
     // the tail already departed are free or owned by someone else).
@@ -545,8 +642,95 @@ Network::killMessage(Message *msg)
         admission.release(msg->src(), msg->congestionClass());
     }
     removeFromNeedRoute(msg);
+}
+
+void
+Network::killMessage(Message *msg)
+{
+    teardownWorm(msg);
     ++killedCount;
     pool.destroy(msg);
+}
+
+void
+Network::abortMessage(Message *msg, Cycle now, AbortCause cause,
+                      ChannelId channel)
+{
+    if (metrics)
+        metrics->noteAbort();
+    if (wantEvent(TraceEventType::MsgAbort)) {
+        TraceEvent e;
+        e.type = TraceEventType::MsgAbort;
+        e.cycle = now;
+        e.msg = msg->id();
+        e.node = msg->headAt();
+        e.channel = channel;
+        e.arg0 = static_cast<std::int64_t>(cause);
+        e.arg1 = msg->retryAttempt();
+        sink->onEvent(e);
+    }
+    if (onAbort)
+        onAbort(*msg, now, cause, channel);
+    teardownWorm(msg);
+    ++abortedCount;
+    pool.destroy(msg);
+}
+
+int
+Network::takeLinkDown(ChannelId ch, Cycle now)
+{
+    Link &l = links[ch];
+    WORMSIM_ASSERT(l.exists(), "taking down a non-existent link");
+    WORMSIM_ASSERT(!l.isDown(), "link ", ch, " is already down");
+    // Abort every worm holding one of this link's VCs (each distinct
+    // owner once; a worm can hold at most one VC per link). VC-class
+    // order keeps the abort sequence deterministic.
+    std::vector<Message *> victims;
+    for (int c = 0; c < l.numVcs(); ++c) {
+        Message *m = l.vc(static_cast<VcClass>(c)).owner();
+        if (m &&
+            std::find(victims.begin(), victims.end(), m) == victims.end())
+            victims.push_back(m);
+    }
+    for (Message *m : victims)
+        abortMessage(m, now, AbortCause::LinkFault, ch);
+    l.setDown(); // asserts every VC was released by the aborts
+    ++faultEventsCount;
+    ++downCount;
+    if (metrics)
+        metrics->noteLinkFail();
+    if (wantEvent(TraceEventType::LinkFail)) {
+        TraceEvent e;
+        e.type = TraceEventType::LinkFail;
+        e.cycle = now;
+        e.node = l.fromNode();
+        e.channel = ch;
+        e.arg0 = l.toNode();
+        e.arg1 = static_cast<std::int64_t>(victims.size());
+        sink->onEvent(e);
+    }
+    return static_cast<int>(victims.size());
+}
+
+void
+Network::takeLinkUp(ChannelId ch, Cycle now)
+{
+    Link &l = links[ch];
+    l.setUp(); // asserts the link was down
+    --downCount;
+    // Headers blocked at the link's source may now have candidates again.
+    markDirty(l.fromNode());
+    if (metrics)
+        metrics->noteLinkRepair();
+    if (wantEvent(TraceEventType::LinkRepair)) {
+        TraceEvent e;
+        e.type = TraceEventType::LinkRepair;
+        e.cycle = now;
+        e.node = l.fromNode();
+        e.channel = ch;
+        e.arg0 = l.toNode();
+        sink->onEvent(e);
+    }
 }
 
 void
@@ -564,6 +748,7 @@ Network::counters() const
     c.messagesDelivered = deliveredCount;
     c.messagesDropped = droppedCount;
     c.messagesKilled = killedCount;
+    c.messagesAborted = abortedCount;
     c.flitTransfers = flitsTransferred();
     return c;
 }
@@ -690,6 +875,7 @@ Network::resetCounters()
     deliveredCount = 0;
     droppedCount = 0;
     killedCount = 0;
+    abortedCount = 0;
 }
 
 } // namespace wormsim

@@ -55,6 +55,22 @@ enum class DeadlockAction
 };
 
 /**
+ * Why the fault/recovery layer tore a message down (see docs/faults.md).
+ */
+enum class AbortCause
+{
+    LinkFault,     ///< held a VC on a link that went down
+    Starved,       ///< waited past patience with every candidate link down
+    FaultDeadlock, ///< member of a confirmed fault-induced deadlock cycle
+};
+
+/** Number of AbortCause values. */
+constexpr int kNumAbortCauses = 3;
+
+/** Short machine-friendly name: "link_fault", "starved", ... */
+std::string abortCauseName(AbortCause cause);
+
+/**
  * How Network::step() visits links during arbitration. Both modes are
  * bit-identical (same staged-transfer order, same RNG consumption); Dense
  * is kept as an escape hatch and as the reference engine for golden
@@ -125,6 +141,7 @@ struct NetworkCounters
     std::uint64_t messagesDelivered = 0;
     std::uint64_t messagesDropped = 0; ///< congestion-control refusals
     std::uint64_t messagesKilled = 0;  ///< deadlock-recovery victims
+    std::uint64_t messagesAborted = 0; ///< fault-layer teardowns
     std::uint64_t flitTransfers = 0;   ///< filled by flitsTransferred()
 };
 
@@ -138,6 +155,17 @@ class Network
      * @param now delivery cycle
      */
     using DeliveryHook = std::function<void(const Message &msg, Cycle now)>;
+
+    /**
+     * Called when the fault/recovery layer tears a message down, before
+     * its state returns to the pool. @p channel is the faulted channel
+     * for LinkFault/Starved aborts (kInvalidChannel for FaultDeadlock).
+     * The hook must not call back into the Network synchronously; retry
+     * re-injection is scheduled for a later cycle (fault/fault_injector).
+     */
+    using AbortHook = std::function<void(const Message &msg, Cycle now,
+                                         AbortCause cause,
+                                         ChannelId channel)>;
 
     /**
      * @param topo topology (not owned; must outlive the network)
@@ -168,6 +196,19 @@ class Network
 
     /** Set the delivered-message callback. */
     void setDeliveryHook(DeliveryHook hook) { onDelivery = std::move(hook); }
+
+    /** Set the aborted-message callback (fault/recovery layer). */
+    void setAbortHook(AbortHook hook) { onAbort = std::move(hook); }
+
+    /**
+     * Re-offer an aborted message's payload at its source (@p attempt =
+     * how many re-injections this payload has now had, >= 1). Identical
+     * to offerMessage() — same admission control, fresh MessageId — plus
+     * a MsgRetry trace event and the attempt count stamped on the new
+     * message. nullptr when congestion control refuses the retry.
+     */
+    Message *offerRetry(NodeId src, NodeId dst, int length_flits,
+                        int attempt, Cycle now);
 
     /**
      * Attach a trace sink (nullptr detaches). Not owned; must outlive the
@@ -222,6 +263,47 @@ class Network
     /** Number of links failed so far. */
     int failedLinks() const { return numFailed; }
 
+    // --- runtime fault injection (see fault/ and docs/faults.md) ---
+
+    /**
+     * Runtime fault: take channel @p ch down at cycle @p now. Unlike
+     * failLink(), the link keeps its fabric slot (it can be repaired) and
+     * need not be idle: every worm holding one of its virtual channels is
+     * aborted first — its held VC chain is released head-backwards and
+     * its state returned to the MessagePool — then the link stops
+     * arbitrating and routing stops offering it.
+     *
+     * @return the number of worms aborted by this fault
+     */
+    int takeLinkDown(ChannelId ch, Cycle now);
+    int takeLinkDown(NodeId node, Direction d, Cycle now)
+    {
+        return takeLinkDown(net.channelId(node, d), now);
+    }
+
+    /** Repair a downed channel; headers blocked at its source retry. */
+    void takeLinkUp(ChannelId ch, Cycle now);
+    void takeLinkUp(NodeId node, Direction d, Cycle now)
+    {
+        takeLinkUp(net.channelId(node, d), now);
+    }
+
+    /**
+     * Arm fault recovery: the watchdog additionally aborts messages that
+     * starved (waited past patience with every candidate link down) and
+     * escalates confirmed fault-induced deadlocks into aborts instead of
+     * the configured DeadlockAction. Off by default — without it, runs
+     * with static failLink() faults wedge exactly as before.
+     */
+    void enableFaultRecovery() { faultRecovery = true; }
+    bool faultRecoveryEnabled() const { return faultRecovery; }
+
+    /** Channels currently down (failed via takeLinkDown, not repaired). */
+    int downLinks() const { return downCount; }
+
+    /** takeLinkDown() events applied so far (repairs not counted). */
+    std::uint64_t faultEventsApplied() const { return faultEventsCount; }
+
     /** Reset statistics counters; in-flight state is untouched. */
     void resetCounters();
 
@@ -272,6 +354,20 @@ class Network
     void runWatchdog(Cycle now);
     void killMessage(Message *msg);
     void removeFromNeedRoute(Message *msg);
+
+    /**
+     * Release everything @p msg holds (VC chain head-backwards, injection
+     * slot, needRoute entry) without destroying it — the shared teardown
+     * of killMessage() and abortMessage().
+     */
+    void teardownWorm(Message *msg);
+
+    /** Fault-layer teardown: hook + trace + teardownWorm + destroy. */
+    void abortMessage(Message *msg, Cycle now, AbortCause cause,
+                      ChannelId channel);
+
+    /** Watchdog pass 1 under fault recovery: abort starved messages. */
+    void abortStarved(Cycle now);
 
     /** True when the attached sink subscribed to @p t. */
     bool
@@ -357,13 +453,18 @@ class Network
     std::vector<std::uint8_t> nodeDirty;
 
     DeliveryHook onDelivery;
+    AbortHook onAbort;
     TraceSink *sink = nullptr;       ///< not owned; nullptr = tracing off
     std::uint32_t sinkMask = 0;      ///< cached sink->eventMask()
     MetricsRegistry *metrics = nullptr; ///< not owned; nullptr = off
     int numFailed = 0;
+    int downCount = 0;                  ///< links currently down
+    std::uint64_t faultEventsCount = 0; ///< takeLinkDown events applied
+    bool faultRecovery = false;
     std::uint64_t deliveredCount = 0;
     std::uint64_t droppedCount = 0;
     std::uint64_t killedCount = 0;
+    std::uint64_t abortedCount = 0;
     DeadlockReport deadlockReport;
     bool deadlockSeen = false;
 

@@ -32,7 +32,8 @@ DeadlockReport::machineReadable() const
     std::ostringstream oss;
     oss << "deadlock suspected=" << (suspected ? 1 : 0)
         << " confirmed=" << (confirmed ? 1 : 0)
-        << " cycle_size=" << cycle.size() << "\n";
+        << " cycle_size=" << cycle.size()
+        << " fault_induced=" << (faultInduced ? 1 : 0) << "\n";
     for (const ChannelWait &w : waits) {
         oss << "wait waiter=" << w.waiter << " holder=" << w.holder
             << " channel=" << w.channel << " vc=" << w.vc << "\n";

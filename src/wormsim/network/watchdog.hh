@@ -45,6 +45,13 @@ struct DeadlockReport
 
     bool suspected = false;  ///< a wait-for cycle exists
     bool confirmed = false;  ///< every cycle member is fully blocked
+    /**
+     * True when runtime fault injection had already altered the fabric
+     * when this report was produced (links down or previously failed),
+     * so the deadlock may be injected rather than an algorithm bug.
+     * Scripts key off the machineReadable() fault_induced field.
+     */
+    bool faultInduced = false;
     std::vector<MessageId> cycle; ///< messages on the detected cycle
     /** Wait edges among cycle members (the resources closing the cycle). */
     std::vector<ChannelWait> waits;
@@ -54,8 +61,9 @@ struct DeadlockReport
 
     /**
      * Machine-readable form: a `deadlock` header line with key=value
-     * fields (suspected, confirmed, cycle_size) followed by one `wait`
-     * line per channel-wait edge. Stable format for scripts/tests.
+     * fields (suspected, confirmed, cycle_size, fault_induced) followed
+     * by one `wait` line per channel-wait edge. Stable format for
+     * scripts/tests.
      */
     std::string machineReadable() const;
 };

@@ -150,6 +150,27 @@ ChromeTraceSink::onEvent(const TraceEvent &e)
              << ",\"confirmed\":" << (e.arg1 ? "true" : "false");
         emitRaw(instant(e, "watchdog:suspected-cycle", args.str()));
         break;
+      case TraceEventType::LinkFail:
+        args << "\"ch\":" << e.channel << ",\"to\":" << e.arg0
+             << ",\"worms_aborted\":" << e.arg1;
+        emitRaw(instant(e, "link_fail", args.str()));
+        break;
+      case TraceEventType::LinkRepair:
+        args << "\"ch\":" << e.channel << ",\"to\":" << e.arg0;
+        emitRaw(instant(e, "link_repair", args.str()));
+        break;
+      case TraceEventType::MsgAbort:
+        args << "\"msg\":" << e.msg << ",\"cause\":" << e.arg0
+             << ",\"attempt\":" << e.arg1;
+        if (e.channel != kInvalidChannel)
+            args << ",\"ch\":" << e.channel;
+        emitRaw(instant(e, "msg_abort", args.str()));
+        break;
+      case TraceEventType::MsgRetry:
+        args << "\"msg\":" << e.msg << ",\"attempt\":" << e.arg0
+             << ",\"dst\":" << e.arg1;
+        emitRaw(instant(e, "msg_retry", args.str()));
+        break;
     }
     ++written;
 }

@@ -143,6 +143,20 @@ class MetricsRegistry
     /** The watchdog reported a suspected wait-for cycle. */
     void noteWatchdogSuspect() { watchdogSuspects += 1; }
 
+    // --- fault injection (see fault/ and docs/faults.md) ---
+
+    /** A link went down. */
+    void noteLinkFail() { linkFails += 1; }
+
+    /** A link came back up. */
+    void noteLinkRepair() { linkRepairs += 1; }
+
+    /** A message was aborted by the fault/recovery layer. */
+    void noteAbort() { aborts += 1; }
+
+    /** An aborted message was re-injected at its source. */
+    void noteRetry() { retries += 1; }
+
     // --- time series ---
 
     /** Sampling cadence (0 = disabled). */
@@ -197,6 +211,10 @@ class MetricsRegistry
     std::uint64_t flitsForwarded() const { return flitTotal; }
     std::uint64_t messagesDelivered() const { return deliveredTotal; }
     std::uint64_t watchdogSuspectScans() const { return watchdogSuspects; }
+    std::uint64_t linkFailures() const { return linkFails; }
+    std::uint64_t linkRepairsSeen() const { return linkRepairs; }
+    std::uint64_t messagesAborted() const { return aborts; }
+    std::uint64_t messagesRetried() const { return retries; }
 
     /** Sum of VC occupancies over all (active VC, cycle) pairs. */
     std::uint64_t vcOccupancyIntegral() const { return occupancyIntegral; }
@@ -235,6 +253,10 @@ class MetricsRegistry
     std::uint64_t flitTotal = 0;
     std::uint64_t deliveredTotal = 0;
     std::uint64_t watchdogSuspects = 0;
+    std::uint64_t linkFails = 0;
+    std::uint64_t linkRepairs = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t retries = 0;
     std::uint64_t occupancyIntegral = 0;
     std::uint64_t activeVcCycles = 0;
 

@@ -30,10 +30,14 @@ enum class TraceEventType : std::uint8_t
     Block,           ///< progress denied (see StallCause)
     Deliver,         ///< tail consumed at the destination
     WatchdogSuspect, ///< watchdog found a wait-for cycle
+    LinkFail,        ///< fault injection took a link down
+    LinkRepair,      ///< fault injection brought a link back up
+    MsgAbort,        ///< message torn down by the fault/recovery layer
+    MsgRetry,        ///< aborted message re-injected at its source
 };
 
 /** Number of TraceEventType values (mask width). */
-constexpr int kNumTraceEventTypes = 7;
+constexpr int kNumTraceEventTypes = 11;
 
 /** Why a message (or flit) could not make progress this cycle. */
 enum class StallCause : std::uint8_t
@@ -89,6 +93,10 @@ constexpr std::uint32_t kTraceEventsNoFlits =
  * | Block           | head/src  | ch (if known)  | —           | —       |
  * | Deliver         | dest      | —              | latency     | hops    |
  * | WatchdogSuspect | —         | —              | cycle size  | confirmed |
+ * | LinkFail        | from-node | failed ch      | to-node     | worms aborted |
+ * | LinkRepair      | from-node | repaired ch    | to-node     | —       |
+ * | MsgAbort        | head node | faulted ch     | AbortCause  | retry attempt |
+ * | MsgRetry        | source    | —              | attempt     | destination |
  */
 struct TraceEvent
 {

@@ -39,6 +39,14 @@ traceEventTypeName(TraceEventType type)
         return "deliver";
       case TraceEventType::WatchdogSuspect:
         return "watchdog";
+      case TraceEventType::LinkFail:
+        return "link_fail";
+      case TraceEventType::LinkRepair:
+        return "link_repair";
+      case TraceEventType::MsgAbort:
+        return "msg_abort";
+      case TraceEventType::MsgRetry:
+        return "msg_retry";
     }
     return "?";
 }

@@ -43,7 +43,8 @@ makeRoutingAlgorithm(const std::string &raw)
             BonusCardRouting::SpendMode::AnyHop);
     if (name == "broken-ring")
         return std::make_unique<BrokenRingRouting>();
-    WORMSIM_FATAL("unknown routing algorithm '", raw, "'");
+    WORMSIM_FATAL("unknown routing algorithm '", raw, "' (expected one of ",
+                  join(knownAlgorithms(), ", "), ")");
 }
 
 const std::vector<std::string> &

@@ -43,7 +43,8 @@ makeTrafficPattern(const std::string &raw, const Topology &topo,
         return std::make_unique<PermutationTraffic>(
             PermutationTraffic::random(topo, rng));
     }
-    WORMSIM_FATAL("unknown traffic pattern '", raw, "'");
+    WORMSIM_FATAL("unknown traffic pattern '", raw, "' (expected one of ",
+                  join(knownTrafficPatterns(), ", "), ")");
 }
 
 const std::vector<std::string> &

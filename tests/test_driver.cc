@@ -97,6 +97,125 @@ TEST(Config, MeshFlag)
     EXPECT_FALSE(topo->isTorus());
 }
 
+/// Parse a full command line into a fresh config, running finishOptions.
+SimulationConfig
+parseArgs(std::vector<const char *> argv)
+{
+    SimulationConfig cfg;
+    OptionParser parser("t", "t");
+    cfg.registerOptions(parser);
+    argv.insert(argv.begin(), "t");
+    EXPECT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+    cfg.finishOptions();
+    return cfg;
+}
+
+TEST(Config, UnknownEnumValuesFailListingValidChoices)
+{
+    setLoggingThrows(true);
+    // Each bad value must throw AND the message must enumerate the
+    // accepted spellings so the user can self-correct.
+    try {
+        parseArgs({"--step-mode", "eager"});
+        FAIL() << "bad step mode accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("expected dense or active"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        parseArgs({"--switching", "circuit"});
+        FAIL() << "bad switching mode accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("expected wh, vct, or saf"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        parseArgs({"--fault-kind", "flaky"});
+        FAIL() << "bad fault kind accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(
+            std::string(e.what()).find("expected transient or permanent"),
+            std::string::npos)
+            << e.what();
+    }
+    setLoggingThrows(false);
+}
+
+TEST(Config, UnknownRegistryNamesFailListingValidChoices)
+{
+    setLoggingThrows(true);
+    SimulationConfig cfg = quickConfig();
+    cfg.algorithm = "zigzag";
+    try {
+        (void)SimulationRunner(cfg);
+        FAIL() << "bad algorithm accepted";
+    } catch (const std::runtime_error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("expected one of"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("ecube"), std::string::npos) << msg;
+    }
+    cfg = quickConfig();
+    cfg.traffic = "bursty";
+    try {
+        (void)SimulationRunner(cfg);
+        FAIL() << "bad traffic pattern accepted";
+    } catch (const std::runtime_error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("expected one of"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("uniform"), std::string::npos) << msg;
+    }
+    setLoggingThrows(false);
+}
+
+TEST(Config, FaultFlagsRoundTrip)
+{
+    SimulationConfig cfg =
+        parseArgs({"--fault-rate", "0.001", "--fault-mttr", "200",
+                   "--fault-kind", "permanent", "--fault-retries", "5",
+                   "--fault-backoff", "64"});
+    EXPECT_DOUBLE_EQ(cfg.faultRate, 0.001);
+    EXPECT_DOUBLE_EQ(cfg.faultMttr, 200.0);
+    EXPECT_EQ(cfg.faultKind, FaultKind::Permanent);
+    EXPECT_EQ(cfg.faultRetries, 5);
+    EXPECT_EQ(cfg.faultBackoff, 64u);
+    EXPECT_TRUE(cfg.faultsEnabled());
+    FaultSpec spec = cfg.faultSpec();
+    EXPECT_DOUBLE_EQ(spec.rate, 0.001);
+    EXPECT_EQ(spec.kind, FaultKind::Permanent);
+    RetryPolicy policy = cfg.retryPolicy();
+    EXPECT_EQ(policy.maxRetries, 5);
+    EXPECT_EQ(policy.backoffBase, 64u);
+    // Defaults: faults off, and off means no spec-level activity.
+    SimulationConfig plain;
+    EXPECT_FALSE(plain.faultsEnabled());
+}
+
+TEST(Config, FaultFlagRangesAreValidated)
+{
+    setLoggingThrows(true);
+    SimulationConfig cfg = quickConfig();
+    cfg.faultRate = 1.5;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg = quickConfig();
+    cfg.faultRate = 0.001;
+    cfg.faultMttr = 0.25; // transient outage shorter than one cycle
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg = quickConfig();
+    cfg.faultRetries = -1;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg = quickConfig();
+    cfg.faultBackoff = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    // finishOptions applies the same guards to command-line values.
+    EXPECT_THROW(parseArgs({"--fault-retries", "-2"}),
+                 std::runtime_error);
+    EXPECT_THROW(parseArgs({"--fault-backoff", "0"}),
+                 std::runtime_error);
+    setLoggingThrows(false);
+}
+
 TEST(Runner, LowLoadDeliversWithEquationTwoLatency)
 {
     SimulationConfig cfg = quickConfig();

@@ -1,0 +1,686 @@
+/**
+ * @file
+ * Fault-injection subsystem tests.
+ *
+ * Three layers of guarantees:
+ *   1. FaultSchedule expansion: deterministic, seed-derived, validated.
+ *   2. Network fault mechanics: takeLinkDown teardown, starvation abort,
+ *      repair, and the cross-validation of the *dynamic* behavior against
+ *      the *static* reachability analysis (routing/analysis.hh).
+ *   3. Whole-run determinism: --fault-rate 0 is bit-identical to the
+ *      pre-fault-subsystem golden capture, and a fixed fault seed is
+ *      bit-identical across step modes and sweep thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "wormsim/wormsim.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+    return h;
+}
+
+std::uint64_t
+countDraws(std::uint64_t seed, const std::array<std::uint64_t, 4> &final,
+           std::uint64_t cap)
+{
+    Xoshiro256 replay(seed);
+    for (std::uint64_t n = 0; n <= cap; ++n) {
+        if (replay.state() == final)
+            return n;
+        replay.next();
+    }
+    ADD_FAILURE() << "RNG final state not reached within " << cap
+                  << " draws";
+    return cap + 1;
+}
+
+FaultSpec
+randomSpec(double rate, double mttr, FaultKind kind)
+{
+    FaultSpec spec;
+    spec.rate = rate;
+    spec.mttr = mttr;
+    spec.kind = kind;
+    return spec;
+}
+
+// ---------------------------------------------------------------------
+// 1. FaultSchedule expansion
+// ---------------------------------------------------------------------
+
+TEST(FaultSchedule, SeedDerivationMatchesStreamSetConvention)
+{
+    // faultSeed must be exactly the StreamSet "fault" stream derivation
+    // at epoch 0: deriveSeed(master ^ FNV1a("fault"), 0).
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : std::string("fault")) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    EXPECT_EQ(FaultSchedule::faultSeed(1234), deriveSeed(1234 ^ h, 0));
+    EXPECT_NE(FaultSchedule::faultSeed(1), FaultSchedule::faultSeed(2));
+}
+
+TEST(FaultSchedule, RandomTimelineIsDeterministicAndWellFormed)
+{
+    Torus topo({8, 8});
+    FaultSpec spec = randomSpec(0.0001, 200.0, FaultKind::Transient);
+    FaultSchedule a = FaultSchedule::build(spec, topo, 42, 20000);
+    FaultSchedule b = FaultSchedule::build(spec, topo, 42, 20000);
+
+    ASSERT_FALSE(a.events().empty());
+    ASSERT_EQ(a.events().size(), b.events().size());
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+        EXPECT_EQ(a.events()[i].cycle, b.events()[i].cycle);
+        EXPECT_EQ(a.events()[i].channel, b.events()[i].channel);
+        EXPECT_EQ(a.events()[i].down, b.events()[i].down);
+        EXPECT_EQ(a.events()[i].faultIndex, b.events()[i].faultIndex);
+    }
+
+    // Sorted by (cycle, channel), down indices dense 0..numFaults-1 in
+    // order, repairs inherit their down's index, per-channel alternation.
+    std::vector<int> open(static_cast<std::size_t>(topo.numChannelSlots()),
+                          -1);
+    int nextFault = 0;
+    for (std::size_t i = 1; i < a.events().size(); ++i) {
+        const FaultEvent &p = a.events()[i - 1];
+        const FaultEvent &e = a.events()[i];
+        EXPECT_TRUE(p.cycle < e.cycle ||
+                    (p.cycle == e.cycle && p.channel <= e.channel));
+    }
+    for (const FaultEvent &e : a.events()) {
+        auto ch = static_cast<std::size_t>(e.channel);
+        if (e.down) {
+            EXPECT_EQ(open[ch], -1);
+            EXPECT_EQ(e.faultIndex, nextFault++);
+            open[ch] = e.faultIndex;
+        } else {
+            EXPECT_EQ(e.faultIndex, open[ch]);
+            open[ch] = -1;
+        }
+    }
+    EXPECT_EQ(nextFault, a.numFaults());
+
+    // A different master seed moves the timeline.
+    FaultSchedule c = FaultSchedule::build(spec, topo, 43, 20000);
+    bool anyDiff = c.events().size() != a.events().size();
+    for (std::size_t i = 0; !anyDiff && i < a.events().size(); ++i) {
+        anyDiff = a.events()[i].cycle != c.events()[i].cycle ||
+                  a.events()[i].channel != c.events()[i].channel;
+    }
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(FaultSchedule, PermanentFaultsNeverRepair)
+{
+    Torus topo({8, 8});
+    FaultSpec spec = randomSpec(0.0001, 200.0, FaultKind::Permanent);
+    FaultSchedule s = FaultSchedule::build(spec, topo, 7, 20000);
+    ASSERT_FALSE(s.events().empty());
+    std::set<ChannelId> seen;
+    for (const FaultEvent &e : s.events()) {
+        EXPECT_TRUE(e.down);
+        // At most one permanent fault per channel.
+        EXPECT_TRUE(seen.insert(e.channel).second);
+    }
+}
+
+TEST(FaultSchedule, ScriptParsesAndMapsToChannels)
+{
+    Torus topo({4, 4});
+    FaultSpec spec;
+    spec.script = parseFaultScript("# comment line\n"
+                                   "down 100 5 +1\n"
+                                   "up 300 5 +1   # trailing comment\n"
+                                   "\n"
+                                   "down 50 0 -0\n");
+    FaultSchedule s = FaultSchedule::build(spec, topo, 1, 10000);
+    ASSERT_EQ(s.events().size(), 3u);
+    EXPECT_EQ(s.numFaults(), 2);
+    // Sorted by cycle: node 0 -0 first.
+    EXPECT_EQ(s.events()[0].cycle, 50u);
+    EXPECT_EQ(s.events()[0].channel,
+              topo.channelId(0, Direction{0, -1}));
+    EXPECT_TRUE(s.events()[0].down);
+    EXPECT_EQ(s.events()[1].cycle, 100u);
+    EXPECT_EQ(s.events()[1].channel,
+              topo.channelId(5, Direction{1, +1}));
+    EXPECT_EQ(s.events()[2].cycle, 300u);
+    EXPECT_FALSE(s.events()[2].down);
+    // The repair inherits its down's fault index.
+    EXPECT_EQ(s.events()[2].faultIndex, s.events()[1].faultIndex);
+}
+
+TEST(FaultSchedule, ScriptAndSpecErrorsAreFatal)
+{
+    setLoggingThrows(true);
+    // Parse errors name the offending line.
+    EXPECT_THROW(parseFaultScript("flip 10 0 +0\n"), std::runtime_error);
+    EXPECT_THROW(parseFaultScript("down 10 0\n"), std::runtime_error);
+    EXPECT_THROW(parseFaultScript("down 10 0 north\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseFaultScript("down 10 0 +0 extra\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseFaultScript("down -5 0 +0\n"), std::runtime_error);
+    EXPECT_THROW(parseFaultKind("sometimes"), std::runtime_error);
+    EXPECT_THROW(loadFaultScript("/nonexistent/fault.script"),
+                 std::runtime_error);
+
+    // Spec validation.
+    FaultSpec bad = randomSpec(1.5, 100.0, FaultKind::Transient);
+    EXPECT_THROW(bad.validate(), std::runtime_error);
+    bad = randomSpec(0.001, 0.2, FaultKind::Transient);
+    EXPECT_THROW(bad.validate(), std::runtime_error);
+
+    // Schedule-level validation: non-existent links and conflicts.
+    Mesh mesh({4, 4});
+    FaultSpec spec;
+    spec.script = parseFaultScript("down 10 0 -0\n"); // mesh boundary
+    EXPECT_THROW(FaultSchedule::build(spec, mesh, 1, 1000),
+                 std::runtime_error);
+    Torus torus({4, 4});
+    spec.script = parseFaultScript("down 10 0 +0\ndown 20 0 +0\n");
+    EXPECT_THROW(FaultSchedule::build(spec, torus, 1, 1000),
+                 std::runtime_error);
+    spec.script = parseFaultScript("up 10 0 +0\n"); // repair while up
+    EXPECT_THROW(FaultSchedule::build(spec, torus, 1, 1000),
+                 std::runtime_error);
+    setLoggingThrows(false);
+}
+
+TEST(RetryPolicy, BackoffDoublesAndClamps)
+{
+    RetryPolicy p;
+    p.maxRetries = 5;
+    p.backoffBase = 32;
+    p.maxBackoff = 100;
+    EXPECT_EQ(p.delayFor(1), 32u);
+    EXPECT_EQ(p.delayFor(2), 64u);
+    EXPECT_EQ(p.delayFor(3), 100u); // clamped
+    EXPECT_EQ(p.delayFor(30), 100u); // shift is bounded, no UB
+}
+
+// ---------------------------------------------------------------------
+// 2. Network fault mechanics
+// ---------------------------------------------------------------------
+
+TEST(Fault, TakeLinkDownTearsDownTheWormAndRepairRestores)
+{
+    // One worm, one hop: 0 -> 1 on a 4-ary torus goes +0 under e-cube,
+    // so after one step the header holds channel (0, +0).
+    Torus topo({4, 4});
+    auto algo = makeRoutingAlgorithm("ecube");
+    Xoshiro256 rng(1);
+    NetworkParams params;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, rng);
+    MemoryTraceSink sink(traceEventBit(TraceEventType::LinkFail) |
+                         traceEventBit(TraceEventType::LinkRepair) |
+                         traceEventBit(TraceEventType::MsgAbort));
+    net.setTraceSink(&sink);
+
+    ChannelId ch = topo.channelId(0, Direction{0, +1});
+    Message *m = net.offerMessage(0, 1, 4, 0);
+    ASSERT_NE(m, nullptr);
+    MessageId id = m->id();
+    net.step(0);
+
+    int victims = net.takeLinkDown(ch, 1);
+    EXPECT_EQ(victims, 1);
+    EXPECT_EQ(net.downLinks(), 1);
+    EXPECT_EQ(net.faultEventsApplied(), 1u);
+    EXPECT_EQ(net.counters().messagesAborted, 1u);
+    EXPECT_FALSE(net.busy()); // worm fully torn down, injection released
+    EXPECT_TRUE(net.activeSetConsistent());
+
+    auto aborts = sink.eventsOfType(TraceEventType::MsgAbort);
+    ASSERT_EQ(aborts.size(), 1u);
+    EXPECT_EQ(aborts[0].msg, id);
+    EXPECT_EQ(aborts[0].arg0,
+              static_cast<std::int64_t>(AbortCause::LinkFault));
+    auto fails = sink.eventsOfType(TraceEventType::LinkFail);
+    ASSERT_EQ(fails.size(), 1u);
+    EXPECT_EQ(fails[0].channel, ch);
+    EXPECT_EQ(fails[0].arg1, 1); // one worm aborted
+
+    // While down the link is not a candidate: the message re-offered now
+    // must route around (ecube has no alternative, so it waits).
+    net.takeLinkUp(ch, 2);
+    EXPECT_EQ(net.downLinks(), 0);
+    ASSERT_EQ(sink.eventsOfType(TraceEventType::LinkRepair).size(), 1u);
+
+    // After repair the same traffic delivers.
+    ASSERT_NE(net.offerMessage(0, 1, 4, 2), nullptr);
+    Cycle t = 2;
+    while (net.busy() && t < 100) {
+        net.step(t);
+        ++t;
+    }
+    EXPECT_EQ(net.counters().messagesDelivered, 1u);
+}
+
+TEST(Fault, MidFlightTeardownReleasesEveryHeldVc)
+{
+    // Drive random traffic, then take down a set of links mid-flight and
+    // let the network drain: every worm either delivers or aborts, and
+    // the active set stays consistent throughout.
+    Torus topo({6, 6});
+    auto algo = makeRoutingAlgorithm("phop");
+    Xoshiro256 rng(9);
+    NetworkParams params;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, rng);
+    UniformTraffic traffic(topo);
+    Xoshiro256 arrivals(21), dest(22);
+
+    std::uint64_t offered = 0;
+    Cycle t = 0;
+    for (; t < 400; ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (bernoulli(arrivals, 0.03)) {
+                if (net.offerMessage(n, traffic.pickDest(n, dest), 6, t))
+                    ++offered;
+            }
+        }
+        net.step(t);
+        if (t == 200) {
+            for (NodeId n : {0, 7, 14}) {
+                net.takeLinkDown(n, Direction{0, +1}, t);
+                net.takeLinkDown(n, Direction{1, -1}, t);
+            }
+        }
+        ASSERT_TRUE(net.activeSetConsistent()) << "cycle " << t;
+    }
+    NetworkCounters mid = net.counters();
+    EXPECT_GT(mid.messagesAborted, 0u);
+    // Repair the outage so worms blocked on the missing links (there is
+    // no watchdog here to abort them) can finish, then drain.
+    for (NodeId n : {0, 7, 14}) {
+        net.takeLinkUp(n, Direction{0, +1}, t);
+        net.takeLinkUp(n, Direction{1, -1}, t);
+    }
+    while (net.busy() && t < 20000) {
+        net.step(t);
+        ++t;
+    }
+    EXPECT_FALSE(net.busy());
+    NetworkCounters c = net.counters();
+    EXPECT_GT(c.messagesAborted, 0u);
+    EXPECT_EQ(c.messagesDelivered + c.messagesAborted, offered);
+    EXPECT_EQ(net.messagePool().size(), 0u);
+}
+
+TEST(Fault, DynamicOutcomeMatchesStaticReachabilityAnalysis)
+{
+    // Cross-validate the runtime behavior against routing/analysis.hh:
+    // with fault recovery on and a permanent fault set F, a (src, dst)
+    // pair that canReach() declares unreachable must abort (never
+    // deliver), and a delivered pair must be canReach()-reachable. For
+    // e-cube (single-path) the equivalence is exact both ways.
+    Torus topo({4, 4});
+    FailedLinkSet failed{topo.channelId(1, Direction{0, +1}),
+                         topo.channelId(6, Direction{1, +1})};
+
+    for (const std::string algoName : {"ecube", "phop"}) {
+        SCOPED_TRACE(algoName);
+        auto algo = makeRoutingAlgorithm(algoName);
+        for (NodeId src = 0; src < topo.numNodes(); ++src) {
+            for (NodeId dst = 0; dst < topo.numNodes(); ++dst) {
+                if (src == dst)
+                    continue;
+                Xoshiro256 rng(3);
+                NetworkParams params;
+                params.watchdogPatience = 8;
+                params.watchdogInterval = 16;
+                params.deadlockAction = DeadlockAction::RecordOnly;
+                Network net(topo, *algo, params, rng);
+                net.enableFaultRecovery();
+                for (ChannelId ch : failed)
+                    net.takeLinkDown(ch, 0);
+                ASSERT_NE(net.offerMessage(src, dst, 4, 0), nullptr);
+                Cycle t = 0;
+                while (net.busy() && t < 2000) {
+                    net.step(t);
+                    ++t;
+                }
+                ASSERT_FALSE(net.busy())
+                    << src << "->" << dst << " neither delivered nor "
+                    << "aborted within bound";
+                bool delivered = net.counters().messagesDelivered == 1;
+                bool reachable =
+                    canReach(*algo, topo, src, dst, failed);
+                if (delivered) {
+                    EXPECT_TRUE(reachable) << src << "->" << dst;
+                }
+                if (!reachable) {
+                    EXPECT_FALSE(delivered) << src << "->" << dst;
+                    EXPECT_EQ(net.counters().messagesAborted, 1u);
+                }
+                if (algoName == "ecube") {
+                    EXPECT_EQ(delivered, reachable) << src << "->" << dst;
+                }
+            }
+        }
+    }
+}
+
+TEST(Fault, WatchdogReportsFaultInducedFlag)
+{
+    DeadlockReport r;
+    r.faultInduced = true;
+    EXPECT_NE(r.machineReadable().find("fault_induced=1"),
+              std::string::npos);
+    r.faultInduced = false;
+    EXPECT_NE(r.machineReadable().find("fault_induced=0"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// 3. Whole-run determinism
+// ---------------------------------------------------------------------
+
+struct GoldenRow
+{
+    const char *algorithm;
+    const char *traffic;
+    std::uint64_t digest;
+    std::uint64_t delivered;
+    std::uint64_t flits;
+    std::uint64_t vcRngDraws;
+    std::uint64_t totalBlockCycles;
+};
+
+// Captured from the pre-fault-subsystem build (same harness, same
+// seeds): the fault code must leave every fabric observable untouched
+// while --fault-rate is 0.
+constexpr GoldenRow kSeedGolden[] = {
+    {"ecube", "uniform", 0x037efea95b9ccb24ull, 3170ull, 102640ull, 0ull,
+     26032ull},
+    {"ecube", "hotspot", 0x9e2e9bdf1d39ca46ull, 3170ull, 100672ull, 0ull,
+     27031ull},
+    {"ecube", "local", 0x05ec550bfd1363deull, 3170ull, 88704ull, 0ull,
+     17156ull},
+    {"nlast", "uniform", 0xc2bf91045317a3f8ull, 3163ull, 135120ull,
+     1909ull, 100286ull},
+    {"nlast", "hotspot", 0x4605b9060426fce6ull, 3146ull, 133872ull,
+     1739ull, 151276ull},
+    {"nlast", "local", 0x1e93a9de932c8e58ull, 3169ull, 126280ull, 1977ull,
+     54274ull},
+    {"2pn", "uniform", 0xecda11a9ea755b0dull, 3170ull, 135488ull, 4230ull,
+     40806ull},
+    {"2pn", "hotspot", 0x69a481dd3d5aab76ull, 3170ull, 135184ull, 4277ull,
+     38359ull},
+    {"2pn", "local", 0x4836d1881a58bc7cull, 3170ull, 126320ull, 4006ull,
+     31755ull},
+    {"phop", "uniform", 0x1be457681dff9a0full, 3170ull, 102640ull,
+     5664ull, 13836ull},
+    {"phop", "hotspot", 0x000c5e4da8046712ull, 3170ull, 100672ull,
+     5514ull, 12362ull},
+    {"phop", "local", 0x36bfed29b52d0569ull, 3170ull, 88704ull, 4075ull,
+     10203ull},
+    {"nhop", "uniform", 0xd54110c01bb92667ull, 3170ull, 102640ull,
+     5675ull, 12395ull},
+    {"nhop", "hotspot", 0xc86754b5e0f8ab06ull, 3170ull, 100672ull,
+     5421ull, 13064ull},
+    {"nhop", "local", 0xe25d5733f9846668ull, 3170ull, 88704ull, 4031ull,
+     10567ull},
+    {"nbc", "uniform", 0x58d66be1ffe95b10ull, 3170ull, 102640ull,
+     15267ull, 13400ull},
+    {"nbc", "hotspot", 0xf81c87c173aaf5c8ull, 3170ull, 100672ull,
+     15201ull, 13158ull},
+    {"nbc", "local", 0x42efb367e7ff338bull, 3170ull, 88704ull, 14306ull,
+     11196ull},
+};
+
+TEST(Fault, ZeroFaultRateBitIdenticalToPreFaultGolden)
+{
+    constexpr std::uint64_t kVcSeed = 1234;
+    for (const GoldenRow &row : kSeedGolden) {
+        SCOPED_TRACE(std::string(row.algorithm) + "/" + row.traffic);
+        Torus topo({8, 8});
+        auto algo = makeRoutingAlgorithm(row.algorithm);
+        Xoshiro256 vcRng(kVcSeed);
+        NetworkParams params;
+        params.watchdogPatience = 0;
+        Network net(topo, *algo, params, vcRng);
+        MetricsRegistry metrics(topo.numNodes(), topo.numChannelSlots(),
+                                0);
+        net.setMetrics(&metrics);
+
+        std::uint64_t digest = 0;
+        net.setDeliveryHook([&digest](const Message &m, Cycle now) {
+            digest = hashCombine(digest, m.id());
+            digest = hashCombine(digest, now);
+            digest = hashCombine(digest,
+                                 static_cast<std::uint64_t>(m.src()));
+            digest = hashCombine(digest,
+                                 static_cast<std::uint64_t>(m.dst()));
+            digest = hashCombine(
+                digest, static_cast<std::uint64_t>(m.route().hopsTaken));
+        });
+
+        TrafficParams tp;
+        auto pattern = makeTrafficPattern(row.traffic, topo, tp);
+        Xoshiro256 arrivals(99);
+        Xoshiro256 dest(7);
+        Cycle t = 0;
+        for (; t < 2500; ++t) {
+            for (NodeId n = 0; n < topo.numNodes(); ++n) {
+                if (bernoulli(arrivals, 0.02))
+                    net.offerMessage(n, pattern->pickDest(n, dest), 8, t);
+            }
+            net.step(t);
+        }
+        while (net.busy() && t < 20000) {
+            net.step(t);
+            ++t;
+        }
+        ASSERT_FALSE(net.busy());
+
+        EXPECT_EQ(digest, row.digest);
+        EXPECT_EQ(net.counters().messagesDelivered, row.delivered);
+        EXPECT_EQ(net.counters().messagesAborted, 0u);
+        EXPECT_EQ(net.flitsTransferred(), row.flits);
+        EXPECT_EQ(countDraws(kVcSeed, vcRng.state(), 50'000'000),
+                  row.vcRngDraws);
+        EXPECT_EQ(metrics.summary().totalBlockCycles,
+                  row.totalBlockCycles);
+    }
+}
+
+SimulationConfig
+faultedDriverConfig()
+{
+    SimulationConfig cfg;
+    cfg.radices = {8, 8};
+    cfg.algorithm = "phop";
+    cfg.offeredLoad = 0.2;
+    cfg.warmupCycles = 500;
+    cfg.samplePeriod = 500;
+    cfg.sampleGap = 100;
+    cfg.maxCycles = 3000;
+    cfg.convergence.maxSamples = 3;
+    cfg.metricsInterval = 100;
+    cfg.faultRate = 0.00005;
+    cfg.faultMttr = 300.0;
+    cfg.faultKind = FaultKind::Transient;
+    cfg.seed = 11;
+    return cfg;
+}
+
+constexpr std::uint32_t kFaultTraceMask =
+    traceEventBit(TraceEventType::Deliver) |
+    traceEventBit(TraceEventType::LinkFail) |
+    traceEventBit(TraceEventType::LinkRepair) |
+    traceEventBit(TraceEventType::MsgAbort) |
+    traceEventBit(TraceEventType::MsgRetry);
+
+TEST(Fault, FaultedRunBitIdenticalAcrossStepModes)
+{
+    // Same fault seed, dense vs active engine: the full event sequence
+    // (deliveries, faults, aborts, retries) must match flit for flit.
+    SimulationConfig cfg = faultedDriverConfig();
+
+    cfg.stepMode = StepMode::Dense;
+    MemoryTraceSink denseSink(kFaultTraceMask);
+    SimulationRunner denseRunner(cfg);
+    denseRunner.setTraceSink(&denseSink);
+    SimulationResult dense = denseRunner.run();
+
+    cfg.stepMode = StepMode::Active;
+    MemoryTraceSink activeSink(kFaultTraceMask);
+    SimulationRunner activeRunner(cfg);
+    activeRunner.setTraceSink(&activeSink);
+    SimulationResult active = activeRunner.run();
+
+    // The run must actually exercise the subsystem.
+    ASSERT_TRUE(dense.resilience.collected);
+    EXPECT_GT(dense.resilience.linkFailures, 0u);
+    EXPECT_GT(dense.resilience.aborted, 0u);
+
+    EXPECT_EQ(dense.resilience.linkFailures,
+              active.resilience.linkFailures);
+    EXPECT_EQ(dense.resilience.linkRepairs, active.resilience.linkRepairs);
+    EXPECT_EQ(dense.resilience.generated, active.resilience.generated);
+    EXPECT_EQ(dense.resilience.delivered, active.resilience.delivered);
+    EXPECT_EQ(dense.resilience.aborted, active.resilience.aborted);
+    EXPECT_EQ(dense.resilience.retriesInjected,
+              active.resilience.retriesInjected);
+    EXPECT_EQ(dense.resilience.abandoned, active.resilience.abandoned);
+    EXPECT_EQ(dense.resilience.degradedCycles,
+              active.resilience.degradedCycles);
+    EXPECT_DOUBLE_EQ(dense.resilience.deliveredFraction,
+                     active.resilience.deliveredFraction);
+    EXPECT_DOUBLE_EQ(dense.avgLatency, active.avgLatency);
+    EXPECT_EQ(dense.messagesDelivered, active.messagesDelivered);
+    EXPECT_EQ(dense.cyclesSimulated, active.cyclesSimulated);
+
+    ASSERT_EQ(denseSink.events().size(), activeSink.events().size());
+    for (std::size_t i = 0; i < denseSink.events().size(); ++i) {
+        const TraceEvent &d = denseSink.events()[i];
+        const TraceEvent &a = activeSink.events()[i];
+        ASSERT_EQ(d.type, a.type) << "event " << i;
+        ASSERT_EQ(d.cycle, a.cycle) << "event " << i;
+        ASSERT_EQ(d.msg, a.msg) << "event " << i;
+        ASSERT_EQ(d.node, a.node) << "event " << i;
+        ASSERT_EQ(d.channel, a.channel) << "event " << i;
+        ASSERT_EQ(d.arg0, a.arg0) << "event " << i;
+        ASSERT_EQ(d.arg1, a.arg1) << "event " << i;
+    }
+    // Per-fault attribution is part of the contract too.
+    ASSERT_EQ(dense.resilience.faults.size(),
+              active.resilience.faults.size());
+    for (std::size_t i = 0; i < dense.resilience.faults.size(); ++i) {
+        EXPECT_EQ(dense.resilience.faults[i].channel,
+                  active.resilience.faults[i].channel);
+        EXPECT_EQ(dense.resilience.faults[i].downCycle,
+                  active.resilience.faults[i].downCycle);
+        EXPECT_EQ(dense.resilience.faults[i].aborts,
+                  active.resilience.faults[i].aborts);
+    }
+}
+
+TEST(Fault, FaultedSweepBitIdenticalAcrossThreadCounts)
+{
+    SimulationConfig base = faultedDriverConfig();
+    base.metricsInterval = 0;
+    const std::vector<std::string> algorithms{"phop", "ecube"};
+    const std::vector<double> loads{0.15, 0.25};
+
+    ParallelSweepRunner serial(base, 1);
+    serial.setProgress([](const SimulationResult &) {});
+    SweepResult one = serial.run(algorithms, loads);
+
+    ParallelSweepRunner threaded(base, 4);
+    threaded.setProgress([](const SimulationResult &) {});
+    SweepResult four = threaded.run(algorithms, loads);
+
+    std::uint64_t totalFaults = 0;
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        for (std::size_t l = 0; l < loads.size(); ++l) {
+            SCOPED_TRACE(algorithms[a] + "@" + std::to_string(loads[l]));
+            const SimulationResult &r1 = one.results[a][l];
+            const SimulationResult &r4 = four.results[a][l];
+            EXPECT_DOUBLE_EQ(r1.avgLatency, r4.avgLatency);
+            EXPECT_EQ(r1.messagesDelivered, r4.messagesDelivered);
+            EXPECT_EQ(r1.cyclesSimulated, r4.cyclesSimulated);
+            ASSERT_TRUE(r1.resilience.collected);
+            EXPECT_EQ(r1.resilience.linkFailures,
+                      r4.resilience.linkFailures);
+            EXPECT_EQ(r1.resilience.delivered, r4.resilience.delivered);
+            EXPECT_EQ(r1.resilience.aborted, r4.resilience.aborted);
+            EXPECT_EQ(r1.resilience.retriesInjected,
+                      r4.resilience.retriesInjected);
+            EXPECT_DOUBLE_EQ(r1.resilience.deliveredFraction,
+                             r4.resilience.deliveredFraction);
+            totalFaults += r1.resilience.linkFailures;
+        }
+    }
+    EXPECT_GT(totalFaults, 0u);
+}
+
+TEST(Fault, ScriptedRunAccountsRetriesAndRepairs)
+{
+    // A transient scripted outage on a busy link: the runner must record
+    // the failure, the repair, the aborts it caused, and the retries
+    // that re-delivered the payloads.
+    const std::string path = "test_fault_script.tmp";
+    {
+        std::ofstream script(path);
+        ASSERT_TRUE(script.is_open());
+        // Two central links down through the measurement window.
+        script << "down 600 0 +0\n"
+               << "down 650 9 +1\n"
+               << "up 1400 0 +0\n"
+               << "up 1500 9 +1\n";
+    }
+    SimulationConfig cfg = faultedDriverConfig();
+    cfg.faultRate = 0.0;
+    cfg.faultScript = path;
+    MemoryTraceSink sink(kFaultTraceMask);
+    SimulationRunner runner(cfg);
+    runner.setTraceSink(&sink);
+    SimulationResult r = runner.run();
+    std::remove(path.c_str());
+
+    ASSERT_TRUE(r.resilience.collected);
+    EXPECT_EQ(r.resilience.linkFailures, 2u);
+    EXPECT_EQ(r.resilience.linkRepairs, 2u);
+    EXPECT_EQ(r.resilience.degradedCycles, 900u); // 600..1500
+    ASSERT_EQ(r.resilience.faults.size(), 2u);
+    EXPECT_EQ(r.resilience.faults[0].downCycle, 600u);
+    EXPECT_TRUE(r.resilience.faults[0].repaired);
+    EXPECT_EQ(r.resilience.faults[0].upCycle, 1400u);
+    EXPECT_EQ(r.resilience.faults[1].downCycle, 650u);
+    EXPECT_EQ(r.resilience.faults[1].upCycle, 1500u);
+    EXPECT_EQ(sink.eventsOfType(TraceEventType::LinkFail).size(), 2u);
+    EXPECT_EQ(sink.eventsOfType(TraceEventType::LinkRepair).size(), 2u);
+    EXPECT_EQ(sink.eventsOfType(TraceEventType::MsgAbort).size(),
+              r.resilience.aborted);
+    // Whole-run accounting is self-consistent: every generated message
+    // was dropped, delivered, abandoned, or is still unresolved (aborted
+    // payloads pending retry at the end of the run). Retries scheduled
+    // in the final cycles may not have fired before the run ended.
+    EXPECT_GE(r.resilience.generated,
+              r.resilience.dropped + r.resilience.delivered);
+    EXPECT_GE(r.resilience.retriesScheduled,
+              r.resilience.retriesInjected + r.resilience.retriesRefused);
+}
+
+} // namespace
+} // namespace wormsim

@@ -152,8 +152,9 @@ TEST_F(WatchdogFixture, MachineReadableReportListsCycleWaits)
 TEST_F(WatchdogFixture, MachineReadableCleanReport)
 {
     DeadlockReport r = dog.scan(1000, {});
-    EXPECT_EQ(r.machineReadable(),
-              "deadlock suspected=0 confirmed=0 cycle_size=0\n");
+    EXPECT_EQ(
+        r.machineReadable(),
+        "deadlock suspected=0 confirmed=0 cycle_size=0 fault_induced=0\n");
 }
 
 TEST_F(WatchdogFixture, WaitEdgesOutsideTheCycleAreExcluded)
