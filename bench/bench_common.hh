@@ -84,7 +84,9 @@ class Harness
                   << switchingModeName(cfg.switching) << ", buffer depth "
                   << cfg.flitBufferDepth << ", injection limit "
                   << cfg.injectionLimit << ", step mode "
-                  << stepModeName(cfg.stepMode) << ", seed " << cfg.seed
+                  << stepModeName(cfg.stepMode) << ", route cache "
+                  << (cfg.routeCache ? "on" : "off") << ", seed "
+                  << cfg.seed
                   << "\n"
                   << "# windows: warmup " << cfg.warmupCycles
                   << ", sample " << cfg.samplePeriod << ", max cycles "

@@ -6,9 +6,10 @@
  * paper results; they track the simulator's own performance.
  *
  * Besides the google-benchmark suite, `micro_kernel --perf-baseline`
- * runs the tracked perf baseline: dense-vs-active cycles-per-second on
- * the raw network-step kernel (BENCH_kernel.json) and on full fig3
- * simulation points per algorithm x load (BENCH_fig3.json). The JSON
+ * runs the tracked perf baseline: dense-vs-active and route-cache
+ * on-vs-off cycles-per-second on the raw network-step kernel
+ * (BENCH_kernel.json) and on full fig3 simulation points per
+ * algorithm x load (BENCH_fig3.json). The JSON
  * files are committed at the repo root so the perf trajectory is diffable
  * PR over PR; see docs/performance.md for how to read and refresh them.
  */
@@ -230,7 +231,7 @@ BENCHMARK_CAPTURE(BM_NetworkCycleObs, metrics, ObsMode::Metrics);
  */
 double
 kernelCps(const std::string &algorithm, StepMode mode, int inject_every,
-          Cycle measured_cycles)
+          Cycle measured_cycles, bool route_cache = true)
 {
     Torus topo = Torus::square(16);
     auto algo = makeRoutingAlgorithm(algorithm);
@@ -238,6 +239,7 @@ kernelCps(const std::string &algorithm, StepMode mode, int inject_every,
     NetworkParams params;
     params.watchdogPatience = 0;
     params.stepMode = mode;
+    params.routeCache = route_cache;
     Network net(topo, *algo, params, rng);
     UniformTraffic traffic(topo);
     Xoshiro256 dest(2);
@@ -263,13 +265,15 @@ kernelCps(const std::string &algorithm, StepMode mode, int inject_every,
 
 /** Full fig3-style simulation point; returns result.cyclesPerSecond. */
 double
-fig3Cps(const std::string &algorithm, double load, StepMode mode)
+fig3Cps(const std::string &algorithm, double load, StepMode mode,
+        bool route_cache = true)
 {
     SimulationConfig cfg;
     cfg.algorithm = algorithm;
     cfg.traffic = "uniform";
     cfg.offeredLoad = load;
     cfg.stepMode = mode;
+    cfg.routeCache = route_cache;
     cfg.warmupCycles = 2000;
     cfg.samplePeriod = 4000;
     cfg.sampleGap = 400;
@@ -310,7 +314,7 @@ runPerfBaseline(const std::string &out_dir)
     {
         std::string algorithm;
         int injectEvery; ///< inject at every node each N cycles
-        double dense = 0.0, active = 0.0;
+        double dense = 0.0, active = 0.0, cacheOff = 0.0;
     };
     std::vector<KernelPoint> kernel = {
         {"ecube", 640, 0, 0}, // light load: mostly idle links
@@ -327,11 +331,19 @@ runPerfBaseline(const std::string &out_dir)
             return kernelCps(p.algorithm, StepMode::Active, p.injectEvery,
                              20000);
         });
+        // Reference engine: active sweep, route cache + packed state off.
+        p.cacheOff = bestOf(kReps, [&] {
+            return kernelCps(p.algorithm, StepMode::Active, p.injectEvery,
+                             20000, false);
+        });
         std::cout << "  kernel " << p.algorithm << " inject-every "
                   << p.injectEvery << ": dense "
                   << formatFixed(p.dense / 1e3, 0) << " kc/s, active "
                   << formatFixed(p.active / 1e3, 0) << " kc/s ("
-                  << formatFixed(p.active / p.dense, 2) << "x)\n";
+                  << formatFixed(p.active / p.dense, 2)
+                  << "x), cache-off "
+                  << formatFixed(p.cacheOff / 1e3, 0) << " kc/s (cache "
+                  << formatFixed(p.active / p.cacheOff, 2) << "x)\n";
     }
     {
         std::ofstream out(out_dir + "/BENCH_kernel.json");
@@ -346,8 +358,11 @@ runPerfBaseline(const std::string &out_dir)
                 << "\", \"inject_every\": " << p.injectEvery
                 << ", \"dense_cps\": " << std::llround(p.dense)
                 << ", \"active_cps\": " << std::llround(p.active)
+                << ", \"cache_off_cps\": " << std::llround(p.cacheOff)
                 << ", \"speedup\": " << formatFixed(p.active / p.dense, 3)
-                << "}" << (i + 1 < kernel.size() ? "," : "") << "\n";
+                << ", \"cache_speedup\": "
+                << formatFixed(p.active / p.cacheOff, 3) << "}"
+                << (i + 1 < kernel.size() ? "," : "") << "\n";
         }
         out << "  ]\n}\n";
     }
@@ -360,27 +375,43 @@ runPerfBaseline(const std::string &out_dir)
     {
         std::string algorithm;
         double load;
-        double dense, active;
+        double dense, active, cacheOff;
     };
     std::vector<Fig3Point> fig3;
     double worstLowLoadSpeedup = 1e9;
+    double bestLowLoadCacheSpeedup = 0.0;
+    std::string bestLowLoadCacheAlgo;
     for (const std::string &algorithm : algorithms) {
         for (double load : loads) {
-            Fig3Point p{algorithm, load, 0.0, 0.0};
+            Fig3Point p{algorithm, load, 0.0, 0.0, 0.0};
             p.dense = bestOf(
                 kReps, [&] { return fig3Cps(algorithm, load,
                                             StepMode::Dense); });
             p.active = bestOf(
                 kReps, [&] { return fig3Cps(algorithm, load,
                                             StepMode::Active); });
-            if (load <= 0.1)
+            p.cacheOff = bestOf(
+                kReps, [&] { return fig3Cps(algorithm, load,
+                                            StepMode::Active, false); });
+            if (load <= 0.1) {
                 worstLowLoadSpeedup =
                     std::min(worstLowLoadSpeedup, p.active / p.dense);
+                // Track the headline cache win among adaptive schemes.
+                if (algorithm != "ecube" && algorithm != "nlast" &&
+                    p.active / p.cacheOff > bestLowLoadCacheSpeedup) {
+                    bestLowLoadCacheSpeedup = p.active / p.cacheOff;
+                    bestLowLoadCacheAlgo = algorithm;
+                }
+            }
             std::cout << "  fig3 " << algorithm << " load "
                       << formatFixed(load, 2) << ": dense "
                       << formatFixed(p.dense / 1e3, 0) << " kc/s, active "
                       << formatFixed(p.active / 1e3, 0) << " kc/s ("
-                      << formatFixed(p.active / p.dense, 2) << "x)\n";
+                      << formatFixed(p.active / p.dense, 2)
+                      << "x), cache-off "
+                      << formatFixed(p.cacheOff / 1e3, 0)
+                      << " kc/s (cache "
+                      << formatFixed(p.active / p.cacheOff, 2) << "x)\n";
             fig3.push_back(p);
         }
     }
@@ -397,13 +428,19 @@ runPerfBaseline(const std::string &out_dir)
                 << "\", \"load\": " << formatFixed(p.load, 2)
                 << ", \"dense_cps\": " << std::llround(p.dense)
                 << ", \"active_cps\": " << std::llround(p.active)
+                << ", \"cache_off_cps\": " << std::llround(p.cacheOff)
                 << ", \"speedup\": " << formatFixed(p.active / p.dense, 3)
-                << "}" << (i + 1 < fig3.size() ? "," : "") << "\n";
+                << ", \"cache_speedup\": "
+                << formatFixed(p.active / p.cacheOff, 3) << "}"
+                << (i + 1 < fig3.size() ? "," : "") << "\n";
         }
         out << "  ]\n}\n";
     }
     std::cout << "worst active/dense speedup at load <= 0.1: "
               << formatFixed(worstLowLoadSpeedup, 2) << "x\n"
+              << "best adaptive cache speedup at load <= 0.1: "
+              << formatFixed(bestLowLoadCacheSpeedup, 2) << "x ("
+              << bestLowLoadCacheAlgo << ")\n"
               << "wrote " << out_dir << "/BENCH_kernel.json and "
               << out_dir << "/BENCH_fig3.json\n";
     return 0;

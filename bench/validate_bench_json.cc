@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Schema validator for the committed BENCH_*.json perf baselines.
+ *
+ * Run by ctest (bench_json_schema) against the files at the repo root,
+ * so a hand edit, a merge accident, or a writer change that breaks the
+ * shape other tooling parses fails the suite instead of rotting
+ * silently. Validates structure and value ranges, and cross-checks the
+ * recorded speedup ratios against the cps columns they summarize —
+ * never the absolute numbers, which move with the host.
+ *
+ * Usage: validate_bench_json FILE...
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "wormsim/common/json.hh"
+
+namespace
+{
+
+int failures = 0;
+
+void
+fail(const std::string &file, const std::string &what)
+{
+    std::fprintf(stderr, "%s: %s\n", file.c_str(), what.c_str());
+    ++failures;
+}
+
+/** Field @p key of @p obj as a finite number, else record a failure. */
+bool
+numberField(const std::string &file, const wormsim::JsonValue &obj,
+            const char *key, double &out)
+{
+    const wormsim::JsonValue *v = obj.field(key);
+    if (!v || v->kind != wormsim::JsonValue::Number ||
+        !std::isfinite(v->number)) {
+        fail(file, std::string("point missing numeric field '") + key +
+                       "'");
+        return false;
+    }
+    out = v->number;
+    return true;
+}
+
+bool
+stringField(const std::string &file, const wormsim::JsonValue &obj,
+            const char *key, std::string &out)
+{
+    const wormsim::JsonValue *v = obj.field(key);
+    if (!v || v->kind != wormsim::JsonValue::String) {
+        fail(file,
+             std::string("missing string field '") + key + "'");
+        return false;
+    }
+    out = v->text;
+    return true;
+}
+
+/** cps column > 0 (a zero would mean a broken timer, not a slow host). */
+void
+cpsField(const std::string &file, const wormsim::JsonValue &pt,
+         const char *key, double &out)
+{
+    if (numberField(file, pt, key, out) && out <= 0)
+        fail(file, std::string("'") + key + "' must be positive");
+}
+
+/**
+ * The recorded ratio must match the columns it summarizes. The writer
+ * rounds cps to integers and ratios to 3 decimals, so allow 2%.
+ */
+void
+checkRatio(const std::string &file, const char *key, double recorded,
+           double numer, double denom)
+{
+    if (denom <= 0)
+        return; // already reported by cpsField
+    double expect = numer / denom;
+    if (std::fabs(recorded - expect) > 0.02 * expect)
+        fail(file, std::string("'") + key + "' " +
+                       std::to_string(recorded) +
+                       " disagrees with its cps columns (" +
+                       std::to_string(expect) + ")");
+}
+
+/** Shared perf-point columns of BENCH_kernel and BENCH_fig3. */
+void
+checkPerfPoint(const std::string &file, const wormsim::JsonValue &pt)
+{
+    std::string algo;
+    stringField(file, pt, "algorithm", algo);
+    double dense = 0, active = 0, cacheOff = 0, speedup = 0, cacheSp = 0;
+    cpsField(file, pt, "dense_cps", dense);
+    cpsField(file, pt, "active_cps", active);
+    cpsField(file, pt, "cache_off_cps", cacheOff);
+    if (numberField(file, pt, "speedup", speedup))
+        checkRatio(file, "speedup", speedup, active, dense);
+    if (numberField(file, pt, "cache_speedup", cacheSp))
+        checkRatio(file, "cache_speedup", cacheSp, active, cacheOff);
+}
+
+void
+checkFile(const std::string &file)
+{
+    std::ifstream in(file);
+    if (!in) {
+        fail(file, "cannot open");
+        return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+
+    wormsim::JsonValue doc;
+    wormsim::JsonParser parser(text);
+    if (!parser.parse(doc) || doc.kind != wormsim::JsonValue::Object) {
+        fail(file, "not a valid JSON object");
+        return;
+    }
+
+    std::string bench;
+    std::string ignored;
+    if (!stringField(file, doc, "bench", bench))
+        return;
+    stringField(file, doc, "generated_by", ignored);
+    stringField(file, doc, "unit", ignored);
+
+    const wormsim::JsonValue *points = doc.field("points");
+    if (!points || points->kind != wormsim::JsonValue::Array ||
+        points->items.empty()) {
+        fail(file, "missing non-empty 'points' array");
+        return;
+    }
+
+    for (const wormsim::JsonValue &pt : points->items) {
+        if (pt.kind != wormsim::JsonValue::Object) {
+            fail(file, "non-object entry in 'points'");
+            continue;
+        }
+        if (bench == "kernel") {
+            double injectEvery = 0;
+            if (numberField(file, pt, "inject_every", injectEvery) &&
+                injectEvery < 1)
+                fail(file, "'inject_every' must be >= 1");
+            checkPerfPoint(file, pt);
+        } else if (bench == "fig3") {
+            double load = 0;
+            if (numberField(file, pt, "load", load) &&
+                (load <= 0 || load > 1))
+                fail(file, "'load' must be in (0, 1]");
+            checkPerfPoint(file, pt);
+        } else if (bench == "fault_degradation") {
+            std::string algo;
+            stringField(file, pt, "algorithm", algo);
+            double v = 0;
+            if (numberField(file, pt, "fault_rate", v) && v < 0)
+                fail(file, "'fault_rate' must be >= 0");
+            if (numberField(file, pt, "delivered_fraction", v) &&
+                (v < 0 || v > 1))
+                fail(file, "'delivered_fraction' must be in [0, 1]");
+            if (numberField(file, pt, "link_failures", v) && v < 0)
+                fail(file, "'link_failures' must be >= 0");
+            numberField(file, pt, "aborted", v);
+            numberField(file, pt, "abandoned", v);
+            if (numberField(file, pt, "avg_latency", v) && v < 0)
+                fail(file, "'avg_latency' must be >= 0");
+        } else {
+            fail(file, "unknown bench kind '" + bench + "'");
+            return;
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i)
+        checkFile(argv[i]);
+    if (failures) {
+        std::fprintf(stderr, "%d schema violation(s)\n", failures);
+        return 1;
+    }
+    std::printf("%d file(s) valid\n", argc - 1);
+    return 0;
+}

@@ -1,0 +1,208 @@
+#include "wormsim/common/json.hh"
+
+#include <cctype>
+
+namespace wormsim
+{
+
+const JsonValue *
+JsonValue::field(const std::string &key) const
+{
+    if (kind != Object)
+        return nullptr;
+    auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+}
+
+bool
+JsonParser::parse(JsonValue &out)
+{
+    skipWs();
+    if (!value(out))
+        return false;
+    skipWs();
+    return pos == s.size(); // no trailing garbage
+}
+
+void
+JsonParser::skipWs()
+{
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos])))
+        ++pos;
+}
+
+bool
+JsonParser::literal(const char *word)
+{
+    std::size_t n = std::string(word).size();
+    if (s.compare(pos, n, word) != 0)
+        return false;
+    pos += n;
+    return true;
+}
+
+bool
+JsonParser::value(JsonValue &out)
+{
+    skipWs();
+    if (pos >= s.size())
+        return false;
+    char c = s[pos];
+    if (c == '{')
+        return object(out);
+    if (c == '[')
+        return array(out);
+    if (c == '"') {
+        out.kind = JsonValue::String;
+        return string(out.text);
+    }
+    if (c == 't') {
+        out.kind = JsonValue::Bool;
+        out.boolean = true;
+        return literal("true");
+    }
+    if (c == 'f') {
+        out.kind = JsonValue::Bool;
+        out.boolean = false;
+        return literal("false");
+    }
+    if (c == 'n') {
+        out.kind = JsonValue::Null;
+        return literal("null");
+    }
+    return number(out);
+}
+
+bool
+JsonParser::string(std::string &out)
+{
+    if (s[pos] != '"')
+        return false;
+    ++pos;
+    out.clear();
+    while (pos < s.size() && s[pos] != '"') {
+        if (s[pos] == '\\') {
+            if (pos + 1 >= s.size())
+                return false;
+            char e = s[pos + 1];
+            if (e == 'u') {
+                if (pos + 5 >= s.size())
+                    return false;
+                for (int i = 2; i <= 5; ++i) {
+                    if (!std::isxdigit(
+                            static_cast<unsigned char>(s[pos + i])))
+                        return false;
+                }
+                out += '?'; // decoded value irrelevant here
+                pos += 6;
+                continue;
+            }
+            if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                e != 'f' && e != 'n' && e != 'r' && e != 't')
+                return false;
+            out += e;
+            pos += 2;
+            continue;
+        }
+        if (static_cast<unsigned char>(s[pos]) < 0x20)
+            return false; // control chars must be escaped
+        out += s[pos++];
+    }
+    if (pos >= s.size())
+        return false;
+    ++pos; // closing quote
+    return true;
+}
+
+bool
+JsonParser::number(JsonValue &out)
+{
+    std::size_t start = pos;
+    if (pos < s.size() && s[pos] == '-')
+        ++pos;
+    while (pos < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+            s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+            s[pos] == '+' || s[pos] == '-'))
+        ++pos;
+    if (pos == start)
+        return false;
+    try {
+        out.number = std::stod(s.substr(start, pos - start));
+    } catch (...) {
+        return false;
+    }
+    out.kind = JsonValue::Number;
+    return true;
+}
+
+bool
+JsonParser::array(JsonValue &out)
+{
+    out.kind = JsonValue::Array;
+    ++pos; // '['
+    skipWs();
+    if (pos < s.size() && s[pos] == ']') {
+        ++pos;
+        return true;
+    }
+    while (true) {
+        JsonValue item;
+        if (!value(item))
+            return false;
+        out.items.push_back(std::move(item));
+        skipWs();
+        if (pos >= s.size())
+            return false;
+        if (s[pos] == ',') {
+            ++pos;
+            continue;
+        }
+        if (s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+}
+
+bool
+JsonParser::object(JsonValue &out)
+{
+    out.kind = JsonValue::Object;
+    ++pos; // '{'
+    skipWs();
+    if (pos < s.size() && s[pos] == '}') {
+        ++pos;
+        return true;
+    }
+    while (true) {
+        skipWs();
+        std::string key;
+        if (pos >= s.size() || s[pos] != '"' || !string(key))
+            return false;
+        skipWs();
+        if (pos >= s.size() || s[pos] != ':')
+            return false;
+        ++pos;
+        JsonValue v;
+        if (!value(v))
+            return false;
+        out.fields.emplace(std::move(key), std::move(v));
+        skipWs();
+        if (pos >= s.size())
+            return false;
+        if (s[pos] == ',') {
+            ++pos;
+            continue;
+        }
+        if (s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+}
+
+} // namespace wormsim

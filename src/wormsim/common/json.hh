@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A minimal validating JSON parser (just enough of RFC 8259): objects,
+ * arrays, strings with escapes, numbers, booleans, null, parsed into a
+ * generic value tree. Used to round-trip-validate the Chrome trace
+ * exporter in tests and to schema-check the committed BENCH_*.json
+ * perf baselines (bench/validate_bench_json). Not a serializer and not
+ * tuned for speed — wormsim only ever parses small documents it wrote
+ * itself.
+ */
+
+#ifndef WORMSIM_COMMON_JSON_HH
+#define WORMSIM_COMMON_JSON_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wormsim
+{
+
+/** A parsed JSON value (tagged union over the RFC 8259 kinds). */
+struct JsonValue
+{
+    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    /** Object field lookup, or nullptr when absent / not an object. */
+    const JsonValue *field(const std::string &key) const;
+};
+
+/** Recursive-descent parser for one complete JSON document. */
+class JsonParser
+{
+  public:
+    /** @param text document (not owned; must outlive the parser) */
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    /**
+     * Parse the whole document into @p out.
+     * @return false on any syntax error or trailing garbage
+     */
+    bool parse(JsonValue &out);
+
+  private:
+    void skipWs();
+    bool literal(const char *word);
+    bool value(JsonValue &out);
+    bool string(std::string &out);
+    bool number(JsonValue &out);
+    bool array(JsonValue &out);
+    bool object(JsonValue &out);
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_COMMON_JSON_HH

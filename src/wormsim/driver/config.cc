@@ -59,6 +59,7 @@ SimulationConfig::networkParams() const
     p.routingDelay = routingDelay;
     p.select = select;
     p.stepMode = stepMode;
+    p.routeCache = routeCache;
     p.watchdogPatience = watchdogPatience;
     p.deadlockAction = deadlockAction;
     return p;
@@ -87,6 +88,7 @@ SimulationConfig::registerOptions(OptionParser &parser)
     optFaultBackoff = static_cast<long long>(faultBackoff);
     optSwitching = switchingModeName(switching);
     optStepMode = stepModeName(stepMode);
+    optRouteCache = routeCache ? "on" : "off";
     optFaultKind = faultKindName(faultKind);
 
     parser.addString("algorithm", &algorithm,
@@ -105,6 +107,9 @@ SimulationConfig::registerOptions(OptionParser &parser)
     parser.addString("step-mode", &optStepMode,
                      "arbitration sweep engine: active (default) or dense "
                      "(reference scan; results are bit-identical)");
+    parser.addString("route-cache", &optRouteCache,
+                     "route-computation cache: on (default) or off "
+                     "(reference path; results are bit-identical)");
     parser.addInt("buffer-depth", &optBufferDepth,
                   "flit buffer depth per virtual channel");
     parser.addInt("injection-limit", &optInjectionLimit,
@@ -175,6 +180,13 @@ SimulationConfig::finishOptions()
     faultBackoff = static_cast<Cycle>(optFaultBackoff);
     switching = parseSwitchingMode(optSwitching);
     stepMode = parseStepMode(optStepMode);
+    if (optRouteCache == "on")
+        routeCache = true;
+    else if (optRouteCache == "off")
+        routeCache = false;
+    else
+        WORMSIM_FATAL("unknown route-cache mode '", optRouteCache,
+                      "' (choices: on, off)");
     faultKind = parseFaultKind(optFaultKind);
 }
 

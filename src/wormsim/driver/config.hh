@@ -48,6 +48,15 @@ struct SimulationConfig
      * escape hatch and as the reference engine for those tests.
      */
     StepMode stepMode = StepMode::Active;
+    /**
+     * Route-computation cache and packed hot-path state (--route-cache).
+     * On (the default) memoizes candidate lists per (node, destination,
+     * routing-state key) and packs per-cycle VC state into a flat arena;
+     * off is the reference per-call computation. Results are
+     * bit-identical either way (golden-tested); off exists as an escape
+     * hatch and as the reference engine for those tests.
+     */
+    bool routeCache = true;
     int injectionLimit = 4; ///< congestion control; <= 0 disables
     Cycle routingDelay = 0; ///< extra router-decision cycles per hop
     Cycle watchdogPatience = 8192;
@@ -161,6 +170,7 @@ struct SimulationConfig
     long long optFaultBackoff = 32;
     std::string optSwitching = "wh";
     std::string optStepMode = "active";
+    std::string optRouteCache = "on";
     std::string optFaultKind = "transient";
 
   public:

@@ -62,6 +62,7 @@ struct SimulationResult
     double wallSeconds = 0.0;     ///< wall-clock duration of run()
     double cyclesPerSecond = 0.0; ///< cyclesSimulated / wallSeconds
     std::string stepMode;         ///< arbitration engine used ("active"/"dense")
+    std::string routeCache;       ///< route-cache engine used ("on"/"off")
 
     // bookkeeping
     StopReason stopReason = StopReason::NotDone;

@@ -155,6 +155,7 @@ SimulationRunner::run()
     result.traffic = traffic->name();
     result.topology = topo->name();
     result.stepMode = stepModeName(cfg.stepMode);
+    result.routeCache = cfg.routeCache ? "on" : "off";
     result.offeredLoad = cfg.offeredLoad;
     meanMinDistance = traffic->meanDistance();
     result.meanMinDistance = meanMinDistance;

@@ -40,17 +40,24 @@ switchingModeName(SwitchingMode mode)
 
 void
 Link::configure(ChannelId id, NodeId from, NodeId to, int num_vcs,
-                bool exists)
+                bool exists, VirtualChannel *storage)
 {
     WORMSIM_ASSERT(num_vcs >= 1, "link needs >= 1 virtual channel");
     chan = id;
     src = from;
     dst = to;
     present = exists;
-    vcs.resize(num_vcs);
+    nVcs = num_vcs;
+    if (storage != nullptr) {
+        vcp = storage;
+    } else {
+        ownVcs.resize(num_vcs);
+        vcp = ownVcs.data();
+    }
+    packed = storage != nullptr && num_vcs <= 64;
     perClass.assign(num_vcs, 0);
     for (int c = 0; c < num_vcs; ++c)
-        vcs[c].configure(id, static_cast<VcClass>(c), from, to);
+        vcp[c].configure(id, static_cast<VcClass>(c), from, to);
 }
 
 void
@@ -59,7 +66,7 @@ Link::allocateVc(VcClass c, Message *msg, VirtualChannel *upstream_vc,
 {
     WORMSIM_ASSERT(present, "allocating VC on a non-existent link");
     WORMSIM_ASSERT(!down, "allocating VC on a downed link");
-    vcs[c].allocate(msg, upstream_vc, message_length);
+    vcp[c].allocate(msg, upstream_vc, message_length);
     ++active;
     if (c < 64)
         occupied |= std::uint64_t{1} << c;
@@ -68,8 +75,8 @@ Link::allocateVc(VcClass c, Message *msg, VirtualChannel *upstream_vc,
 void
 Link::releaseVc(VcClass c)
 {
-    WORMSIM_ASSERT(!vcs[c].free(), "releasing a free VC");
-    vcs[c].release();
+    WORMSIM_ASSERT(!vcp[c].free(), "releasing a free VC");
+    vcp[c].release();
     --active;
     WORMSIM_ASSERT(active >= 0, "negative active VC count");
     if (c < 64)
@@ -122,25 +129,50 @@ Link::arbitrate(SwitchingMode mode, int flit_buffer_depth)
 {
     if (active == 0)
         return nullptr;
-    int v = static_cast<int>(vcs.size());
-    if (active == 1 && occupied != 0) {
+    int v = nVcs;
+    if (packed && active == 1 && occupied != 0) {
         // Single occupied VC: the round-robin walk can only ever grant
         // this one (eligibility fails on unowned VCs before any state is
         // read), so test it directly. rrNext advances exactly as the
         // walk would on a grant and is untouched on a miss, keeping
-        // arbitration bit-identical to the full scan.
+        // arbitration bit-identical to the full scan. Gated with the
+        // rest of the packed engine (--route-cache) so the off mode
+        // stays the plain reference walk below.
         int c = std::countr_zero(occupied);
-        if (eligible(vcs[c], mode, flit_buffer_depth)) {
-            rrNext = (c + 1) % v;
-            return &vcs[c];
+        if (eligible(vcp[c], mode, flit_buffer_depth)) {
+            rrNext = c + 1 == v ? 0 : c + 1;
+            return &vcp[c];
+        }
+        return nullptr;
+    }
+    if (packed) {
+        // Occupied-bitmask walk: visit only owned VCs, in the same
+        // rotated order the full scan uses (rrNext..v-1 then 0..rrNext-1;
+        // rrNext < v always). Unowned VCs fail eligibility before any
+        // state is read, so skipping them is bit-identical.
+        std::uint64_t hi = occupied & (~std::uint64_t{0} << rrNext);
+        for (std::uint64_t m = hi; m != 0; m &= m - 1) {
+            int c = std::countr_zero(m);
+            if (eligible(vcp[c], mode, flit_buffer_depth)) {
+                rrNext = c + 1 == v ? 0 : c + 1;
+                return &vcp[c];
+            }
+        }
+        std::uint64_t lo = occupied & ~(~std::uint64_t{0} << rrNext);
+        for (std::uint64_t m = lo; m != 0; m &= m - 1) {
+            int c = std::countr_zero(m);
+            if (eligible(vcp[c], mode, flit_buffer_depth)) {
+                rrNext = c + 1 == v ? 0 : c + 1;
+                return &vcp[c];
+            }
         }
         return nullptr;
     }
     for (int i = 0; i < v; ++i) {
         int c = (rrNext + i) % v;
-        if (eligible(vcs[c], mode, flit_buffer_depth)) {
+        if (eligible(vcp[c], mode, flit_buffer_depth)) {
             rrNext = (c + 1) % v;
-            return &vcs[c];
+            return &vcp[c];
         }
     }
     return nullptr;

@@ -43,9 +43,14 @@ class Link
      * @param to receiving node
      * @param num_vcs virtual channels multiplexed on this link
      * @param exists false for mesh-boundary slots
+     * @param storage external VC storage for @p num_vcs channels (the
+     *        Network's packed per-fabric arena; route-cache engine), or
+     *        nullptr to self-allocate (reference layout, standalone
+     *        links in tests). External storage with num_vcs <= 64 also
+     *        enables the occupied-bitmask arbitration walk.
      */
     void configure(ChannelId id, NodeId from, NodeId to, int num_vcs,
-                   bool exists);
+                   bool exists, VirtualChannel *storage = nullptr);
 
     ChannelId id() const { return chan; }
     NodeId fromNode() const { return src; }
@@ -71,10 +76,10 @@ class Link
     /** Bring a downed link back up (repair). */
     void setUp();
 
-    int numVcs() const { return static_cast<int>(vcs.size()); }
+    int numVcs() const { return nVcs; }
 
-    VirtualChannel &vc(VcClass c) { return vcs[c]; }
-    const VirtualChannel &vc(VcClass c) const { return vcs[c]; }
+    VirtualChannel &vc(VcClass c) { return vcp[c]; }
+    const VirtualChannel &vc(VcClass c) const { return vcp[c]; }
 
     /** Number of VCs currently owned by messages. */
     int activeVcs() const { return active; }
@@ -139,10 +144,13 @@ class Link
     bool present = false;
     bool down = false; ///< runtime fault: unusable until repaired
 
-    std::vector<VirtualChannel> vcs;
+    VirtualChannel *vcp = nullptr;   ///< VC array (own or external)
+    int nVcs = 0;
+    std::vector<VirtualChannel> ownVcs; ///< backing store when standalone
+    bool packed = false; ///< external storage + <= 64 VCs: bitmask walk
     int active = 0;
     int rrNext = 0; ///< arbitration scan start
-    std::uint64_t occupied = 0; ///< bit c set while vcs[c] is owned (c < 64)
+    std::uint64_t occupied = 0; ///< bit c set while vc c is owned (c < 64)
 
     std::uint64_t transfers = 0;
     std::vector<std::uint64_t> perClass;

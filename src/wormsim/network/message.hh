@@ -7,6 +7,7 @@
 #ifndef WORMSIM_NETWORK_MESSAGE_HH
 #define WORMSIM_NETWORK_MESSAGE_HH
 
+#include <cstddef>
 #include <string>
 
 #include "wormsim/common/types.hh"
@@ -122,6 +123,19 @@ class Message
     int retryAttempt() const { return attempt; }
     void setRetryAttempt(int a) { attempt = a; }
 
+    /** Sentinel routeQueueIndex() value: not in the needRoute queue. */
+    static constexpr std::size_t kNotQueued =
+        static_cast<std::size_t>(-1);
+
+    /**
+     * Back-pointer into Network's needRoute queue (kNotQueued while not
+     * waiting for a route). Lets removal tombstone the slot in O(1)
+     * instead of scanning the queue; the allocation sweep keeps it
+     * current while compacting.
+     */
+    std::size_t routeQueueIndex() const { return rqIndex; }
+    void setRouteQueueIndex(std::size_t i) { rqIndex = i; }
+
     /** Short description for logs. */
     std::string str() const;
 
@@ -143,6 +157,7 @@ class Message
     bool retry = true;
     int minDist = 0;
     int attempt = 0;
+    std::size_t rqIndex = kNotQueued;
 };
 
 } // namespace wormsim

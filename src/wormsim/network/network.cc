@@ -60,12 +60,22 @@ Network::Network(const Topology &topo, const RoutingAlgorithm &algo,
                 params.injectionLimit),
       watchdog(params.watchdogPatience),
       linkTracked(topo.numChannelSlots(), 0),
+      linkUsableBits((topo.numChannelSlots() + 63) / 64, 0),
       nodeDirty(topo.numNodes(), 0)
 {
     WORMSIM_ASSERT(vcClasses >= 1, "routing algorithm '", algo.name(),
                    "' requires >= 1 VC class");
     WORMSIM_ASSERT(cfg.flitBufferDepth >= 1,
                    "flit buffer depth must be >= 1");
+
+    // Route-cache engine: packed per-fabric VC arena (and, below, the
+    // memoized candidate cache). The occupied-mask free test and the
+    // bitmask arbitration walk need every class in one 64-bit word.
+    bool packedState = cfg.routeCache && vcClasses <= 64;
+    if (packedState) {
+        vcStorage.resize(static_cast<std::size_t>(net.numChannelSlots()) *
+                         vcClasses);
+    }
 
     for (NodeId n = 0; n < net.numNodes(); ++n) {
         routers[n].configure(n);
@@ -74,12 +84,35 @@ Network::Network(const Topology &topo, const RoutingAlgorithm &algo,
             ChannelId id = net.channelId(n, d);
             NodeId nb = net.neighbor(n, d);
             bool exists = nb != kInvalidNode;
+            VirtualChannel *storage =
+                packedState
+                    ? &vcStorage[static_cast<std::size_t>(id) * vcClasses]
+                    : nullptr;
             links[id].configure(id, n, exists ? nb : kInvalidNode,
-                                vcClasses, exists);
-            if (exists)
+                                vcClasses, exists, storage);
+            if (exists) {
                 realLinks.push_back(id);
+                setUsableBit(id, true);
+            }
         }
     }
+
+    if (packedState && routing.routeCacheKeySpace(net) > 0)
+        cache = std::make_unique<RouteCache>(net, routing, vcClasses);
+
+    // Worst-case scratch reservations so steady state never reallocates:
+    // every built-in algorithm emits at most one candidate per (port, VC
+    // class) pair; at most one transfer stages per existing link; the
+    // active-set merge never exceeds the existing links.
+    std::size_t worstCandidates =
+        static_cast<std::size_t>(vcClasses) * net.numPorts();
+    scratchCandidates.reserve(worstCandidates);
+    scratchFree.reserve(worstCandidates);
+    scratchFreeCh.reserve(worstCandidates);
+    stagedTransfers.reserve(realLinks.size());
+    scratchMerge.reserve(realLinks.size());
+    activeLinks.reserve(realLinks.size());
+    newlyActive.reserve(realLinks.size());
 }
 
 Message *
@@ -116,7 +149,7 @@ Network::offerMessage(NodeId src, NodeId dst, int length_flits, Cycle now)
     raw->setReadyAt(now + cfg.routingDelay);
     raw->setRetryPending(true);
     routers[src].enqueueInjection(raw);
-    needRoute.push_back(raw);
+    pushNeedRoute(raw);
     if (wantEvent(TraceEventType::Inject)) {
         TraceEvent e;
         e.type = TraceEventType::Inject;
@@ -158,6 +191,83 @@ Network::freeCandidates(const Message &msg,
                         std::vector<RouteCandidate> &out)
 {
     out.clear();
+    scratchFreeCh.clear();
+    if (cache) {
+        // Cached path: expand candidates from the cache in the exact
+        // order — and past the exact filters — the algorithm plus the
+        // reference loop below would produce them. The availability
+        // bitmask mirrors Link::usable() and the occupied mask mirrors
+        // VirtualChannel::free(), so the surviving set is identical.
+        NodeId at = msg.headAt();
+        auto push = [&](ChannelId ch, Direction dir, VcClass vc) {
+            if (!usableBit(ch)) // non-existent, failed, or down
+                return;
+            if ((links[ch].occupiedMask() >> vc) & 1)
+                return; // VC busy
+            out.push_back(RouteCandidate{dir, vc});
+            scratchFreeCh.push_back(ch);
+        };
+        switch (cache->expandMode()) {
+          case RouteCacheExpand::LaneFan: {
+            // Minimal directions (dim ascending, plus before minus)
+            // repeated lane-major over the key's VC lane range — the
+            // shape of pushMinimalDirections() under candidates()'
+            // spend loop (phop/nhop: a single lane).
+            int key = routing.routeCacheKey(net, msg);
+            int lane0 = 0;
+            int lanes = 0;
+            routing.routeCacheLanes(net, key, lane0, lanes);
+            WORMSIM_ASSERT(lane0 >= 0 && lanes >= 1 &&
+                           lane0 + lanes <= vcClasses,
+                           "cached VC lanes [", lane0, ", ",
+                           lane0 + lanes, ") out of range for ",
+                           routing.name());
+            int n = 0;
+            const SkeletonDim *sk = cache->skeleton(at, msg.dst(), n);
+            for (int lane = lane0; lane < lane0 + lanes; ++lane) {
+                auto vc = static_cast<VcClass>(lane);
+                for (int i = 0; i < n; ++i) {
+                    const SkeletonDim &s = sk[i];
+                    if (s.plusMinimal)
+                        push(s.chPlus, Direction{s.dim, +1}, vc);
+                    if (s.minusMinimal)
+                        push(s.chMinus, Direction{s.dim, -1}, vc);
+                }
+            }
+            return;
+          }
+          case RouteCacheExpand::TagSign: {
+            // One candidate per uncorrected dimension, travel sign from
+            // bit dim of the key, VC class == key (2pn). The sign is
+            // taken regardless of minimality — exactly candidates() —
+            // and a boundary link it points off is filtered like any
+            // unusable channel.
+            int key = routing.routeCacheKey(net, msg);
+            WORMSIM_ASSERT(key >= 0 && key < vcClasses,
+                           "cached tag ", key, " out of range for ",
+                           routing.name());
+            auto vc = static_cast<VcClass>(key);
+            int n = 0;
+            const SkeletonDim *sk = cache->skeleton(at, msg.dst(), n);
+            for (int i = 0; i < n; ++i) {
+                const SkeletonDim &s = sk[i];
+                if ((key >> s.dim) & 1)
+                    push(s.chPlus, Direction{s.dim, +1}, vc);
+                else
+                    push(s.chMinus, Direction{s.dim, -1}, vc);
+            }
+            return;
+          }
+          case RouteCacheExpand::Full: {
+            int n = 0;
+            const CachedCandidate *cc = cache->lookup(at, msg, n);
+            for (int i = 0; i < n; ++i)
+                push(cc[i].channel, cc[i].dir, cc[i].vc);
+            return;
+          }
+        }
+        return; // unreachable
+    }
     scratchCandidates.clear();
     routing.candidates(net, msg.headAt(), msg, scratchCandidates);
     for (const RouteCandidate &c : scratchCandidates) {
@@ -168,20 +278,22 @@ Network::freeCandidates(const Message &msg,
         const Link &l = links[ch];
         if (!l.usable()) // non-existent, statically failed, or down
             continue;
-        if (l.vc(c.vc).free())
+        if (l.vc(c.vc).free()) {
             out.push_back(c);
+            scratchFreeCh.push_back(ch);
+        }
     }
 }
 
-const RouteCandidate &
-Network::select(NodeId head, const std::vector<RouteCandidate> &free)
+std::size_t
+Network::select(const std::vector<RouteCandidate> &free)
 {
     WORMSIM_ASSERT(!free.empty(), "select from empty candidate set");
     switch (cfg.select) {
       case VcSelectPolicy::FirstFree:
-        return free.front();
+        return 0;
       case VcSelectPolicy::Random:
-        return free[uniformInt(rand, free.size())];
+        return uniformInt(rand, free.size());
       case VcSelectPolicy::LeastBusy:
         break;
     }
@@ -192,7 +304,7 @@ Network::select(NodeId head, const std::vector<RouteCandidate> &free)
     int ties = 0;
     std::size_t chosen = 0;
     for (std::size_t i = 0; i < free.size(); ++i) {
-        const Link &l = links[net.channelId(head, free[i].dir)];
+        const Link &l = links[scratchFreeCh[i]];
         int score = l.activeVcs();
         if (score < best) {
             best = score;
@@ -204,7 +316,7 @@ Network::select(NodeId head, const std::vector<RouteCandidate> &free)
                 chosen = i;
         }
     }
-    return free[chosen];
+    return chosen;
 }
 
 void
@@ -219,14 +331,18 @@ Network::allocationPhase(Cycle now)
     std::size_t keep = 0;
     for (std::size_t i = 0; i < needRoute.size(); ++i) {
         Message *m = needRoute[i];
+        if (m == nullptr)
+            continue; // tombstone (removed since the last sweep)
         // The routing decision itself takes routingDelay cycles.
         if (now < m->readyAt()) {
+            m->setRouteQueueIndex(keep);
             needRoute[keep++] = m;
             continue;
         }
         // Skip blocked messages unless a VC at their node freed since
         // their last attempt (nothing else can change their candidates).
         if (!m->retryPending() && !nodeDirty[m->headAt()]) {
+            m->setRouteQueueIndex(keep);
             needRoute[keep++] = m;
             continue;
         }
@@ -244,12 +360,16 @@ Network::allocationPhase(Cycle now)
                 sink->onEvent(e);
             }
             m->setRetryPending(false);
+            m->setRouteQueueIndex(keep);
             needRoute[keep++] = m; // still blocked
             continue;
         }
-        const RouteCandidate &pick = select(m->headAt(), scratchFree);
-        ChannelId ch = net.channelId(m->headAt(), pick.dir);
+        std::size_t pickIdx = select(scratchFree);
+        const RouteCandidate &pick = scratchFree[pickIdx];
+        ChannelId ch = scratchFreeCh[pickIdx];
         Link &l = links[ch];
+        m->setRouteQueueIndex(Message::kNotQueued); // leaving the queue
+        --needRouteLive;
         NodeId next = l.toNode();
         l.allocateVc(pick.vc, m, m->headVc(), m->length());
         noteLinkActive(ch);
@@ -345,7 +465,7 @@ Network::applyTransfer(VirtualChannel *v, Cycle now)
         m->setWaitingSince(now);
         m->setReadyAt(now + 1 + cfg.routingDelay);
         m->setRetryPending(true);
-        needRoute.push_back(m);
+        pushNeedRoute(m);
     }
 }
 
@@ -483,12 +603,12 @@ Network::step(Cycle now)
         applyTransfer(v, now);
 
     if (cfg.watchdogPatience > 0 && cfg.watchdogInterval > 0 &&
-        now % cfg.watchdogInterval == 0 && !needRoute.empty()) {
+        now % cfg.watchdogInterval == 0 && needRouteLive > 0) {
         runWatchdog(now);
     }
 
     if (metrics && metrics->sampleDue(now)) {
-        metrics->takeSample(now, pool.size(), needRoute.size());
+        metrics->takeSample(now, pool.size(), needRouteLive);
     }
 }
 
@@ -506,6 +626,8 @@ Network::abortStarved(Cycle now)
     };
     std::vector<Starved> victims;
     for (Message *m : needRoute) {
+        if (m == nullptr)
+            continue; // tombstone
         if (now - m->waitingSince() < watchdog.patience())
             continue;
         scratchCandidates.clear();
@@ -533,13 +655,15 @@ Network::runWatchdog(Cycle now)
 {
     if (faultRecovery) {
         abortStarved(now);
-        if (needRoute.empty())
+        if (needRouteLive == 0)
             return;
     }
 
     std::vector<DeadlockWatchdog::WaitInfo> waiting;
-    waiting.reserve(needRoute.size());
+    waiting.reserve(needRouteLive);
     for (Message *m : needRoute) {
+        if (m == nullptr)
+            continue; // tombstone
         if (now - m->waitingSince() < watchdog.patience())
             continue;
         DeadlockWatchdog::WaitInfo info;
@@ -695,6 +819,7 @@ Network::takeLinkDown(ChannelId ch, Cycle now)
     for (Message *m : victims)
         abortMessage(m, now, AbortCause::LinkFault, ch);
     l.setDown(); // asserts every VC was released by the aborts
+    setUsableBit(ch, false);
     ++faultEventsCount;
     ++downCount;
     if (metrics)
@@ -717,6 +842,7 @@ Network::takeLinkUp(ChannelId ch, Cycle now)
 {
     Link &l = links[ch];
     l.setUp(); // asserts the link was down
+    setUsableBit(ch, true);
     --downCount;
     // Headers blocked at the link's source may now have candidates again.
     markDirty(l.fromNode());
@@ -736,9 +862,17 @@ Network::takeLinkUp(ChannelId ch, Cycle now)
 void
 Network::removeFromNeedRoute(Message *msg)
 {
-    auto it = std::find(needRoute.begin(), needRoute.end(), msg);
-    if (it != needRoute.end())
-        needRoute.erase(it);
+    // O(1) tombstone via the message's back-pointer (the old linear scan
+    // made every delivery/abort O(waiting messages)). The slot is
+    // compacted, order preserved, by the next allocation sweep.
+    std::size_t idx = msg->routeQueueIndex();
+    if (idx == Message::kNotQueued)
+        return;
+    WORMSIM_ASSERT(idx < needRoute.size() && needRoute[idx] == msg,
+                   "stale route-queue index for ", msg->str());
+    needRoute[idx] = nullptr;
+    msg->setRouteQueueIndex(Message::kNotQueued);
+    --needRouteLive;
 }
 
 NetworkCounters
@@ -788,6 +922,7 @@ Network::failLink(NodeId node, Direction d)
 {
     ChannelId ch = net.channelId(node, d);
     links[ch].setFailed();
+    setUsableBit(ch, false);
     realLinks.erase(std::remove(realLinks.begin(), realLinks.end(), ch),
                     realLinks.end());
     ++numFailed;

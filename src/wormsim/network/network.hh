@@ -32,6 +32,7 @@
 #include "wormsim/network/watchdog.hh"
 #include "wormsim/obs/metrics.hh"
 #include "wormsim/obs/trace_sink.hh"
+#include "wormsim/routing/route_cache.hh"
 #include "wormsim/routing/routing_algorithm.hh"
 #include "wormsim/rng/xoshiro.hh"
 
@@ -107,6 +108,17 @@ struct NetworkParams
     Cycle watchdogInterval = 1024;
     DeadlockAction deadlockAction = DeadlockAction::Panic;
     StepMode stepMode = StepMode::Active; ///< arbitration sweep engine
+    /**
+     * Route-cache engine (--route-cache): memoized routing candidates
+     * with precomputed channel ids, the packed per-fabric VC arena, and
+     * the occupied-bitmask arbitration walk. Off = the reference engine
+     * (per-call candidate recomputation, per-link VC vectors). Both are
+     * bit-identical; the cache engine silently falls back to the
+     * reference candidate path for algorithms that are not memoizable
+     * (RoutingAlgorithm::routeCacheKeySpace() == 0) or need > 64 VC
+     * classes.
+     */
+    bool routeCache = true;
 };
 
 /**
@@ -325,8 +337,41 @@ class Network
         return links[net.channelId(node, d)];
     }
     int numVcClasses() const { return vcClasses; }
-    std::size_t messagesAwaitingRoute() const { return needRoute.size(); }
+    std::size_t messagesAwaitingRoute() const { return needRouteLive; }
     const MessagePool &messagePool() const { return pool; }
+
+    /** The candidate cache, or nullptr (off, uncacheable, > 64 VCs). */
+    const RouteCache *routeCache() const { return cache.get(); }
+
+    /** Reserved capacities of the per-cycle scratch buffers. */
+    struct ScratchCapacities
+    {
+        std::size_t candidates = 0;
+        std::size_t freeList = 0;
+        std::size_t freeChannels = 0;
+        std::size_t staged = 0;
+        std::size_t merge = 0;
+
+        bool
+        operator==(const ScratchCapacities &o) const
+        {
+            return candidates == o.candidates && freeList == o.freeList &&
+                   freeChannels == o.freeChannels && staged == o.staged &&
+                   merge == o.merge;
+        }
+    };
+
+    /**
+     * Current scratch-buffer capacities (steady-state no-reallocation
+     * tests): all are reserved to worst case at construction, so they
+     * must not change over any run of the paper algorithms.
+     */
+    ScratchCapacities scratchCapacities() const
+    {
+        return {scratchCandidates.capacity(), scratchFree.capacity(),
+                scratchFreeCh.capacity(), stagedTransfers.capacity(),
+                scratchMerge.capacity()};
+    }
 
     /**
      * Links currently tracked by the active-set engine (active-mode
@@ -406,16 +451,49 @@ class Network
         }
     }
 
-    /** Free candidates of @p msg at its head node, filtered to real links. */
+    /**
+     * Free candidates of @p msg at its head node, filtered to usable
+     * links with a free VC of the candidate class. Fills @p out and, in
+     * lockstep, scratchFreeCh with each candidate's ChannelId. Served
+     * from the route cache when one is attached (bit-identical: the
+     * cache stores the unfiltered topological list in algorithm order
+     * and the same availability/free filters apply here).
+     */
     void freeCandidates(const Message &msg,
                         std::vector<RouteCandidate> &out);
 
     /**
-     * Pick one of @p free per the selection policy; @p head is the node
-     * the candidates leave from.
+     * Pick one of @p free per the selection policy; returns its index.
+     * scratchFreeCh holds the corresponding channel ids.
      */
-    const RouteCandidate &select(NodeId head,
-                                 const std::vector<RouteCandidate> &free);
+    std::size_t select(const std::vector<RouteCandidate> &free);
+
+    /** Enqueue @p msg for routing (sets its queue back-pointer). */
+    void
+    pushNeedRoute(Message *msg)
+    {
+        msg->setRouteQueueIndex(needRoute.size());
+        needRoute.push_back(msg);
+        ++needRouteLive;
+    }
+
+    /** Keep the availability bitmask in sync with Link::usable(). */
+    void
+    setUsableBit(ChannelId ch, bool usable)
+    {
+        std::uint64_t bit = std::uint64_t{1} << (ch & 63);
+        if (usable)
+            linkUsableBits[ch >> 6] |= bit;
+        else
+            linkUsableBits[ch >> 6] &= ~bit;
+    }
+
+    /** Mirror of links[ch].usable() (see setUsableBit()). */
+    bool
+    usableBit(ChannelId ch) const
+    {
+        return (linkUsableBits[ch >> 6] >> (ch & 63)) & 1;
+    }
 
     const Topology &net;
     const RoutingAlgorithm &routing;
@@ -424,6 +502,14 @@ class Network
 
     int vcClasses;
     std::vector<Link> links;          ///< indexed by ChannelId slot
+    /**
+     * Packed VC arena (route-cache engine): every link's VCs live in one
+     * flat allocation, vcClasses per channel slot, so arbitration and
+     * VC-grant touch contiguous memory instead of per-link heap vectors.
+     * Empty under the reference engine (links self-allocate). Sized once
+     * before Link::configure() hands out pointers; never resized.
+     */
+    std::vector<VirtualChannel> vcStorage;
     std::vector<ChannelId> realLinks; ///< slots that exist
     std::vector<Router> routers;
     CongestionControl admission;
@@ -431,7 +517,23 @@ class Network
 
     MessagePool pool;
     MessageId nextId = 0;
+    /**
+     * Headers waiting for a VC, in FIFO entry order. Removal (delivery
+     * teardown, fault abort) tombstones the slot to nullptr in O(1) via
+     * the message's routeQueueIndex back-pointer; the allocation sweep
+     * skips and compacts tombstones, preserving order. needRouteLive
+     * counts the non-null entries.
+     */
     std::vector<Message *> needRoute;
+    std::size_t needRouteLive = 0;
+    std::unique_ptr<RouteCache> cache; ///< candidate cache (may be null)
+    /**
+     * Per-channel availability bitmask, bit ch mirroring
+     * links[ch].usable(): boundary slots and statically failed links stay
+     * 0, takeLinkDown()/takeLinkUp() clear and set bits. The cached
+     * candidate path filters on this instead of touching Link state.
+     */
+    std::vector<std::uint64_t> linkUsableBits;
     /**
      * Active-set engine state (StepMode::Active): the sorted set of links
      * that may have work this cycle. A link enters when one of its VCs is
@@ -468,9 +570,11 @@ class Network
     DeadlockReport deadlockReport;
     bool deadlockSeen = false;
 
-    // scratch buffers reused across cycles
+    // scratch buffers reused across cycles; reserved to worst case at
+    // construction (see scratchCapacities())
     std::vector<RouteCandidate> scratchCandidates;
     std::vector<RouteCandidate> scratchFree;
+    std::vector<ChannelId> scratchFreeCh; ///< channel per scratchFree entry
     std::vector<VirtualChannel *> stagedTransfers;
 };
 

@@ -72,6 +72,56 @@ BonusCardRouting::onHop(const Topology &topo, NodeId current, NodeId next,
 }
 
 int
+BonusCardRouting::routeCacheKeySpace(const Topology &topo) const
+{
+    // candidates() is a pure function of (base, spendable) where
+    // base = negHops + boost and spendable is the cards still cashable
+    // this hop. Both are bounded by maxNegativeHops: boost <= bonusCards
+    // = max_neg - needed and negHops <= needed along minimal paths.
+    int m = NegativeHopRouting::maxNegativeHops(topo) + 1;
+    if (spendMode == SpendMode::AnyHop)
+        return m * m; // key = base * m + spendable
+    // FirstHop: at the source base == 0 and the set is determined by
+    // spendable == bonusCards; afterwards spendable == 0 and it is
+    // determined by base alone. Two disjoint key ranges.
+    return 2 * m; // key = bonusCards, or m + base after the first hop
+}
+
+int
+BonusCardRouting::routeCacheKey(const Topology &topo,
+                                const Message &msg) const
+{
+    const RouteState &rs = msg.route();
+    int m = NegativeHopRouting::maxNegativeHops(topo) + 1;
+    int base = rs.negHops + rs.boost;
+    if (spendMode == SpendMode::AnyHop)
+        return base * m + (rs.bonusCards - rs.boost);
+    return rs.hopsTaken == 0 ? rs.bonusCards : m + base;
+}
+
+void
+BonusCardRouting::routeCacheLanes(const Topology &topo, int key,
+                                  int &first_lane, int &num_lanes) const
+{
+    // Inverse of routeCacheKey(): recover (base, spendable) so the
+    // cache can fan the minimal directions over lanes
+    // base..base+spendable in candidates() order (spend loop outer).
+    int m = NegativeHopRouting::maxNegativeHops(topo) + 1;
+    if (spendMode == SpendMode::AnyHop) {
+        first_lane = key / m;
+        num_lanes = key % m + 1;
+        return;
+    }
+    if (key < m) { // first hop: base 0, spendable == bonusCards == key
+        first_lane = 0;
+        num_lanes = key + 1;
+    } else { // later hops: no spending, single lane == base
+        first_lane = key - m;
+        num_lanes = 1;
+    }
+}
+
+int
 BonusCardRouting::numCongestionClasses(const Topology &topo) const
 {
     // Footnote 2: class = the virtual channel number the message can use;

@@ -57,6 +57,23 @@ class BonusCardRouting : public RoutingAlgorithm
                         const Message &msg) const override;
     bool torusMinimal(const Topology &) const override { return true; }
 
+    /**
+     * Candidates depend on the message only through the pair (base class,
+     * spendable cards); the key packs both (see bonus_cards.cc).
+     */
+    int routeCacheKeySpace(const Topology &topo) const override;
+    int routeCacheKey(const Topology &topo,
+                      const Message &msg) const override;
+
+    /** Minimal directions fanned over lanes base..base+spendable. */
+    RouteCacheExpand
+    routeCacheExpand() const override
+    {
+        return RouteCacheExpand::LaneFan;
+    }
+    void routeCacheLanes(const Topology &topo, int key, int &first_lane,
+                         int &num_lanes) const override;
+
     SpendMode mode() const { return spendMode; }
 
   private:

@@ -36,6 +36,13 @@ class BrokenRingRouting : public RoutingAlgorithm
     {
         return !topo.isTorus();
     }
+
+    /** Candidates depend on (current, dst) only: a single cache key. */
+    int routeCacheKeySpace(const Topology &topo) const override
+    {
+        (void)topo;
+        return 1;
+    }
 };
 
 } // namespace wormsim

@@ -96,4 +96,13 @@ EcubeRouting::torusMinimal(const Topology &topo) const
     return true;
 }
 
+int
+EcubeRouting::routeCacheKeySpace(const Topology &topo) const
+{
+    // nextHop() reads only (current, dst); the lane fan-out is a pure
+    // function of the base candidate. Deterministic: one key.
+    (void)topo;
+    return 1;
+}
+
 } // namespace wormsim

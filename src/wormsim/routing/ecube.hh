@@ -41,6 +41,9 @@ class EcubeRouting : public RoutingAlgorithm
                         const Message &msg) const override;
     bool torusMinimal(const Topology &topo) const override;
 
+    /** Candidates depend on (current, dst) only: a single cache key. */
+    int routeCacheKeySpace(const Topology &topo) const override;
+
     /** VC classes per lane on @p topo (2 on tori, 1 on meshes). */
     static int classesPerLane(const Topology &topo);
 

@@ -59,6 +59,22 @@ NegativeHopRouting::candidates(const Topology &topo, NodeId current,
                    "(", msg.str(), ")");
 }
 
+int
+NegativeHopRouting::routeCacheKeySpace(const Topology &topo) const
+{
+    // candidates() reads the message only through negHops (the VC
+    // class), bounded by maxNegativeHops along minimal paths.
+    return maxNegativeHops(topo) + 1;
+}
+
+int
+NegativeHopRouting::routeCacheKey(const Topology &topo,
+                                  const Message &msg) const
+{
+    (void)topo;
+    return msg.route().negHops;
+}
+
 void
 NegativeHopRouting::onHop(const Topology &topo, NodeId current, NodeId next,
                           VcClass used, Message &msg) const

@@ -35,6 +35,18 @@ class NegativeHopRouting : public RoutingAlgorithm
                VcClass used, Message &msg) const override;
     bool torusMinimal(const Topology &) const override { return true; }
 
+    /** Candidates depend on the message only through negHops. */
+    int routeCacheKeySpace(const Topology &topo) const override;
+    int routeCacheKey(const Topology &topo,
+                      const Message &msg) const override;
+
+    /** Minimal directions, single lane == key: skeleton-expandable. */
+    RouteCacheExpand
+    routeCacheExpand() const override
+    {
+        return RouteCacheExpand::LaneFan;
+    }
+
     /** Maximum negative hops any message can take = ceil(diameter/2). */
     static int maxNegativeHops(const Topology &topo);
 

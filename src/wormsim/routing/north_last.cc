@@ -76,4 +76,13 @@ NorthLastRouting::torusMinimal(const Topology &topo) const
     return !topo.isTorus();
 }
 
+int
+NorthLastRouting::routeCacheKeySpace(const Topology &topo) const
+{
+    // Both the deterministic northward phase and the adaptive phase read
+    // only the current and destination coordinates: one key.
+    (void)topo;
+    return 1;
+}
+
 } // namespace wormsim

@@ -38,6 +38,9 @@ class NorthLastRouting : public RoutingAlgorithm
     int congestionClass(const Topology &topo,
                         const Message &msg) const override;
     bool torusMinimal(const Topology &topo) const override;
+
+    /** Candidates depend on (current, dst) only: a single cache key. */
+    int routeCacheKeySpace(const Topology &topo) const override;
 };
 
 } // namespace wormsim

@@ -46,4 +46,21 @@ PositiveHopRouting::candidates(const Topology &topo, NodeId current,
                    "(", msg.str(), ")");
 }
 
+int
+PositiveHopRouting::routeCacheKeySpace(const Topology &topo) const
+{
+    // candidates() reads the message only through hopsTaken (the VC
+    // class); minimal routing bounds it by diameter - 1 at any node
+    // that still needs a hop, so diameter + 1 keys always suffice.
+    return topo.diameter() + 1;
+}
+
+int
+PositiveHopRouting::routeCacheKey(const Topology &topo,
+                                  const Message &msg) const
+{
+    (void)topo;
+    return msg.route().hopsTaken;
+}
+
 } // namespace wormsim

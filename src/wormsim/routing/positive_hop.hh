@@ -29,6 +29,18 @@ class PositiveHopRouting : public RoutingAlgorithm
                     const Message &msg,
                     std::vector<RouteCandidate> &out) const override;
     bool torusMinimal(const Topology &) const override { return true; }
+
+    /** Candidates depend on the message only through hopsTaken. */
+    int routeCacheKeySpace(const Topology &topo) const override;
+    int routeCacheKey(const Topology &topo,
+                      const Message &msg) const override;
+
+    /** Minimal directions, single lane == key: skeleton-expandable. */
+    RouteCacheExpand
+    routeCacheExpand() const override
+    {
+        return RouteCacheExpand::LaneFan;
+    }
 };
 
 /**

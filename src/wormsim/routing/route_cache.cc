@@ -1,0 +1,141 @@
+#include "wormsim/routing/route_cache.hh"
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+RouteCache::RouteCache(const Topology &topo, const RoutingAlgorithm &algo,
+                       int vc_classes)
+    : net(topo), routing(algo), keys(algo.routeCacheKeySpace(topo)),
+      vcClasses(vc_classes),
+      nodes(static_cast<std::uint64_t>(topo.numNodes())),
+      dims(topo.numDims()), dense(false)
+{
+    WORMSIM_ASSERT(keys > 0, "route cache built for '", algo.name(),
+                   "', which is not memoizable");
+    std::uint64_t pairs = nodes * nodes;
+    expand = algo.routeCacheExpand();
+    if (expand != RouteCacheExpand::Full &&
+        pairs * static_cast<std::uint64_t>(dims) <= kDenseTableLimit) {
+        // Skeleton mode: one key-invariant entry per (node, destination)
+        // pair; no slice table at all.
+        skeletonArena.assign(static_cast<std::size_t>(pairs) * dims,
+                             SkeletonDim{});
+        skeletonCount.assign(static_cast<std::size_t>(pairs),
+                             kPairUnfilled);
+        return;
+    }
+    expand = RouteCacheExpand::Full;
+    std::uint64_t slices = pairs * static_cast<std::uint64_t>(keys);
+    dense = slices <= kDenseTableLimit;
+    if (dense)
+        table.assign(static_cast<std::size_t>(slices), Slice{});
+    if (keys == 1 && dense)
+        precomputeAll(); // deterministic: full (node, destination) table
+}
+
+RouteCache::Slice
+RouteCache::fillSlice(NodeId current, const Message &msg)
+{
+    scratch.clear();
+    routing.candidates(net, current, msg, scratch);
+    Slice s;
+    s.offset = static_cast<std::uint32_t>(arena.size());
+    s.length = static_cast<std::uint32_t>(scratch.size());
+    for (const RouteCandidate &c : scratch) {
+        WORMSIM_ASSERT(c.vc >= 0 && c.vc < vcClasses,
+                       "candidate VC class ", c.vc, " out of range for ",
+                       routing.name());
+        arena.push_back(CachedCandidate{net.channelId(current, c.dir),
+                                        c.dir, c.vc});
+    }
+    ++filled;
+    return s;
+}
+
+void
+RouteCache::precomputeAll()
+{
+    for (NodeId cur = 0; cur < net.numNodes(); ++cur) {
+        for (NodeId dst = 0; dst < net.numNodes(); ++dst) {
+            if (dst == cur)
+                continue; // no hop is ever requested at the destination
+            Message tmp(0, cur, dst, 1, 0);
+            routing.initMessage(net, tmp);
+            table[indexOf(cur, dst, 0)] = fillSlice(cur, tmp);
+        }
+    }
+}
+
+int
+RouteCache::fillSkeleton(NodeId current, NodeId dst, SkeletonDim *out)
+{
+    Coord cur = net.coordOf(current);
+    Coord d = net.coordOf(dst);
+    int count = 0;
+    for (int dim = 0; dim < dims; ++dim) {
+        DimTravel t = net.travel(dim, cur[dim], d[dim]);
+        if (!t.needed())
+            continue;
+        out[count++] =
+            SkeletonDim{net.channelId(current, Direction{dim, +1}),
+                        net.channelId(current, Direction{dim, -1}),
+                        static_cast<std::int16_t>(dim), t.plusMinimal,
+                        t.minusMinimal};
+    }
+    return count;
+}
+
+const SkeletonDim *
+RouteCache::skeleton(NodeId current, NodeId dst, int &count)
+{
+    WORMSIM_ASSERT(expand != RouteCacheExpand::Full,
+                   "skeleton() called on a full-memoization cache");
+    std::size_t pair =
+        static_cast<std::size_t>(current) * nodes + dst;
+    std::uint8_t &n = skeletonCount[pair];
+    SkeletonDim *slot = skeletonArena.data() + pair * dims;
+    if (n == kPairUnfilled) {
+        ++missCount;
+        ++filled;
+        n = static_cast<std::uint8_t>(fillSkeleton(current, dst, slot));
+    } else {
+        ++hitCount;
+    }
+    count = n;
+    return slot;
+}
+
+const CachedCandidate *
+RouteCache::lookup(NodeId current, const Message &msg, int &count)
+{
+    int key = keys == 1 ? 0 : routing.routeCacheKey(net, msg);
+    WORMSIM_ASSERT(key >= 0 && key < keys, "route cache key ", key,
+                   " out of range for ", routing.name());
+    std::uint64_t idx = indexOf(current, msg.dst(), key);
+    Slice s;
+    if (dense) {
+        Slice &slot = table[static_cast<std::size_t>(idx)];
+        if (slot.offset == kUnfilled) {
+            ++missCount;
+            slot = fillSlice(current, msg);
+        } else {
+            ++hitCount;
+        }
+        s = slot;
+    } else {
+        auto [it, inserted] = sparse.try_emplace(idx);
+        if (inserted) {
+            ++missCount;
+            it->second = fillSlice(current, msg);
+        } else {
+            ++hitCount;
+        }
+        s = it->second;
+    }
+    count = static_cast<int>(s.length);
+    return arena.data() + s.offset;
+}
+
+} // namespace wormsim

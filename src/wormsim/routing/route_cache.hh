@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Memoized routing-candidate cache (the --route-cache engine).
+ *
+ * Every paper algorithm computes candidates() as a pure function of
+ * (current node, destination, key) where the key is a small integer
+ * derived from the message's routing state (see
+ * RoutingAlgorithm::routeCacheKeySpace()). The cache stores each such
+ * candidate list exactly once, as an (offset, length) slice into a single
+ * flat arena, with the outgoing ChannelId precomputed per candidate so a
+ * hit performs no coordinate arithmetic at all.
+ *
+ * The cache is purely topological: it never looks at link availability or
+ * VC occupancy. Candidates on non-existent (mesh boundary), failed, or
+ * downed links are stored like any other and filtered at lookup time by
+ * the Network's per-channel availability bitmask — exactly the filter the
+ * uncached path applies — so fault injection remains bit-identical.
+ *
+ * Deterministic algorithms (key space 1: ecube, north-last, broken-ring)
+ * are precomputed densely for every (node, destination) pair at
+ * construction and always hit.
+ *
+ * For the adaptive schemes, full per-key memoization is a bad trade: a
+ * message's (node, destination, key) triple rarely recurs within a run,
+ * so the slice table mostly misses and its footprint thrashes. They
+ * instead declare a skeleton expansion (RoutingAlgorithm::
+ * routeCacheExpand()): one lazily-filled per-(node, destination) table
+ * of the dimensions still needing travel — key-invariant, so every key
+ * shares it — from which the Network expands candidates by mapping the
+ * key onto VC lanes (phop, nhop, nbc) or direction signs (2pn) in the
+ * exact order candidates() would produce them.
+ *
+ * Full-mode slice tables fall back to an open hash map when
+ * (nodes^2 x key space) exceeds kDenseTableLimit, and skeleton tables
+ * fall back to full memoization when nodes^2 x dims would.
+ */
+
+#ifndef WORMSIM_ROUTING_ROUTE_CACHE_HH
+#define WORMSIM_ROUTING_ROUTE_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "wormsim/routing/routing_algorithm.hh"
+
+namespace wormsim
+{
+
+/** One memoized candidate: a RouteCandidate plus its resolved channel. */
+struct CachedCandidate
+{
+    ChannelId channel; ///< channelId(current, dir), resolved at fill time
+    Direction dir;
+    VcClass vc;
+};
+
+/**
+ * One dimension still needing travel at a (current, destination) pair:
+ * the key-invariant skeleton the LaneFan/TagSign expansions build
+ * candidates from. Both channel ids are precomputed so a lookup does no
+ * coordinate arithmetic; minimality flags preserve
+ * pushMinimalDirections() candidate order (plus before minus).
+ */
+struct SkeletonDim
+{
+    ChannelId chPlus;  ///< channelId(current, {dim, +1})
+    ChannelId chMinus; ///< channelId(current, {dim, -1})
+    std::int16_t dim;
+    bool plusMinimal;
+    bool minusMinimal;
+};
+
+/** Flat-arena memoization of RoutingAlgorithm::candidates(). */
+class RouteCache
+{
+  public:
+    /**
+     * @param topo topology (not owned; must outlive the cache)
+     * @param algo routing algorithm; must be memoizable
+     *        (routeCacheKeySpace(topo) > 0)
+     * @param vc_classes VC classes per physical channel (bounds check)
+     */
+    RouteCache(const Topology &topo, const RoutingAlgorithm &algo,
+               int vc_classes);
+
+    /**
+     * Candidates of @p msg at node @p current (never its destination).
+     * Fills the slice on first use. The returned pointer is valid until
+     * the next lookup() (the arena may grow).
+     *
+     * @param[out] count number of candidates
+     */
+    const CachedCandidate *lookup(NodeId current, const Message &msg,
+                                  int &count);
+
+    /**
+     * Key-invariant travel skeleton of (current, destination), for the
+     * LaneFan/TagSign expansions (expandMode() != Full only). Fills the
+     * pair's entry on first use; at most numDims() entries.
+     *
+     * @param[out] count number of dimensions still needing travel
+     */
+    const SkeletonDim *skeleton(NodeId current, NodeId dst, int &count);
+
+    // --- introspection (tests, docs) ---
+    /** Effective expansion: the algorithm's choice, or Full when the
+     *  skeleton table would exceed kDenseTableLimit entries. */
+    RouteCacheExpand expandMode() const { return expand; }
+    int keySpace() const { return keys; }
+    bool denseTable() const { return dense; }
+    std::size_t arenaEntries() const { return arena.size(); }
+    std::size_t filledSlices() const { return filled; }
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+
+    /**
+     * Dense-table size limit in slices (32 MiB of slice headers); above
+     * it the cache switches to the hash map.
+     */
+    static constexpr std::uint64_t kDenseTableLimit = std::uint64_t{1}
+                                                      << 22;
+
+  private:
+    struct Slice
+    {
+        std::uint32_t offset = kUnfilled;
+        std::uint32_t length = 0;
+    };
+    static constexpr std::uint32_t kUnfilled = 0xffffffffu;
+
+    std::uint64_t
+    indexOf(NodeId current, NodeId dst, int key) const
+    {
+        return (static_cast<std::uint64_t>(current) * nodes + dst) * keys +
+               key;
+    }
+
+    /** Compute and append the candidate list; returns its slice. */
+    Slice fillSlice(NodeId current, const Message &msg);
+
+    /** Eagerly fill every (node, destination) pair (key space 1). */
+    void precomputeAll();
+
+    /** Compute the skeleton of one pair; returns its dimension count. */
+    int fillSkeleton(NodeId current, NodeId dst, SkeletonDim *out);
+
+    static constexpr std::uint8_t kPairUnfilled = 0xffu;
+
+    const Topology &net;
+    const RoutingAlgorithm &routing;
+    int keys;
+    int vcClasses;
+    std::uint64_t nodes;
+    int dims = 0;
+    RouteCacheExpand expand = RouteCacheExpand::Full;
+    bool dense;
+
+    std::vector<Slice> table; ///< dense slice table (when dense)
+    std::unordered_map<std::uint64_t, Slice> sparse; ///< otherwise
+    std::vector<CachedCandidate> arena; ///< all candidate lists, packed
+    std::vector<RouteCandidate> scratch; ///< fill-time staging
+    std::vector<SkeletonDim> skeletonArena; ///< numDims-strided pairs
+    std::vector<std::uint8_t> skeletonCount; ///< per pair; 0xff unfilled
+    std::size_t filled = 0;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_ROUTING_ROUTE_CACHE_HH

@@ -15,6 +15,37 @@ RoutingAlgorithm::onHop(const Topology &topo, NodeId current, NodeId next,
 }
 
 int
+RoutingAlgorithm::routeCacheKeySpace(const Topology &topo) const
+{
+    (void)topo;
+    return 0; // unknown algorithms are never memoized
+}
+
+int
+RoutingAlgorithm::routeCacheKey(const Topology &topo,
+                                const Message &msg) const
+{
+    (void)topo;
+    (void)msg;
+    return 0;
+}
+
+RouteCacheExpand
+RoutingAlgorithm::routeCacheExpand() const
+{
+    return RouteCacheExpand::Full;
+}
+
+void
+RoutingAlgorithm::routeCacheLanes(const Topology &topo, int key,
+                                  int &first_lane, int &num_lanes) const
+{
+    (void)topo;
+    first_lane = key;
+    num_lanes = 1;
+}
+
+int
 RoutingAlgorithm::numCongestionClasses(const Topology &topo) const
 {
     (void)topo;

@@ -23,6 +23,14 @@
 namespace wormsim
 {
 
+/** Route-cache expansion strategies (see routeCacheExpand()). */
+enum class RouteCacheExpand
+{
+    Full,     ///< memoize the whole list per (node, destination, key)
+    LaneFan,  ///< minimal directions x consecutive VC lanes from the key
+    TagSign,  ///< per-dimension sign from the key's bits, VC class == key
+};
+
 /** One admissible next hop: a direction and the VC class to reserve. */
 struct RouteCandidate
 {
@@ -97,6 +105,50 @@ class RoutingAlgorithm
      * but not torus-minimal, so they return false on tori.
      */
     virtual bool torusMinimal(const Topology &topo) const = 0;
+
+    /**
+     * Route-cache contract (routing/route_cache.hh). An algorithm is
+     * memoizable when candidates() is a pure function of (current node,
+     * msg.dst(), key) for a small integer key derived from the message's
+     * routing state. routeCacheKeySpace() returns the number of distinct
+     * keys on @p topo, or 0 when the algorithm is not memoizable — the
+     * default, so user-defined algorithms are never cached incorrectly.
+     * When nonzero, routeCacheKey() must return a value in
+     * [0, routeCacheKeySpace()) and candidates() must depend on the
+     * message only through (dst, key).
+     */
+    virtual int routeCacheKeySpace(const Topology &topo) const;
+
+    /** Cache key of @p msg (see routeCacheKeySpace()). Default: 0. */
+    virtual int routeCacheKey(const Topology &topo,
+                              const Message &msg) const;
+
+    /**
+     * How the route cache expands a memoized entry into candidates (see
+     * route_cache.hh).
+     *
+     * Full (the default) memoizes the complete candidate list per
+     * (node, destination, key) — always sound, but only profitable when
+     * keys repeat (deterministic algorithms with key space 1).
+     *
+     * The skeleton modes exploit that candidates() factors into a
+     * key-invariant direction set per (node, destination) plus a cheap
+     * key-dependent VC-lane mapping, so one tiny table serves every key:
+     *  - LaneFan: candidates are the minimal directions
+     *    (pushMinimalDirections order) repeated for the consecutive VC
+     *    lanes given by routeCacheLanes(), lane-major (phop, nhop, nbc).
+     *  - TagSign: one candidate per dimension still needing travel, the
+     *    sign taken from bit dim of the key, VC class == key (2pn).
+     */
+    virtual RouteCacheExpand routeCacheExpand() const;
+
+    /**
+     * LaneFan lane range for @p key: candidates span VC lanes
+     * [@p first_lane, @p first_lane + @p num_lanes). Default: the key
+     * itself as a single lane, which fits phop and nhop.
+     */
+    virtual void routeCacheLanes(const Topology &topo, int key,
+                                 int &first_lane, int &num_lanes) const;
 };
 
 } // namespace wormsim

@@ -81,6 +81,24 @@ TwoPowerNRouting::congestionClass(const Topology &topo,
     return msg.route().tag;
 }
 
+int
+TwoPowerNRouting::routeCacheKeySpace(const Topology &topo) const
+{
+    // candidates() reads the message only through route().tag (the VC
+    // class and the per-dimension travel signs). The tag is fixed at
+    // initMessage() and never changes, so every hop of a message hits
+    // the same key.
+    return numVcClasses(topo);
+}
+
+int
+TwoPowerNRouting::routeCacheKey(const Topology &topo,
+                                const Message &msg) const
+{
+    (void)topo;
+    return msg.route().tag;
+}
+
 bool
 TwoPowerNRouting::torusMinimal(const Topology &topo) const
 {

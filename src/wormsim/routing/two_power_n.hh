@@ -51,6 +51,18 @@ class TwoPowerNRouting : public RoutingAlgorithm
                         const Message &msg) const override;
     bool torusMinimal(const Topology &topo) const override;
 
+    /** Candidates depend on the message only through its tag: 2^n keys. */
+    int routeCacheKeySpace(const Topology &topo) const override;
+    int routeCacheKey(const Topology &topo,
+                      const Message &msg) const override;
+
+    /** One direction per unequal dimension, sign = tag bit, VC = tag. */
+    RouteCacheExpand
+    routeCacheExpand() const override
+    {
+        return RouteCacheExpand::TagSign;
+    }
+
     TagPolicy tagPolicy() const { return policy; }
 
   private:

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "wormsim/common/json.hh"
 #include "wormsim/common/logging.hh"
 #include "wormsim/driver/runner.hh"
 #include "wormsim/obs/chrome_trace.hh"
@@ -29,223 +30,6 @@ namespace wormsim
 {
 namespace
 {
-
-// ------------------- minimal validating JSON parser --------------------
-//
-// Just enough of RFC 8259 to verify that ChromeTraceSink emits
-// structurally valid JSON: objects, arrays, strings with escapes,
-// numbers, booleans. Parses into a generic value tree.
-
-struct JsonValue
-{
-    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string text;
-    std::vector<JsonValue> items;
-    std::map<std::string, JsonValue> fields;
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : s(text) {}
-
-    bool
-    parse(JsonValue &out)
-    {
-        skipWs();
-        if (!value(out))
-            return false;
-        skipWs();
-        return pos == s.size(); // no trailing garbage
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos < s.size() &&
-               std::isspace(static_cast<unsigned char>(s[pos])))
-            ++pos;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        std::size_t n = std::string(word).size();
-        if (s.compare(pos, n, word) != 0)
-            return false;
-        pos += n;
-        return true;
-    }
-
-    bool
-    value(JsonValue &out)
-    {
-        skipWs();
-        if (pos >= s.size())
-            return false;
-        char c = s[pos];
-        if (c == '{')
-            return object(out);
-        if (c == '[')
-            return array(out);
-        if (c == '"') {
-            out.kind = JsonValue::String;
-            return string(out.text);
-        }
-        if (c == 't') {
-            out.kind = JsonValue::Bool;
-            out.boolean = true;
-            return literal("true");
-        }
-        if (c == 'f') {
-            out.kind = JsonValue::Bool;
-            out.boolean = false;
-            return literal("false");
-        }
-        if (c == 'n') {
-            out.kind = JsonValue::Null;
-            return literal("null");
-        }
-        return number(out);
-    }
-
-    bool
-    string(std::string &out)
-    {
-        if (s[pos] != '"')
-            return false;
-        ++pos;
-        out.clear();
-        while (pos < s.size() && s[pos] != '"') {
-            if (s[pos] == '\\') {
-                if (pos + 1 >= s.size())
-                    return false;
-                char e = s[pos + 1];
-                if (e == 'u') {
-                    if (pos + 5 >= s.size())
-                        return false;
-                    for (int i = 2; i <= 5; ++i) {
-                        if (!std::isxdigit(
-                                static_cast<unsigned char>(s[pos + i])))
-                            return false;
-                    }
-                    out += '?'; // decoded value irrelevant here
-                    pos += 6;
-                    continue;
-                }
-                if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
-                    e != 'f' && e != 'n' && e != 'r' && e != 't')
-                    return false;
-                out += e;
-                pos += 2;
-                continue;
-            }
-            if (static_cast<unsigned char>(s[pos]) < 0x20)
-                return false; // control chars must be escaped
-            out += s[pos++];
-        }
-        if (pos >= s.size())
-            return false;
-        ++pos; // closing quote
-        return true;
-    }
-
-    bool
-    number(JsonValue &out)
-    {
-        std::size_t start = pos;
-        if (pos < s.size() && s[pos] == '-')
-            ++pos;
-        while (pos < s.size() &&
-               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
-                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
-                s[pos] == '+' || s[pos] == '-'))
-            ++pos;
-        if (pos == start)
-            return false;
-        try {
-            out.number = std::stod(s.substr(start, pos - start));
-        } catch (...) {
-            return false;
-        }
-        out.kind = JsonValue::Number;
-        return true;
-    }
-
-    bool
-    array(JsonValue &out)
-    {
-        out.kind = JsonValue::Array;
-        ++pos; // '['
-        skipWs();
-        if (pos < s.size() && s[pos] == ']') {
-            ++pos;
-            return true;
-        }
-        while (true) {
-            JsonValue item;
-            if (!value(item))
-                return false;
-            out.items.push_back(std::move(item));
-            skipWs();
-            if (pos >= s.size())
-                return false;
-            if (s[pos] == ',') {
-                ++pos;
-                continue;
-            }
-            if (s[pos] == ']') {
-                ++pos;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    object(JsonValue &out)
-    {
-        out.kind = JsonValue::Object;
-        ++pos; // '{'
-        skipWs();
-        if (pos < s.size() && s[pos] == '}') {
-            ++pos;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            std::string key;
-            if (pos >= s.size() || s[pos] != '"' || !string(key))
-                return false;
-            skipWs();
-            if (pos >= s.size() || s[pos] != ':')
-                return false;
-            ++pos;
-            JsonValue v;
-            if (!value(v))
-                return false;
-            out.fields.emplace(std::move(key), std::move(v));
-            skipWs();
-            if (pos >= s.size())
-                return false;
-            if (s[pos] == ',') {
-                ++pos;
-                continue;
-            }
-            if (s[pos] == '}') {
-                ++pos;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    const std::string &s;
-    std::size_t pos = 0;
-};
 
 // ----------------------------- helpers ---------------------------------
 

@@ -1,0 +1,551 @@
+/**
+ * @file
+ * Route-computation cache (--route-cache) tests.
+ *
+ * The centerpiece is the golden cache-on-vs-off comparison: all six paper
+ * algorithms x {uniform, hotspot, local} traffic x {dense, active} step
+ * modes, asserting bit-identical delivered-message digests, RNG draw
+ * counts, and stall-cause totals between the cached engine and the
+ * reference per-call candidate computation. A faulted run additionally
+ * asserts full trace-event-sequence equality across link failures and
+ * repairs. Plus unit coverage for RouteCache itself (precompute counts,
+ * dense/sparse table selection, hit/miss accounting, lookup fidelity),
+ * the O(1) needRoute tombstone removal, and the no-reallocation
+ * guarantee on the hot-path scratch vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "wormsim/wormsim.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+    return h;
+}
+
+/**
+ * Number of next() calls that takes a fresh engine seeded with @p seed
+ * to @p final — the draw count behind an observed end-of-run RNG state.
+ */
+std::uint64_t
+countDraws(std::uint64_t seed, const std::array<std::uint64_t, 4> &final,
+           std::uint64_t cap)
+{
+    Xoshiro256 replay(seed);
+    for (std::uint64_t n = 0; n <= cap; ++n) {
+        if (replay.state() == final)
+            return n;
+        replay.next();
+    }
+    ADD_FAILURE() << "RNG final state not reached within " << cap
+                  << " draws";
+    return cap + 1;
+}
+
+constexpr std::uint64_t kVcSeed = 4321;
+
+struct GoldenResult
+{
+    std::uint64_t digest = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t flits = 0;
+    std::uint64_t vcRngDraws = 0;
+    StallSummary stalls;
+};
+
+/**
+ * Drive one Network directly with a deterministic arrival process, as
+ * test_active_set.cc does, but comparing the route-cache engine against
+ * the reference path instead of dense against active. The vc-select RNG
+ * is consumed by the fabric itself, so its draw count proves the cached
+ * free-candidate lists present the same choices in the same order.
+ */
+GoldenResult
+runGolden(const std::string &algorithm, const std::string &traffic,
+          StepMode mode, bool route_cache)
+{
+    Torus topo({8, 8});
+    auto algo = makeRoutingAlgorithm(algorithm);
+    Xoshiro256 vcRng(kVcSeed);
+    NetworkParams params;
+    params.stepMode = mode;
+    params.routeCache = route_cache;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, vcRng);
+    MetricsRegistry metrics(topo.numNodes(), topo.numChannelSlots(), 0);
+    net.setMetrics(&metrics);
+
+    GoldenResult g;
+    net.setDeliveryHook([&g](const Message &m, Cycle now) {
+        g.digest = hashCombine(g.digest, m.id());
+        g.digest = hashCombine(g.digest, now);
+        g.digest = hashCombine(g.digest, static_cast<std::uint64_t>(
+                                             m.src()));
+        g.digest = hashCombine(g.digest, static_cast<std::uint64_t>(
+                                             m.dst()));
+        g.digest = hashCombine(
+            g.digest,
+            static_cast<std::uint64_t>(m.route().hopsTaken));
+    });
+
+    TrafficParams tp;
+    auto pattern = makeTrafficPattern(traffic, topo, tp);
+    Xoshiro256 arrivals(99);
+    Xoshiro256 dest(7);
+    Cycle t = 0;
+    for (; t < 2500; ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (bernoulli(arrivals, 0.02))
+                net.offerMessage(n, pattern->pickDest(n, dest), 8, t);
+        }
+        net.step(t);
+    }
+    while (net.busy() && t < 20000) {
+        net.step(t);
+        ++t;
+    }
+    EXPECT_FALSE(net.busy()) << algorithm << "/" << traffic
+                             << " failed to drain";
+
+    // The cache must actually be engaged when requested: every paper
+    // algorithm is memoizable.
+    EXPECT_EQ(net.routeCache() != nullptr, route_cache);
+    if (const RouteCache *cache = net.routeCache()) {
+        EXPECT_GT(cache->hits() + cache->misses(), 0u);
+    }
+
+    NetworkCounters c = net.counters();
+    g.delivered = c.messagesDelivered;
+    g.dropped = c.messagesDropped;
+    g.flits = net.flitsTransferred();
+    g.vcRngDraws = countDraws(kVcSeed, vcRng.state(), 50'000'000);
+    g.stalls = metrics.summary();
+    return g;
+}
+
+TEST(RouteCache, GoldenBitIdenticalAcrossAlgorithmsTrafficAndStepModes)
+{
+    const std::vector<std::string> algorithms = {"ecube", "nlast", "2pn",
+                                                 "phop", "nhop", "nbc"};
+    const std::vector<std::string> traffics = {"uniform", "hotspot",
+                                               "local"};
+    for (const std::string &algorithm : algorithms) {
+        for (const std::string &traffic : traffics) {
+            for (StepMode mode : {StepMode::Dense, StepMode::Active}) {
+                SCOPED_TRACE(algorithm + "/" + traffic + "/" +
+                             stepModeName(mode));
+                GoldenResult off =
+                    runGolden(algorithm, traffic, mode, false);
+                GoldenResult on =
+                    runGolden(algorithm, traffic, mode, true);
+                EXPECT_EQ(off.digest, on.digest);
+                EXPECT_EQ(off.delivered, on.delivered);
+                EXPECT_EQ(off.dropped, on.dropped);
+                EXPECT_EQ(off.flits, on.flits);
+                EXPECT_EQ(off.vcRngDraws, on.vcRngDraws);
+                EXPECT_GT(off.delivered, 0u);
+                EXPECT_EQ(off.stalls.vcBusy, on.stalls.vcBusy);
+                EXPECT_EQ(off.stalls.physBusy, on.stalls.physBusy);
+                EXPECT_EQ(off.stalls.bufferFull, on.stalls.bufferFull);
+                EXPECT_EQ(off.stalls.injectionLimit,
+                          on.stalls.injectionLimit);
+                EXPECT_EQ(off.stalls.totalBlockCycles,
+                          on.stalls.totalBlockCycles);
+                EXPECT_EQ(off.stalls.flitsForwarded,
+                          on.stalls.flitsForwarded);
+            }
+        }
+    }
+}
+
+/**
+ * One faulted run: links go down (tearing worms apart mid-flight) and
+ * come back up while traffic flows. Cache-on must emit the exact same
+ * trace-event sequence as cache-off — the strongest statement that the
+ * availability-bitmask filter reproduces the uncached usable() checks.
+ */
+std::vector<TraceEvent>
+runFaulted(bool route_cache)
+{
+    Torus topo({6, 6});
+    auto algo = makeRoutingAlgorithm("phop");
+    Xoshiro256 rng(kVcSeed);
+    NetworkParams params;
+    params.routeCache = route_cache;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, rng);
+    MemoryTraceSink sink(kAllTraceEvents);
+    net.setTraceSink(&sink);
+
+    UniformTraffic traffic(topo);
+    Xoshiro256 arrivals(17), dest(18);
+    ChannelId chA = topo.channelId(7, Direction{0, +1});
+    ChannelId chB = topo.channelId(20, Direction{1, -1});
+    Cycle t = 0;
+    for (; t < 2200; ++t) {
+        if (t == 400)
+            net.takeLinkDown(chA, t);
+        if (t == 900)
+            net.takeLinkUp(chA, t);
+        if (t == 1200)
+            net.takeLinkDown(chB, t);
+        if (t == 1700)
+            net.takeLinkUp(chB, t);
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (bernoulli(arrivals, 0.08))
+                net.offerMessage(n, traffic.pickDest(n, dest), 8, t);
+        }
+        net.step(t);
+    }
+    while (net.busy() && t < 40000) {
+        net.step(t);
+        ++t;
+    }
+    EXPECT_FALSE(net.busy());
+    EXPECT_GT(net.counters().messagesAborted, 0u)
+        << "fault schedule never hit a worm; weaken the test";
+    return sink.events();
+}
+
+TEST(RouteCache, FaultedRunEmitsIdenticalTraceEventSequence)
+{
+    std::vector<TraceEvent> off = runFaulted(false);
+    std::vector<TraceEvent> on = runFaulted(true);
+    ASSERT_FALSE(off.empty());
+    ASSERT_EQ(off.size(), on.size());
+    for (std::size_t i = 0; i < off.size(); ++i) {
+        ASSERT_EQ(off[i].type, on[i].type) << "event " << i;
+        ASSERT_EQ(off[i].cause, on[i].cause) << "event " << i;
+        ASSERT_EQ(off[i].cycle, on[i].cycle) << "event " << i;
+        ASSERT_EQ(off[i].msg, on[i].msg) << "event " << i;
+        ASSERT_EQ(off[i].node, on[i].node) << "event " << i;
+        ASSERT_EQ(off[i].channel, on[i].channel) << "event " << i;
+        ASSERT_EQ(off[i].vc, on[i].vc) << "event " << i;
+        ASSERT_EQ(off[i].arg0, on[i].arg0) << "event " << i;
+        ASSERT_EQ(off[i].arg1, on[i].arg1) << "event " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// RouteCache unit coverage
+// ---------------------------------------------------------------------
+
+TEST(RouteCache, DeterministicAlgorithmIsFullyPrecomputed)
+{
+    Torus topo({4, 4});
+    auto algo = makeRoutingAlgorithm("ecube");
+    RouteCache cache(topo, *algo, algo->numVcClasses(topo));
+    EXPECT_EQ(cache.keySpace(), 1);
+    EXPECT_TRUE(cache.denseTable());
+    // Every (current, destination != current) pair filled eagerly.
+    EXPECT_EQ(cache.filledSlices(),
+              static_cast<std::size_t>(16 * 15));
+    EXPECT_GT(cache.arenaEntries(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+
+    // Lookup fidelity: slice contents equal a direct candidates() call,
+    // in order, with the channel id resolved.
+    Message m(1, 0, topo.nodeId(Coord(2, 3)), 8, 0);
+    m.setMinDistance(topo.distance(m.src(), m.dst()));
+    algo->initMessage(topo, m);
+    int count = 0;
+    const CachedCandidate *cc = cache.lookup(0, m, count);
+    std::vector<RouteCandidate> ref;
+    algo->candidates(topo, 0, m, ref);
+    ASSERT_EQ(static_cast<std::size_t>(count), ref.size());
+    for (int i = 0; i < count; ++i) {
+        EXPECT_EQ(cc[i].dir, ref[i].dir);
+        EXPECT_EQ(cc[i].vc, ref[i].vc);
+        EXPECT_EQ(cc[i].channel, topo.channelId(0, ref[i].dir));
+    }
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(RouteCache, AdaptiveAlgorithmFillsSkeletonLazilyAndCountsHits)
+{
+    Torus topo({4, 4});
+    auto algo = makeRoutingAlgorithm("phop");
+    RouteCache cache(topo, *algo, algo->numVcClasses(topo));
+    EXPECT_EQ(cache.keySpace(), topo.diameter() + 1);
+    EXPECT_EQ(cache.expandMode(), RouteCacheExpand::LaneFan);
+    EXPECT_EQ(cache.filledSlices(), 0u); // nothing eager
+
+    NodeId dst = topo.nodeId(Coord(2, 1));
+    int count = 0;
+    const SkeletonDim *sk = cache.skeleton(0, dst, count);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.filledSlices(), 1u);
+
+    // Both dimensions still need travel; entries come dim-ascending and
+    // mirror travel()'s minimality flags with channels pre-resolved.
+    ASSERT_EQ(count, 2);
+    Coord cur = topo.coordOf(0);
+    Coord d = topo.coordOf(dst);
+    for (int i = 0; i < count; ++i) {
+        const SkeletonDim &s = sk[i];
+        EXPECT_EQ(s.dim, i);
+        DimTravel t = topo.travel(s.dim, cur[s.dim], d[s.dim]);
+        EXPECT_EQ(s.plusMinimal, t.plusMinimal);
+        EXPECT_EQ(s.minusMinimal, t.minusMinimal);
+        EXPECT_EQ(s.chPlus, topo.channelId(0, Direction{s.dim, +1}));
+        EXPECT_EQ(s.chMinus, topo.channelId(0, Direction{s.dim, -1}));
+    }
+
+    // The skeleton is key-invariant: the second touch hits no matter how
+    // many hops the message has taken, which is the point of the design.
+    cache.skeleton(0, dst, count);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.filledSlices(), 1u);
+}
+
+TEST(RouteCache, LargeKeySpaceFallsBackToSparseTable)
+{
+    // 64x64 torus, phop: 4096^2 pairs overflow both the skeleton table
+    // (x 2 dims) and the dense slice table (x 65 keys), so the cache
+    // degrades to full memoization over a hash map.
+    Torus topo({64, 64});
+    auto algo = makeRoutingAlgorithm("phop");
+    ASSERT_GT(static_cast<std::uint64_t>(topo.numNodes()) *
+                  topo.numNodes() * topo.numDims(),
+              RouteCache::kDenseTableLimit);
+    RouteCache cache(topo, *algo, algo->numVcClasses(topo));
+    EXPECT_EQ(cache.expandMode(), RouteCacheExpand::Full);
+    EXPECT_FALSE(cache.denseTable());
+
+    Message m(1, 0, topo.nodeId(Coord(9, 9)), 8, 0);
+    m.setMinDistance(topo.distance(m.src(), m.dst()));
+    algo->initMessage(topo, m);
+    int count = 0;
+    const CachedCandidate *cc = cache.lookup(0, m, count);
+    std::vector<RouteCandidate> ref;
+    algo->candidates(topo, 0, m, ref);
+    ASSERT_EQ(static_cast<std::size_t>(count), ref.size());
+    for (int i = 0; i < count; ++i) {
+        EXPECT_EQ(cc[i].dir, ref[i].dir);
+        EXPECT_EQ(cc[i].vc, ref[i].vc);
+    }
+    cache.lookup(0, m, count);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(RouteCache, KeySpacesMatchTheAlgorithmStateTuples)
+{
+    Torus topo({8, 8});
+    struct Expect
+    {
+        const char *name;
+        int keySpace;
+    };
+    auto nhop = makeRoutingAlgorithm("nhop");
+    int m = nhop->routeCacheKeySpace(topo); // maxNegativeHops + 1
+    const std::vector<Expect> expectations = {
+        {"ecube", 1},
+        {"nlast", 1},
+        {"2pn", 0}, // filled below: 2^n VC classes
+        {"phop", topo.diameter() + 1},
+        {"nhop", m},
+        {"nbc", 2 * m},
+        {"nbc-flex", m * m},
+    };
+    for (const Expect &e : expectations) {
+        auto algo = makeRoutingAlgorithm(e.name);
+        int want = std::string(e.name) == "2pn"
+                       ? algo->numVcClasses(topo)
+                       : e.keySpace;
+        EXPECT_EQ(algo->routeCacheKeySpace(topo), want) << e.name;
+    }
+}
+
+TEST(RouteCache, NetworkConstructsCacheOnlyWhenEnabled)
+{
+    Torus topo({4, 4});
+    auto algo = makeRoutingAlgorithm("nbc");
+    Xoshiro256 rng(1);
+    NetworkParams params;
+    params.watchdogPatience = 0;
+    {
+        Network net(topo, *algo, params, rng);
+        EXPECT_NE(net.routeCache(), nullptr); // default on
+    }
+    params.routeCache = false;
+    {
+        Network net(topo, *algo, params, rng);
+        EXPECT_EQ(net.routeCache(), nullptr);
+    }
+}
+
+// ---------------------------------------------------------------------
+// needRoute tombstone removal
+// ---------------------------------------------------------------------
+
+TEST(RouteQueue, DeliveryDrainsTheQueueExactly)
+{
+    Torus topo({4, 4});
+    auto algo = makeRoutingAlgorithm("ecube");
+    Xoshiro256 rng(3);
+    NetworkParams params;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, rng);
+    UniformTraffic traffic(topo);
+    Xoshiro256 arrivals(5), dest(6);
+
+    Cycle t = 0;
+    for (; t < 600; ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (bernoulli(arrivals, 0.04))
+                net.offerMessage(n, traffic.pickDest(n, dest), 6, t);
+        }
+        net.step(t);
+        // The live count never exceeds messages in flight and never
+        // goes negative (it would wrap, tripping this bound).
+        ASSERT_LE(net.messagesAwaitingRoute(), net.messagesInFlight())
+            << "cycle " << t;
+    }
+    while (net.busy() && t < 10000) {
+        net.step(t);
+        ++t;
+    }
+    ASSERT_FALSE(net.busy());
+    EXPECT_EQ(net.messagesAwaitingRoute(), 0u);
+    EXPECT_GT(net.counters().messagesDelivered, 0u);
+}
+
+TEST(RouteQueue, FaultAbortRemovesWedgedWaiter)
+{
+    // Worm A (0 -> 2, e-cube: +0 then +0) is wedged awaiting its second
+    // hop because that link is down; it sits in needRoute holding its
+    // first-hop channel. Downing the first hop aborts A, which must
+    // remove it from the queue (count back to zero, network idle).
+    Torus topo({4, 4});
+    auto algo = makeRoutingAlgorithm("ecube");
+    Xoshiro256 rng(1);
+    NetworkParams params;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, rng);
+
+    ChannelId hop1 = topo.channelId(0, Direction{0, +1});
+    ChannelId hop2 = topo.channelId(1, Direction{0, +1});
+    EXPECT_EQ(net.takeLinkDown(hop2, 0), 0); // nothing aborted yet
+    ASSERT_NE(net.offerMessage(0, 2, 8, 0), nullptr); // A
+    Cycle t = 0;
+    for (; t < 6; ++t)
+        net.step(t);
+    EXPECT_EQ(net.messagesAwaitingRoute(), 1u); // A wedged at node 1
+    EXPECT_TRUE(net.busy());
+
+    int victims = net.takeLinkDown(hop1, t);
+    EXPECT_EQ(victims, 1); // A held hop1
+    EXPECT_EQ(net.counters().messagesAborted, 1u);
+    EXPECT_EQ(net.messagesAwaitingRoute(), 0u);
+    EXPECT_FALSE(net.busy());
+    EXPECT_TRUE(net.activeSetConsistent());
+}
+
+TEST(RouteQueue, TombstoneAmidLiveWaitersPreservesService)
+{
+    // Same wedge, with B and C queued at the same source behind A. The
+    // abort tombstones A out of the middle of the FIFO; after repairing
+    // the first hop, every survivor must still route and deliver.
+    Torus topo({4, 4});
+    auto algo = makeRoutingAlgorithm("ecube");
+    Xoshiro256 rng(1);
+    NetworkParams params;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, rng);
+
+    ChannelId hop1 = topo.channelId(0, Direction{0, +1});
+    ChannelId hop2 = topo.channelId(1, Direction{0, +1});
+    net.takeLinkDown(hop2, 0);
+    ASSERT_NE(net.offerMessage(0, 2, 8, 0), nullptr); // A: wedges
+    net.step(0);
+    ASSERT_NE(net.offerMessage(0, 1, 4, 1), nullptr); // B: only hop1
+    ASSERT_NE(net.offerMessage(0, 1, 4, 1), nullptr); // C: only hop1
+    Cycle t = 1;
+    for (; t < 6; ++t)
+        net.step(t);
+    ASSERT_GE(net.messagesAwaitingRoute(), 1u); // at least A
+
+    // Every worm holding hop1 (A for sure, B/C if they grabbed spare
+    // VCs) dies; the rest must be untouched and serviceable.
+    int victims = net.takeLinkDown(hop1, t);
+    ASSERT_GE(victims, 1);
+    ASSERT_LE(victims, 3);
+    EXPECT_EQ(net.counters().messagesAborted,
+              static_cast<std::uint64_t>(victims));
+
+    net.takeLinkUp(hop1, t);
+    while (net.busy() && t < 1000) {
+        net.step(t);
+        ++t;
+    }
+    ASSERT_FALSE(net.busy());
+    EXPECT_EQ(net.counters().messagesDelivered,
+              static_cast<std::uint64_t>(3 - victims));
+    EXPECT_EQ(net.messagesAwaitingRoute(), 0u);
+    EXPECT_TRUE(net.activeSetConsistent());
+}
+
+// ---------------------------------------------------------------------
+// Hot-path scratch vectors never reallocate after construction
+// ---------------------------------------------------------------------
+
+TEST(Scratch, NoReallocationInSteadyStateOrUnderFaults)
+{
+    // nbc produces the largest candidate fan-out of the built-ins; run
+    // it at a solid load with a mid-run fault so every scratch consumer
+    // (allocation, arbitration staging, active-set merge, fault
+    // teardown) sees traffic. All capacities are reserved worst-case at
+    // construction, so they must never change at all.
+    Torus topo({6, 6});
+    auto algo = makeRoutingAlgorithm("nbc");
+    Xoshiro256 rng(21);
+    NetworkParams params;
+    params.watchdogPatience = 0;
+    Network net(topo, *algo, params, rng);
+    UniformTraffic traffic(topo);
+    Xoshiro256 arrivals(22), dest(23);
+
+    Network::ScratchCapacities atBirth = net.scratchCapacities();
+    EXPECT_GT(atBirth.candidates, 0u);
+    EXPECT_GT(atBirth.staged, 0u);
+
+    ChannelId ch = topo.channelId(14, Direction{0, +1});
+    Cycle t = 0;
+    for (; t < 4000; ++t) {
+        if (t == 1500)
+            net.takeLinkDown(ch, t);
+        if (t == 2000)
+            net.takeLinkUp(ch, t);
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (bernoulli(arrivals, 0.05))
+                net.offerMessage(n, traffic.pickDest(n, dest), 8, t);
+        }
+        net.step(t);
+    }
+    while (net.busy() && t < 20000) {
+        net.step(t);
+        ++t;
+    }
+    ASSERT_FALSE(net.busy());
+    EXPECT_GT(net.counters().messagesDelivered, 0u);
+    EXPECT_TRUE(net.scratchCapacities() == atBirth)
+        << "a hot-path scratch vector grew past its reserved capacity";
+}
+
+} // namespace
+} // namespace wormsim
