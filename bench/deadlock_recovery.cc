@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Avoidance vs detection+recovery: the fully-flexible adaptive engine
+ * (ffa, 2 VCs, intentionally deadlock-prone) running under the exact
+ * deadlock detector with victim recovery, against the paper's six
+ * deadlock-avoidance algorithms at matched offered loads and seeds.
+ *
+ * The question the 1993 paper could not ask: what does deadlock freedom
+ * by construction actually buy, once runtime detection+recovery is on
+ * the table? Every point here runs with the same detector/recovery
+ * configuration — for the six avoidance schemes the exact detector is a
+ * pure observer (it confirms zero deadlocks; golden-tested), while ffa
+ * leans on it to tear down and re-inject victim worms. The table prices
+ * the comparison three ways: latency and utilization at matched rho, VC
+ * cost (ffa routes with 2 VCs where phop needs diameter-scaled classes),
+ * and the recovery bill (detections, victims, delivered fraction).
+ *
+ *   ./deadlock_recovery            # quick mode, writes BENCH_deadlock.json
+ *   ./deadlock_recovery --full     # paper-scale windows
+ */
+
+#include <cmath>
+#include <fstream>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace wormsim;
+    using namespace wormsim::bench;
+
+    Harness h("deadlock_recovery",
+              "ffa + exact detection/recovery vs the six avoidance "
+              "schemes at matched load");
+    std::string out_dir = ".";
+    h.parser.addString("out-dir", &out_dir,
+                       "directory for BENCH_deadlock.json");
+    // A deadlock-prone operating point in the stable region (rho <= 0.3):
+    // complement traffic on an 8x8 torus with 32-flit worms and
+    // single-flit buffers. Complement's dimension-aligned wrap rings
+    // collapse ffa's candidate set to one direction x 2 lanes — the only
+    // regime where a 2-VC fully-flexible router wedges below saturation.
+    // Uniform traffic never deadlocks ffa below rho ~0.5 (measured), so
+    // the stock fig3 configuration cannot exercise recovery at all.
+    h.cfg.traffic = "complement";
+    h.cfg.radices = {8, 8};
+    h.cfg.messageLength = 32;
+    h.cfg.flitBufferDepth = 1;
+    h.loads = {0.1, 0.2, 0.28};
+    // Every algorithm runs with the identical detector/recovery setup so
+    // the accounting is uniform: exact detection (no false positives) and
+    // a tight scan cadence so victims free the fabric promptly.
+    h.cfg.deadlockDetector = DeadlockDetectorKind::Exact;
+    h.cfg.deadlockAction = DeadlockAction::Recover;
+    h.cfg.watchdogInterval = 16;
+    h.cfg.watchdogPatience = 512;
+    // A recovery victim is innocent traffic, not a failed component: give
+    // it enough re-injection budget that recurrent wedges cannot strand
+    // it (the fault-layer default of 3 is tuned for dead links).
+    h.cfg.faultRetries = 64;
+    if (!h.parse(argc, argv))
+        return 0;
+    if (h.full)
+        h.loads = {0.05, 0.1, 0.15, 0.2, 0.25, 0.28};
+
+    const std::vector<std::string> algorithms = {
+        "ecube", "nlast", "2pn", "phop", "nhop", "nbc", "ffa"};
+
+    // VC cost per algorithm on this topology (the paper's Table 1 axis).
+    auto topo = h.cfg.makeTopology();
+    std::vector<int> vcCost;
+    for (const std::string &a : algorithms)
+        vcCost.push_back(makeRoutingAlgorithm(a)->numVcClasses(*topo));
+
+    SweepResult sweep = h.runSweep(algorithms);
+
+    auto panel = [&](const std::string &what, auto value) {
+        TextTable t;
+        std::vector<std::string> header{"offered"};
+        for (std::size_t a = 0; a < algorithms.size(); ++a)
+            header.push_back(algorithms[a] + " (" +
+                             std::to_string(vcCost[a]) + "vc)");
+        t.setHeader(header);
+        for (std::size_t l = 0; l < sweep.loads.size(); ++l) {
+            std::vector<std::string> row{formatFixed(sweep.loads[l], 2)};
+            for (std::size_t a = 0; a < algorithms.size(); ++a)
+                row.push_back(value(sweep.results[a][l]));
+            t.addRow(row);
+        }
+        std::cout << what << ":\n" << t.render() << "\n";
+    };
+
+    std::cout << "\n== avoidance vs detection+recovery ==\n\n";
+    panel("average latency (cycles)", [](const SimulationResult &r) {
+        return formatFixed(r.avgLatency, 1);
+    });
+    panel("achieved channel utilization", [](const SimulationResult &r) {
+        return formatFixed(r.achievedUtilization, 3);
+    });
+    panel("deadlocks detected / victims", [](const SimulationResult &r) {
+        if (!r.deadlock.collected)
+            return std::string("-");
+        return std::to_string(r.deadlock.detections) + "/" +
+               std::to_string(r.deadlock.victims);
+    });
+    panel("delivered fraction under recovery",
+          [](const SimulationResult &r) {
+              if (!r.deadlock.collected)
+                  return std::string("-");
+              return formatFixed(r.deadlock.deliveredFraction, 4);
+          });
+
+    // The acceptance claims: ffa must actually exercise recovery
+    // (nonzero detections somewhere on the grid) AND keep delivering
+    // (>= 0.99 of finishable traffic at every rho <= 0.3). The six
+    // avoidance schemes must stay deadlock-free under the same detector.
+    bool ok = true;
+    std::uint64_t ffaDetections = 0;
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        for (std::size_t l = 0; l < sweep.loads.size(); ++l) {
+            const SimulationResult &r = sweep.results[a][l];
+            if (!r.deadlock.collected)
+                continue;
+            if (algorithms[a] == "ffa") {
+                ffaDetections += r.deadlock.detections;
+                if (sweep.loads[l] <= 0.3 + 1e-9 &&
+                    r.deadlock.deliveredFraction < 0.99) {
+                    ok = false;
+                    std::cout << "WARNING: ffa delivered fraction "
+                              << formatFixed(
+                                     r.deadlock.deliveredFraction, 4)
+                              << " < 0.99 at rho "
+                              << formatFixed(sweep.loads[l], 2) << "\n";
+                }
+            } else if (r.deadlock.detections != 0) {
+                ok = false;
+                std::cout << "WARNING: avoidance scheme " << algorithms[a]
+                          << " 'deadlocked' " << r.deadlock.detections
+                          << "x at rho "
+                          << formatFixed(sweep.loads[l], 2)
+                          << " — detector bug\n";
+            }
+        }
+    }
+    if (ffaDetections == 0) {
+        ok = false;
+        std::cout << "WARNING: ffa never deadlocked — the recovery path "
+                     "went unexercised\n";
+    } else {
+        std::cout << "ffa deadlocked-and-recovered " << ffaDetections
+                  << "x across the grid"
+                  << (ok ? "; delivered fraction held >= 0.99 and the "
+                           "six avoidance schemes stayed clean\n"
+                         : "\n");
+    }
+
+    std::ofstream out(out_dir + "/BENCH_deadlock.json");
+    if (!out)
+        WORMSIM_FATAL("cannot write BENCH_deadlock.json in '", out_dir,
+                      "'");
+    auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
+    out << "{\n"
+        << "  \"bench\": \"deadlock_recovery\",\n"
+        << "  \"generated_by\": \"deadlock_recovery"
+        << (h.full ? " --full" : "") << "\",\n"
+        << "  \"unit\": \"latency cycles / delivered fraction at matched "
+        << "rho\",\n"
+        << "  \"detector\": \"exact\",\n"
+        << "  \"victim_policy\": \""
+        << victimPolicyName(h.cfg.victimPolicy) << "\",\n"
+        << "  \"points\": [\n";
+    bool first = true;
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        for (std::size_t l = 0; l < sweep.loads.size(); ++l) {
+            const SimulationResult &r = sweep.results[a][l];
+            if (!first)
+                out << ",\n";
+            first = false;
+            out << "    {\"algorithm\": \"" << algorithms[a]
+                << "\", \"load\": " << formatFixed(sweep.loads[l], 2)
+                << ", \"vcs\": " << vcCost[a]
+                << ", \"avg_latency\": "
+                << formatFixed(finite(r.avgLatency), 2)
+                << ", \"utilization\": "
+                << formatFixed(finite(r.achievedUtilization), 4)
+                << ", \"detections\": " << r.deadlock.detections
+                << ", \"victims\": " << r.deadlock.victims
+                << ", \"victim_delivered\": "
+                << r.deadlock.victimDelivered
+                << ", \"delivered_fraction\": "
+                << formatFixed(finite(r.deadlock.deliveredFraction), 4)
+                << ", \"mean_recovery_latency\": "
+                << formatFixed(finite(r.deadlock.meanRecoveryLatency()),
+                               1)
+                << "}";
+        }
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "wrote " << out_dir << "/BENCH_deadlock.json\n";
+    return ok ? 0 : 1;
+}

@@ -131,6 +131,10 @@ checkFile(const std::string &file)
         return;
     stringField(file, doc, "generated_by", ignored);
     stringField(file, doc, "unit", ignored);
+    if (bench == "deadlock_recovery") {
+        stringField(file, doc, "detector", ignored);
+        stringField(file, doc, "victim_policy", ignored);
+    }
 
     const wormsim::JsonValue *points = doc.field("points");
     if (!points || points->kind != wormsim::JsonValue::Array ||
@@ -171,6 +175,45 @@ checkFile(const std::string &file)
             numberField(file, pt, "abandoned", v);
             if (numberField(file, pt, "avg_latency", v) && v < 0)
                 fail(file, "'avg_latency' must be >= 0");
+        } else if (bench == "deadlock_recovery") {
+            std::string algo;
+            stringField(file, pt, "algorithm", algo);
+            double load = 0, vcs = 0, detections = 0, victims = 0;
+            double victimDelivered = 0, v = 0;
+            if (numberField(file, pt, "load", load) &&
+                (load <= 0 || load > 1))
+                fail(file, "'load' must be in (0, 1]");
+            if (numberField(file, pt, "vcs", vcs) && vcs < 1)
+                fail(file, "'vcs' must be >= 1");
+            if (numberField(file, pt, "avg_latency", v) && v < 0)
+                fail(file, "'avg_latency' must be >= 0");
+            if (numberField(file, pt, "utilization", v) && v < 0)
+                fail(file, "'utilization' must be >= 0");
+            bool haveDet =
+                numberField(file, pt, "detections", detections);
+            if (haveDet && detections < 0)
+                fail(file, "'detections' must be >= 0");
+            bool haveVic = numberField(file, pt, "victims", victims);
+            if (haveVic && victims < 0)
+                fail(file, "'victims' must be >= 0");
+            if (numberField(file, pt, "victim_delivered",
+                            victimDelivered) &&
+                haveVic && victimDelivered > victims)
+                fail(file, "'victim_delivered' exceeds 'victims'");
+            if (numberField(file, pt, "delivered_fraction", v) &&
+                (v < 0 || v > 1))
+                fail(file, "'delivered_fraction' must be in [0, 1]");
+            if (numberField(file, pt, "mean_recovery_latency", v) &&
+                v < 0)
+                fail(file, "'mean_recovery_latency' must be >= 0");
+            // The bench's whole point: only the non-avoiding engine may
+            // deadlock. Any detection on an avoidance scheme is either a
+            // detector false positive or a routing regression.
+            if (haveDet && algo != "ffa" && detections != 0)
+                fail(file, "avoidance scheme '" + algo +
+                               "' recorded " +
+                               std::to_string(detections) +
+                               " deadlock detections");
         } else {
             fail(file, "unknown bench kind '" + bench + "'");
             return;

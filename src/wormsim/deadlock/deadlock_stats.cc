@@ -1,0 +1,30 @@
+#include "wormsim/deadlock/deadlock_stats.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace wormsim
+{
+
+std::string
+DeadlockStats::summary() const
+{
+    if (!collected)
+        return "deadlock: not collected";
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(1);
+    out << "deadlocks " << detections << " (" << scans << " scans";
+    if (timeoutSuspects > 0) {
+        out << ", timeout suspects " << timeoutSuspects << ", "
+            << timeoutFalsePositives << " false";
+    }
+    out << ") | victims " << victims << ": " << victimDelivered
+        << " delivered, " << victimAbandoned << " abandoned, "
+        << victimPending << " pending";
+    if (victimDelivered > 0)
+        out << " | recovery latency " << meanRecoveryLatency() << " cycles";
+    out << " | delivered " << (deliveredFraction * 100.0) << "%";
+    return out.str();
+}
+
+} // namespace wormsim

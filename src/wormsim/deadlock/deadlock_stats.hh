@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DeadlockStats: what the deadlock detector and recovery engine did over
+ * a run — detections, timeout-vs-exact disagreement, victims, recovery
+ * latency, and post-recovery delivery. Assembled by RecoveryEngine and
+ * carried through SimulationResult into sweep reports and CSV.
+ */
+
+#ifndef WORMSIM_DEADLOCK_DEADLOCK_STATS_HH
+#define WORMSIM_DEADLOCK_DEADLOCK_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "wormsim/common/types.hh"
+
+namespace wormsim
+{
+
+/** Whole-run deadlock accounting (warmup included, never reset). */
+struct DeadlockStats
+{
+    bool collected = false; ///< false unless recovery was armed
+
+    // detection
+    std::uint64_t scans = 0;      ///< detector passes that ran
+    std::uint64_t detections = 0; ///< confirmed deadlock knots
+    /** Largest confirmed knot (members, not just the reported cycle). */
+    std::uint64_t largestKnot = 0;
+    /** Timeout-heuristic suspicions raised alongside the exact pass. */
+    std::uint64_t timeoutSuspects = 0;
+    /** Timeout suspicions the exact fixpoint rejected (false positives). */
+    std::uint64_t timeoutFalsePositives = 0;
+
+    // recovery
+    std::uint64_t victims = 0;          ///< worms torn down for recovery
+    std::uint64_t victimDelivered = 0;  ///< victims later delivered whole
+    std::uint64_t victimAbandoned = 0;  ///< victims that exhausted retries
+    std::uint64_t victimPending = 0;    ///< victims still in flight at end
+    /** Sum of (delivery cycle - abort cycle) over delivered victims. */
+    Cycle recoveryLatencySum = 0;
+
+    // whole-run traffic context for the delivered-fraction criterion
+    std::uint64_t generated = 0; ///< arrival-process generation attempts
+    std::uint64_t dropped = 0;   ///< refused by admission at generation
+    std::uint64_t delivered = 0;
+    /** Unfinished at run end: in the fabric or awaiting re-injection. */
+    std::uint64_t inFlightAtEnd = 0;
+    /** delivered / (generated - dropped - inFlightAtEnd). */
+    double deliveredFraction = 0.0;
+
+    /** Mean cycles from victim teardown to eventual delivery. */
+    double
+    meanRecoveryLatency() const
+    {
+        return victimDelivered > 0
+                   ? static_cast<double>(recoveryLatencySum) /
+                         static_cast<double>(victimDelivered)
+                   : 0.0;
+    }
+
+    /**
+     * Victim-fate total: every recovery teardown ends delivered,
+     * abandoned, or still pending. Property-tested against the per-fate
+     * counters (sum() == victims).
+     */
+    std::uint64_t
+    sum() const
+    {
+        return victimDelivered + victimAbandoned + victimPending;
+    }
+
+    /** One-line summary for progress logs and reports. */
+    std::string summary() const;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_DEADLOCK_DEADLOCK_STATS_HH

@@ -1,0 +1,97 @@
+#include "wormsim/deadlock/detector.hh"
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/common/string_utils.hh"
+#include "wormsim/network/message.hh"
+
+namespace wormsim
+{
+
+DeadlockDetectorKind
+parseDeadlockDetector(const std::string &text)
+{
+    std::string t = toLower(trim(text));
+    if (t == "exact")
+        return DeadlockDetectorKind::Exact;
+    if (t == "timeout")
+        return DeadlockDetectorKind::Timeout;
+    if (t == "off")
+        return DeadlockDetectorKind::Off;
+    WORMSIM_FATAL("unknown deadlock detector '", text,
+                  "': expected exact, timeout, or off");
+}
+
+std::string
+deadlockDetectorName(DeadlockDetectorKind kind)
+{
+    switch (kind) {
+      case DeadlockDetectorKind::Exact:
+        return "exact";
+      case DeadlockDetectorKind::Timeout:
+        return "timeout";
+      case DeadlockDetectorKind::Off:
+        return "off";
+    }
+    return "?";
+}
+
+VictimPolicy
+parseVictimPolicy(const std::string &text)
+{
+    std::string t = toLower(trim(text));
+    if (t == "youngest")
+        return VictimPolicy::Youngest;
+    if (t == "oldest")
+        return VictimPolicy::Oldest;
+    if (t == "fewest-flits")
+        return VictimPolicy::FewestFlits;
+    WORMSIM_FATAL("unknown victim policy '", text,
+                  "': expected youngest, oldest, or fewest-flits");
+}
+
+std::string
+victimPolicyName(VictimPolicy policy)
+{
+    switch (policy) {
+      case VictimPolicy::Youngest:
+        return "youngest";
+      case VictimPolicy::Oldest:
+        return "oldest";
+      case VictimPolicy::FewestFlits:
+        return "fewest-flits";
+    }
+    return "?";
+}
+
+Message *
+selectVictim(VictimPolicy policy, const std::vector<Message *> &members)
+{
+    WORMSIM_ASSERT(!members.empty(), "victim selection from empty cycle");
+    Message *best = members.front();
+    for (std::size_t i = 1; i < members.size(); ++i) {
+        Message *m = members[i];
+        switch (policy) {
+          case VictimPolicy::Youngest:
+            if (m->createdAt() > best->createdAt() ||
+                (m->createdAt() == best->createdAt() &&
+                 m->id() > best->id()))
+                best = m;
+            break;
+          case VictimPolicy::Oldest:
+            if (m->createdAt() < best->createdAt() ||
+                (m->createdAt() == best->createdAt() &&
+                 m->id() < best->id()))
+                best = m;
+            break;
+          case VictimPolicy::FewestFlits:
+            if (m->flitsInjected() < best->flitsInjected() ||
+                (m->flitsInjected() == best->flitsInjected() &&
+                 m->id() > best->id()))
+                best = m;
+            break;
+        }
+    }
+    return best;
+}
+
+} // namespace wormsim

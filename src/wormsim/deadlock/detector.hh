@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deadlock-detector selection and recovery victim policies.
+ *
+ * Two detectors share the watchdog cadence (NetworkParams::
+ * watchdogInterval):
+ *  - Timeout (the default, the PR 2 watchdog): messages stuck past a
+ *    patience threshold are scanned for wait-for cycles. Cheap, but a
+ *    long transient wait can look like a deadlock (a suspicion), and a
+ *    real deadlock is only seen patience cycles late.
+ *  - Exact: the full wait-for graph over every waiting header is
+ *    confirmed by the WaitForGraph blocked-set fixpoint. No false
+ *    positives, no patience lag — the price is a scan over all waiters
+ *    rather than only long-stuck ones.
+ *  - Off disables deadlock scanning entirely.
+ *
+ * A victim policy picks which worm of a confirmed cycle is torn down by
+ * DeadlockAction::Recover (deadlock/recovery.hh re-injects it later).
+ */
+
+#ifndef WORMSIM_DEADLOCK_DETECTOR_HH
+#define WORMSIM_DEADLOCK_DETECTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "wormsim/common/types.hh"
+
+namespace wormsim
+{
+
+class Message;
+
+/** Which deadlock detector the network runs. */
+enum class DeadlockDetectorKind
+{
+    Exact,   ///< wait-for-graph fixpoint: true cycles only, no patience
+    Timeout, ///< heuristic watchdog: patience-filtered cycle suspicion
+    Off,     ///< no deadlock scanning
+};
+
+/** Parse "exact" / "timeout" / "off"; fatal on anything else. */
+DeadlockDetectorKind parseDeadlockDetector(const std::string &text);
+
+/** Short name of a detector kind. */
+std::string deadlockDetectorName(DeadlockDetectorKind kind);
+
+/** Which worm of a confirmed cycle recovery tears down. */
+enum class VictimPolicy
+{
+    Youngest,   ///< most recently created (least invested wait time)
+    Oldest,     ///< longest-lived (frees the most contested resources)
+    FewestFlits ///< fewest flits injected (least work to redo)
+};
+
+/** Parse "youngest" / "oldest" / "fewest-flits"; fatal otherwise. */
+VictimPolicy parseVictimPolicy(const std::string &text);
+
+/** Short name of a victim policy. */
+std::string victimPolicyName(VictimPolicy policy);
+
+/**
+ * Pick the victim among @p members (a confirmed cycle's live messages;
+ * must be non-empty). Ties break on MessageId — larger id (the later
+ * injection) for Youngest and FewestFlits, smaller for Oldest — so the
+ * choice is deterministic and independent of member order.
+ */
+Message *selectVictim(VictimPolicy policy,
+                      const std::vector<Message *> &members);
+
+} // namespace wormsim
+
+#endif // WORMSIM_DEADLOCK_DETECTOR_HH

@@ -1,0 +1,124 @@
+#include "wormsim/deadlock/recovery.hh"
+
+#include "wormsim/common/logging.hh"
+
+namespace wormsim
+{
+
+void
+RecoveryEngine::arm(Simulator &sim_, Network &net_, InjectFn inject_)
+{
+    WORMSIM_ASSERT(sim == nullptr, "RecoveryEngine armed twice");
+    sim = &sim_;
+    net = &net_;
+    inject = std::move(inject_);
+    // Chain, don't replace: a FaultInjector armed earlier keeps owning
+    // fault/starvation aborts; only deadlock victims come here.
+    Network::AbortHook prev = net->abortHook();
+    net->setAbortHook([this, prev](const Message &m, Cycle now,
+                                   AbortCause cause, ChannelId ch) {
+        if (cause == AbortCause::Deadlock)
+            onAbort(m, now, ch);
+        else if (prev)
+            prev(m, now, cause, ch);
+    });
+}
+
+void
+RecoveryEngine::onAbort(const Message &m, Cycle now, ChannelId channel)
+{
+    (void)channel;
+    windows[{m.src(), m.dst()}].push_back(now);
+    ++retryQueued;
+    scheduleRetry(m.src(), m.dst(), m.length(), m.retryAttempt() + 1);
+}
+
+void
+RecoveryEngine::scheduleRetry(NodeId src, NodeId dst, int length_flits,
+                              int next_attempt)
+{
+    if (next_attempt > policy.maxRetries) {
+        if (retryQueued > 0)
+            --retryQueued;
+        closeWindow(src, dst, /*delivered=*/false, 0);
+        return;
+    }
+    sim->scheduleIn(policy.delayFor(next_attempt), EventPriority::PreCycle,
+                    [this, src, dst, length_flits, next_attempt] {
+                        if (inject(src, dst, length_flits, next_attempt,
+                                   sim->now())) {
+                            // Back in the fabric: the network's in-flight
+                            // count owns it again.
+                            if (retryQueued > 0)
+                                --retryQueued;
+                        } else {
+                            // Admission refused the re-offer: back off
+                            // again, burning one attempt.
+                            scheduleRetry(src, dst, length_flits,
+                                          next_attempt + 1);
+                        }
+                    });
+}
+
+void
+RecoveryEngine::closeWindow(NodeId src, NodeId dst, bool delivered,
+                            Cycle now)
+{
+    auto it = windows.find({src, dst});
+    if (it == windows.end() || it->second.empty())
+        return;
+    Cycle opened = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty())
+        windows.erase(it);
+    if (delivered) {
+        ++stats.victimDelivered;
+        stats.recoveryLatencySum += now - opened;
+    } else {
+        ++stats.victimAbandoned;
+    }
+}
+
+void
+RecoveryEngine::noteGenerated(bool accepted)
+{
+    ++stats.generated;
+    if (!accepted)
+        ++stats.dropped;
+}
+
+void
+RecoveryEngine::noteDelivery(const Message &m, Cycle now)
+{
+    ++stats.delivered;
+    if (m.retryAttempt() > 0)
+        closeWindow(m.src(), m.dst(), /*delivered=*/true, now);
+}
+
+DeadlockStats
+RecoveryEngine::finish(Cycle end)
+{
+    (void)end;
+    stats.collected = true;
+    const DeadlockDetectionCounters &d = net->deadlockCounters();
+    stats.scans = d.scans;
+    stats.detections = d.detections;
+    stats.largestKnot = d.largestKnot;
+    stats.timeoutSuspects = d.timeoutSuspects;
+    stats.timeoutFalsePositives = d.timeoutFalsePositives;
+    stats.victims = d.victims;
+    stats.victimPending = 0;
+    for (const auto &[key, opens] : windows)
+        stats.victimPending += opens.size();
+    stats.inFlightAtEnd = net->messagesInFlight() + retryQueued;
+    std::uint64_t offered = stats.generated - stats.dropped;
+    std::uint64_t finished =
+        offered > stats.inFlightAtEnd ? offered - stats.inFlightAtEnd : 0;
+    stats.deliveredFraction =
+        finished > 0 ? static_cast<double>(stats.delivered) /
+                           static_cast<double>(finished)
+                     : 0.0;
+    return stats;
+}
+
+} // namespace wormsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * RecoveryEngine: turns deadlock-recovery teardowns back into delivered
+ * messages.
+ *
+ * The Network side of recovery (DeadlockAction::Recover) picks a victim
+ * from each confirmed knot and aborts it with AbortCause::Deadlock via
+ * the same teardown path runtime link faults use (PR 4). This engine owns
+ * everything after the teardown: it chains onto the Network's abort hook
+ * (forwarding non-deadlock causes to any previously installed hook, so a
+ * FaultInjector keeps working alongside), re-offers the victim's payload
+ * at its source under a bounded exponential-backoff RetryPolicy, and
+ * accounts every victim's fate — delivered, abandoned, or still pending —
+ * plus the detector counters into DeadlockStats.
+ *
+ * Determinism: the engine draws no random numbers; retries are plain
+ * PreCycle queue events, so a recovering run is bit-identical for a given
+ * (seed, config).
+ */
+
+#ifndef WORMSIM_DEADLOCK_RECOVERY_HH
+#define WORMSIM_DEADLOCK_RECOVERY_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "wormsim/deadlock/deadlock_stats.hh"
+#include "wormsim/fault/retry_policy.hh"
+#include "wormsim/network/network.hh"
+#include "wormsim/sim/simulator.hh"
+
+namespace wormsim
+{
+
+/** Re-injects deadlock victims and accounts their fates. */
+class RecoveryEngine
+{
+  public:
+    /**
+     * Re-offer a payload at @p src (the driver wraps Network::offerRetry
+     * plus its own tick arming). Returns false when admission refuses.
+     */
+    using InjectFn = std::function<bool(NodeId src, NodeId dst,
+                                        int length_flits, int attempt,
+                                        Cycle now)>;
+
+    explicit RecoveryEngine(RetryPolicy policy) : policy(policy) {}
+
+    /**
+     * Install on @p net: chains the abort hook (consuming Deadlock-cause
+     * aborts, forwarding everything else to the hook previously in
+     * place). Call once, after any FaultInjector has armed; @p sim and
+     * @p net must outlive the engine.
+     */
+    void arm(Simulator &sim, Network &net, InjectFn inject);
+
+    /** Count one arrival-process generation attempt. */
+    void noteGenerated(bool accepted);
+
+    /** Record a delivery (closes a victim's recovery window if one). */
+    void noteDelivery(const Message &m, Cycle now);
+
+    /**
+     * Close accounting at @p end: pulls the Network's detection counters,
+     * counts still-open recovery windows as pending, and computes the
+     * delivered fraction over payloads that had a chance to finish
+     * (generated minus admission drops minus in-flight at end).
+     */
+    DeadlockStats finish(Cycle end);
+
+  private:
+    void onAbort(const Message &m, Cycle now, ChannelId channel);
+    void scheduleRetry(NodeId src, NodeId dst, int length_flits,
+                       int next_attempt);
+    void closeWindow(NodeId src, NodeId dst, bool delivered, Cycle now);
+
+    RetryPolicy policy;
+    Simulator *sim = nullptr;
+    Network *net = nullptr;
+    InjectFn inject;
+
+    DeadlockStats stats;
+    /**
+     * Open recovery windows: per (src, dst) payload identity, the abort
+     * cycles of victims not yet re-delivered or abandoned, oldest first.
+     * A victim's retries keep its (src, dst) pair, so the window closes
+     * on the first matching retried delivery (or on retry exhaustion).
+     */
+    std::map<std::pair<NodeId, NodeId>, std::deque<Cycle>> windows;
+    /**
+     * Victim payloads torn out of the fabric and waiting in retry
+     * backoff. They are in flight in the recovery layer — the network's
+     * messagesInFlight() no longer sees them — so finish() adds this to
+     * inFlightAtEnd or the delivered fraction would book a payload that
+     * is mid-recovery when the run ends as a loss.
+     */
+    std::uint64_t retryQueued = 0;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_DEADLOCK_RECOVERY_HH

@@ -1,0 +1,102 @@
+#include "wormsim/deadlock/wait_for_graph.hh"
+
+#include <algorithm>
+
+namespace wormsim
+{
+
+WaitForGraph::Knot
+WaitForGraph::confirm() const
+{
+    Knot knot;
+    if (nodes.empty())
+        return knot;
+
+    // Blocked-set fixpoint: everyone starts in D; discharge any member
+    // with an escape (a free candidate, or a holder outside D). A holder
+    // with no graph record is a moving worm and never blocks anyone
+    // permanently. Discharges cascade, so sweep until a pass is clean;
+    // each pass removes at least one member, bounding the work by
+    // O(members * edges).
+    std::map<MessageId, bool> inSet;
+    for (const auto &[id, node] : nodes)
+        inSet[id] = true;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &[id, node] : nodes) {
+            if (!inSet[id])
+                continue;
+            bool escapes = !node.fullyBlocked;
+            if (!escapes) {
+                for (const Edge &e : node.edges) {
+                    auto held = inSet.find(e.holder);
+                    if (held == inSet.end() || !held->second) {
+                        escapes = true;
+                        break;
+                    }
+                }
+            }
+            if (escapes) {
+                inSet[id] = false;
+                changed = true;
+            }
+        }
+    }
+
+    for (const auto &[id, in] : inSet) {
+        if (in)
+            knot.members.push_back(id); // map order: already sorted
+    }
+    if (knot.members.empty())
+        return knot;
+
+    // Extract one representative cycle: from the smallest member follow
+    // the first in-knot edge until a message repeats. Every member's
+    // edges all point into the knot (that is what kept it in D), so the
+    // walk cannot leave; a member with no edges at all is wedged on
+    // resources it holds itself and forms a self-cycle.
+    auto inKnot = [&](MessageId id) {
+        return std::binary_search(knot.members.begin(), knot.members.end(),
+                                  id);
+    };
+    std::vector<MessageId> path;
+    MessageId at = knot.members.front();
+    while (true) {
+        auto seen = std::find(path.begin(), path.end(), at);
+        if (seen != path.end()) {
+            knot.cycle.assign(seen, path.end());
+            break;
+        }
+        path.push_back(at);
+        const Node &node = nodes.at(at);
+        MessageId next = kInvalidMessage;
+        for (const Edge &e : node.edges) {
+            if (inKnot(e.holder)) {
+                next = e.holder;
+                break;
+            }
+        }
+        if (next == kInvalidMessage) {
+            knot.cycle.assign(1, at); // self-wedged worm
+            break;
+        }
+        at = next;
+    }
+
+    // Record the resource edges among cycle members.
+    auto inCycle = [&](MessageId id) {
+        return std::find(knot.cycle.begin(), knot.cycle.end(), id) !=
+               knot.cycle.end();
+    };
+    for (MessageId id : knot.cycle) {
+        for (const Edge &e : nodes.at(id).edges) {
+            if (inCycle(e.holder))
+                knot.waits.push_back({id, e.holder, e.channel, e.vc});
+        }
+    }
+    return knot;
+}
+
+} // namespace wormsim

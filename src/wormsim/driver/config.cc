@@ -61,7 +61,10 @@ SimulationConfig::networkParams() const
     p.stepMode = stepMode;
     p.routeCache = routeCache;
     p.watchdogPatience = watchdogPatience;
+    p.watchdogInterval = watchdogInterval;
     p.deadlockAction = deadlockAction;
+    p.deadlockDetector = deadlockDetector;
+    p.victimPolicy = victimPolicy;
     return p;
 }
 
@@ -90,6 +93,10 @@ SimulationConfig::registerOptions(OptionParser &parser)
     optStepMode = stepModeName(stepMode);
     optRouteCache = routeCache ? "on" : "off";
     optFaultKind = faultKindName(faultKind);
+    optWatchdogInterval = static_cast<long long>(watchdogInterval);
+    optDeadlockDetector = deadlockDetectorName(deadlockDetector);
+    optVictimPolicy = victimPolicyName(victimPolicy);
+    optDeadlockAction = deadlockActionName(deadlockAction);
 
     parser.addString("algorithm", &algorithm,
                      "routing algorithm (ecube, nlast, 2pn, phop, nhop, "
@@ -150,6 +157,18 @@ SimulationConfig::registerOptions(OptionParser &parser)
                   "(0 disables retry)");
     parser.addInt("fault-backoff", &optFaultBackoff,
                   "base retry backoff in cycles (doubles per attempt)");
+    parser.addInt("watchdog-interval", &optWatchdogInterval,
+                  "deadlock-detector scan cadence in cycles");
+    parser.addString("deadlock-detector", &optDeadlockDetector,
+                     "deadlock detector: exact (wait-for-graph fixpoint), "
+                     "timeout (patience watchdog, default), or off");
+    parser.addString("victim-policy", &optVictimPolicy,
+                     "recovery victim choice: youngest (default), oldest, "
+                     "or fewest-flits");
+    parser.addString("deadlock-action", &optDeadlockAction,
+                     "on a confirmed deadlock: panic (default), "
+                     "record-kill, record-only, or recover (abort one "
+                     "victim and retry it)");
 }
 
 void
@@ -188,6 +207,13 @@ SimulationConfig::finishOptions()
         WORMSIM_FATAL("unknown route-cache mode '", optRouteCache,
                       "' (choices: on, off)");
     faultKind = parseFaultKind(optFaultKind);
+    if (optWatchdogInterval < 0)
+        WORMSIM_FATAL("watchdog interval ", optWatchdogInterval,
+                      " must be >= 0");
+    watchdogInterval = static_cast<Cycle>(optWatchdogInterval);
+    deadlockDetector = parseDeadlockDetector(optDeadlockDetector);
+    victimPolicy = parseVictimPolicy(optVictimPolicy);
+    deadlockAction = parseDeadlockAction(optDeadlockAction);
 }
 
 void

@@ -60,7 +60,17 @@ struct SimulationConfig
     int injectionLimit = 4; ///< congestion control; <= 0 disables
     Cycle routingDelay = 0; ///< extra router-decision cycles per hop
     Cycle watchdogPatience = 8192;
+    /**
+     * Detector cadence in cycles (--watchdog-interval): how often the
+     * selected deadlock detector scans the waiting set. Recovery points
+     * lower it so a torn-down victim frees the fabric promptly.
+     */
+    Cycle watchdogInterval = 1024;
     DeadlockAction deadlockAction = DeadlockAction::Panic;
+    /** Deadlock detector (--deadlock-detector: exact, timeout, off). */
+    DeadlockDetectorKind deadlockDetector = DeadlockDetectorKind::Timeout;
+    /** Recovery victim choice (--victim-policy). */
+    VictimPolicy victimPolicy = VictimPolicy::Youngest;
 
     // --- measurement ---
     Cycle warmupCycles = 10000;
@@ -119,6 +129,17 @@ struct SimulationConfig
         return faultRate > 0.0 || !faultScript.empty();
     }
 
+    /**
+     * True when this point recovers from detected deadlocks (arms the
+     * RecoveryEngine and collects DeadlockStats).
+     */
+    bool
+    deadlockRecoveryEnabled() const
+    {
+        return deadlockAction == DeadlockAction::Recover &&
+               deadlockDetector != DeadlockDetectorKind::Off;
+    }
+
     /** The fault workload this config describes (loads faultScript). */
     FaultSpec faultSpec() const;
 
@@ -168,10 +189,14 @@ struct SimulationConfig
     long long optMetricsInterval = 0;
     long long optFaultRetries = 3;
     long long optFaultBackoff = 32;
+    long long optWatchdogInterval = 1024;
     std::string optSwitching = "wh";
     std::string optStepMode = "active";
     std::string optRouteCache = "on";
     std::string optFaultKind = "transient";
+    std::string optDeadlockDetector = "timeout";
+    std::string optVictimPolicy = "youngest";
+    std::string optDeadlockAction = "panic";
 
   public:
     /** Copy parsed option fields into the real config fields. */

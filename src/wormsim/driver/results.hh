@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "wormsim/common/types.hh"
+#include "wormsim/deadlock/deadlock_stats.hh"
 #include "wormsim/fault/resilience_stats.hh"
 #include "wormsim/obs/metrics.hh"
 #include "wormsim/stats/convergence.hh"
@@ -93,6 +94,13 @@ struct SimulationResult
      * unless the run injected faults. Deterministic for a given seed.
      */
     ResilienceStats resilience;
+
+    /**
+     * Whole-run deadlock detection/recovery accounting (deadlock/).
+     * collected is false unless --deadlock-action recover was armed.
+     * Deterministic for a given seed.
+     */
+    DeadlockStats deadlock;
 
     /** One-line summary for progress logs. */
     std::string summary() const;

@@ -42,6 +42,8 @@ SimulationRunner::onArrival(NodeId node)
     Message *m = net->offerMessage(node, dst, cfg.messageLength, sim.now());
     if (injector)
         injector->noteGenerated(m != nullptr);
+    if (recovery)
+        recovery->noteGenerated(m != nullptr);
     armTick();
 }
 
@@ -173,6 +175,8 @@ SimulationRunner::run()
     net->setDeliveryHook([this](const Message &m, Cycle now) {
         if (injector)
             injector->noteDelivery(m, now); // whole-run, never reset
+        if (recovery)
+            recovery->noteDelivery(m, now); // whole-run, never reset
         if (!collecting)
             return;
         auto latency = static_cast<double>(now - m.createdAt() + 1);
@@ -194,6 +198,20 @@ SimulationRunner::run()
             cfg.retryPolicy(),
             40.0 * (cfg.messageLength + topo->diameter()));
         injector->arm(sim, *net,
+                      [this](NodeId src, NodeId dst, int length_flits,
+                             int attempt, Cycle now) {
+                          Message *m = net->offerRetry(
+                              src, dst, length_flits, attempt, now);
+                          armTick();
+                          return m != nullptr;
+                      });
+    }
+
+    if (cfg.deadlockRecoveryEnabled()) {
+        // Armed after any FaultInjector so the chained abort hook can
+        // forward non-deadlock causes to it (deadlock/recovery.hh).
+        recovery = std::make_unique<RecoveryEngine>(cfg.retryPolicy());
+        recovery->arm(sim, *net,
                       [this](NodeId src, NodeId dst, int length_flits,
                              int attempt, Cycle now) {
                           Message *m = net->offerRetry(
@@ -293,6 +311,8 @@ SimulationRunner::run()
         result.stalls = obsMetrics->summary();
     if (injector)
         result.resilience = injector->finish(sim.now());
+    if (recovery)
+        result.deadlock = recovery->finish(sim.now());
     result.wallSeconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - wall_start)
                              .count();

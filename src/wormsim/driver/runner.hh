@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "wormsim/deadlock/recovery.hh"
 #include "wormsim/driver/config.hh"
 #include "wormsim/driver/results.hh"
 #include "wormsim/fault/fault_injector.hh"
@@ -85,6 +86,8 @@ class SimulationRunner
     Simulator sim;
     std::unique_ptr<Network> net;
     std::unique_ptr<FaultInjector> injector; ///< null when faults are off
+    /** Deadlock recovery (null unless --deadlock-action recover). */
+    std::unique_ptr<RecoveryEngine> recovery;
 
     // observability (see obs/): owned sinks for --trace, or an external
     // sink supplied by tests via setTraceSink()

@@ -179,6 +179,27 @@ SweepRunner::report(const SweepResult &sweep, const std::string &title,
               });
     }
 
+    bool anyDeadlock = false;
+    for (const auto &row : sweep.results) {
+        for (const SimulationResult &r : row)
+            anyDeadlock = anyDeadlock || r.deadlock.collected;
+    }
+    if (anyDeadlock) {
+        panel("deadlocks detected / victims recovered",
+              [](const SimulationResult &r) -> std::string {
+                  if (!r.deadlock.collected)
+                      return "-";
+                  return std::to_string(r.deadlock.detections) + "/" +
+                         std::to_string(r.deadlock.victimDelivered);
+              });
+        panel("delivered fraction under recovery",
+              [](const SimulationResult &r) -> std::string {
+                  if (!r.deadlock.collected)
+                      return "-";
+                  return formatFixed(r.deadlock.deliveredFraction, 3);
+              });
+    }
+
     double point_seconds = 0.0;
     Cycle total_cycles = 0;
     for (const auto &row : sweep.results) {
@@ -211,7 +232,9 @@ SweepRunner::report(const SweepResult &sweep, const std::string &title,
                   "cycles", "stall_vc_busy", "stall_phys_busy",
                   "stall_buffer_full", "injection_refusals",
                   "link_failures", "delivered_fraction", "aborted",
-                  "retried", "abandoned", "wall_seconds",
+                  "retried", "abandoned", "deadlock_detections",
+                  "deadlock_victims", "victim_delivered",
+                  "recovery_delivered_fraction", "wall_seconds",
                   "mcycles_per_second"});
     for (std::size_t a = 0; a < sweep.algorithms.size(); ++a) {
         for (std::size_t l = 0; l < sweep.loads.size(); ++l) {
@@ -258,6 +281,19 @@ SweepRunner::report(const SweepResult &sweep, const std::string &title,
                               : "-",
                           r.resilience.collected
                               ? std::to_string(r.resilience.abandoned)
+                              : "-",
+                          r.deadlock.collected
+                              ? std::to_string(r.deadlock.detections)
+                              : "-",
+                          r.deadlock.collected
+                              ? std::to_string(r.deadlock.victims)
+                              : "-",
+                          r.deadlock.collected
+                              ? std::to_string(r.deadlock.victimDelivered)
+                              : "-",
+                          r.deadlock.collected
+                              ? formatFixed(
+                                    r.deadlock.deliveredFraction, 4)
                               : "-",
                           formatFixed(r.wallSeconds, 4),
                           formatFixed(r.cyclesPerSecond / 1e6, 3)});

@@ -46,6 +46,41 @@ abortCauseName(AbortCause cause)
         return "starved";
       case AbortCause::FaultDeadlock:
         return "fault_deadlock";
+      case AbortCause::Deadlock:
+        return "deadlock";
+    }
+    return "?";
+}
+
+DeadlockAction
+parseDeadlockAction(const std::string &text)
+{
+    std::string t = toLower(trim(text));
+    if (t == "panic")
+        return DeadlockAction::Panic;
+    if (t == "record-kill")
+        return DeadlockAction::RecordAndKill;
+    if (t == "record-only")
+        return DeadlockAction::RecordOnly;
+    if (t == "recover")
+        return DeadlockAction::Recover;
+    WORMSIM_FATAL("unknown deadlock action '", text,
+                  "': expected panic, record-kill, record-only, or "
+                  "recover");
+}
+
+std::string
+deadlockActionName(DeadlockAction action)
+{
+    switch (action) {
+      case DeadlockAction::Panic:
+        return "panic";
+      case DeadlockAction::RecordAndKill:
+        return "record-kill";
+      case DeadlockAction::RecordOnly:
+        return "record-only";
+      case DeadlockAction::Recover:
+        return "recover";
     }
     return "?";
 }
@@ -602,9 +637,16 @@ Network::step(Cycle now)
     for (VirtualChannel *v : stagedTransfers)
         applyTransfer(v, now);
 
-    if (cfg.watchdogPatience > 0 && cfg.watchdogInterval > 0 &&
-        now % cfg.watchdogInterval == 0 && needRouteLive > 0) {
-        runWatchdog(now);
+    // Detector dispatch on the watchdog cadence. The Timeout branch keeps
+    // the exact pre-subsystem gate (patience, interval, pending waiters),
+    // so default-configured runs are bit-identical to the seed.
+    if (cfg.watchdogInterval > 0 && now % cfg.watchdogInterval == 0 &&
+        needRouteLive > 0) {
+        if (cfg.deadlockDetector == DeadlockDetectorKind::Exact)
+            runExactDetector(now);
+        else if (cfg.deadlockDetector == DeadlockDetectorKind::Timeout &&
+                 cfg.watchdogPatience > 0)
+            runWatchdog(now);
     }
 
     if (metrics && metrics->sampleDue(now)) {
@@ -658,6 +700,7 @@ Network::runWatchdog(Cycle now)
         if (needRouteLive == 0)
             return;
     }
+    ++ddCounters.scans;
 
     std::vector<DeadlockWatchdog::WaitInfo> waiting;
     waiting.reserve(needRouteLive);
@@ -706,8 +749,13 @@ Network::runWatchdog(Cycle now)
     }
 
     deadlockReport = report;
-    if (report.confirmed)
+    ++ddCounters.timeoutSuspects;
+    if (report.confirmed) {
         deadlockSeen = true;
+        ++ddCounters.detections;
+        ddCounters.largestKnot = std::max<std::uint64_t>(
+            ddCounters.largestKnot, report.cycle.size());
+    }
 
     // With fault recovery armed, a confirmed deadlock in a fault-altered
     // fabric is escalated into message aborts (retryable) regardless of
@@ -745,7 +793,167 @@ Network::runWatchdog(Cycle now)
         break;
       case DeadlockAction::RecordOnly:
         break;
+      case DeadlockAction::Recover:
+        if (report.confirmed)
+            recoverVictim(report, now);
+        break;
     }
+}
+
+void
+Network::runExactDetector(Cycle now)
+{
+    if (faultRecovery) {
+        abortStarved(now);
+        if (needRouteLive == 0)
+            return;
+    }
+    ++ddCounters.scans;
+
+    // One sweep over the waiters builds both the exact wait-for graph
+    // (every waiting header, no patience filter) and — when a patience is
+    // configured — the stuck set the timeout watchdog would have scanned,
+    // so the heuristic's verdict can be scored against the fixpoint.
+    waitGraph.clear();
+    const bool comparing = watchdog.patience() > 0;
+    std::vector<DeadlockWatchdog::WaitInfo> waiting;
+    if (comparing)
+        waiting.reserve(needRouteLive);
+    std::vector<WaitForGraph::Edge> edges;
+    for (Message *m : needRoute) {
+        if (m == nullptr)
+            continue; // tombstone
+        const bool stuck =
+            comparing && now - m->waitingSince() >= watchdog.patience();
+        DeadlockWatchdog::WaitInfo info;
+        bool fullyBlocked = true;
+        edges.clear();
+        scratchCandidates.clear();
+        routing.candidates(net, m->headAt(), *m, scratchCandidates);
+        for (const RouteCandidate &c : scratchCandidates) {
+            ChannelId ch = net.channelId(m->headAt(), c.dir);
+            const Link &l = links[ch];
+            if (!l.usable()) // downed links contribute no wait edge
+                continue;
+            Message *holder = l.vc(c.vc).owner();
+            if (holder == nullptr) {
+                fullyBlocked = false;
+            } else if (holder != m) {
+                edges.push_back({holder->id(), ch, c.vc});
+                if (stuck)
+                    info.waitingOn.push_back({holder, ch, c.vc});
+            }
+        }
+        waitGraph.setWaits(m->id(), fullyBlocked, edges);
+        if (stuck) {
+            info.msg = m;
+            info.fullyBlocked = fullyBlocked;
+            waiting.push_back(std::move(info));
+        }
+    }
+
+    bool timeoutSuspected = false;
+    if (comparing && !waiting.empty()) {
+        DeadlockReport heuristic = watchdog.scan(now, waiting);
+        if (heuristic.suspected) {
+            timeoutSuspected = true;
+            ++ddCounters.timeoutSuspects;
+        }
+    }
+
+    WaitForGraph::Knot knot = waitGraph.confirm();
+    if (!knot.deadlocked()) {
+        if (timeoutSuspected)
+            ++ddCounters.timeoutFalsePositives;
+        return;
+    }
+
+    ++ddCounters.detections;
+    ddCounters.largestKnot = std::max<std::uint64_t>(
+        ddCounters.largestKnot, knot.members.size());
+
+    DeadlockReport report;
+    report.suspected = true;
+    report.confirmed = true;
+    report.exactConfirmed = true;
+    report.faultInduced = faultEventsCount > 0 || numFailed > 0;
+    report.cycle = knot.cycle;
+    report.waits = knot.waits;
+
+    if (metrics)
+        metrics->noteWatchdogSuspect();
+    if (sink && wantEvent(TraceEventType::DeadlockDetect)) {
+        TraceEvent e;
+        e.type = TraceEventType::DeadlockDetect;
+        e.cycle = now;
+        e.msg = report.cycle.empty() ? kInvalidMessage : report.cycle[0];
+        e.node = kInvalidNode; // detector pseudo-track
+        e.arg0 = static_cast<std::int64_t>(report.cycle.size());
+        e.arg1 = static_cast<std::int64_t>(knot.members.size());
+        sink->onEvent(e);
+    }
+
+    deadlockReport = report;
+    deadlockSeen = true;
+
+    // Same fault escalation as the timeout path (see runWatchdog).
+    if (report.faultInduced && faultRecovery) {
+        WORMSIM_WARN("aborting fault-induced ", report.describe());
+        for (MessageId id : report.cycle) {
+            Message *victim = pool.find(id);
+            if (victim) {
+                abortMessage(victim, now, AbortCause::FaultDeadlock,
+                             kInvalidChannel);
+            }
+        }
+        return;
+    }
+
+    switch (cfg.deadlockAction) {
+      case DeadlockAction::Panic:
+        WORMSIM_PANIC("deadlock with algorithm '", routing.name(),
+                      "': ", report.describe());
+        break;
+      case DeadlockAction::RecordAndKill:
+        WORMSIM_WARN("recovering from ", report.describe());
+        for (MessageId id : report.cycle) {
+            Message *victim = pool.find(id);
+            if (victim)
+                killMessage(victim);
+        }
+        break;
+      case DeadlockAction::RecordOnly:
+        break;
+      case DeadlockAction::Recover:
+        recoverVictim(report, now);
+        break;
+    }
+}
+
+void
+Network::recoverVictim(const DeadlockReport &report, Cycle now)
+{
+    std::vector<Message *> members;
+    members.reserve(report.cycle.size());
+    for (MessageId id : report.cycle) {
+        if (Message *m = pool.find(id))
+            members.push_back(m);
+    }
+    if (members.empty())
+        return;
+    Message *victim = selectVictim(cfg.victimPolicy, members);
+    ++ddCounters.victims;
+    if (sink && wantEvent(TraceEventType::DeadlockRecover)) {
+        TraceEvent e;
+        e.type = TraceEventType::DeadlockRecover;
+        e.cycle = now;
+        e.msg = victim->id();
+        e.node = victim->headAt();
+        e.arg0 = static_cast<std::int64_t>(report.cycle.size());
+        e.arg1 = victim->retryAttempt();
+        sink->onEvent(e);
+    }
+    abortMessage(victim, now, AbortCause::Deadlock, kInvalidChannel);
 }
 
 void

@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "wormsim/deadlock/detector.hh"
+#include "wormsim/deadlock/wait_for_graph.hh"
 #include "wormsim/network/congestion.hh"
 #include "wormsim/network/link.hh"
 #include "wormsim/network/message_pool.hh"
@@ -53,7 +55,14 @@ enum class DeadlockAction
     Panic,         ///< internal error: abort (algorithms claim freedom)
     RecordAndKill, ///< record it, kill the cycle's messages, continue
     RecordOnly,    ///< record it and let the simulation stay wedged
+    Recover,       ///< abort one victim (AbortCause::Deadlock) and retry it
 };
+
+/** Parse "panic" / "record-kill" / "record-only" / "recover"; fatal else. */
+DeadlockAction parseDeadlockAction(const std::string &text);
+
+/** Short name of a deadlock action. */
+std::string deadlockActionName(DeadlockAction action);
 
 /**
  * Why the fault/recovery layer tore a message down (see docs/faults.md).
@@ -63,10 +72,11 @@ enum class AbortCause
     LinkFault,     ///< held a VC on a link that went down
     Starved,       ///< waited past patience with every candidate link down
     FaultDeadlock, ///< member of a confirmed fault-induced deadlock cycle
+    Deadlock,      ///< recovery victim of a confirmed deadlock knot
 };
 
 /** Number of AbortCause values. */
-constexpr int kNumAbortCauses = 3;
+constexpr int kNumAbortCauses = 4;
 
 /** Short machine-friendly name: "link_fault", "starved", ... */
 std::string abortCauseName(AbortCause cause);
@@ -107,6 +117,17 @@ struct NetworkParams
     Cycle watchdogPatience = 10000; ///< 0 disables the watchdog
     Cycle watchdogInterval = 1024;
     DeadlockAction deadlockAction = DeadlockAction::Panic;
+    /**
+     * Which deadlock detector runs on the watchdog cadence (see
+     * deadlock/detector.hh). Timeout is the original PR 2 watchdog and
+     * the default; Exact runs the WaitForGraph fixpoint (and, when
+     * watchdogPatience > 0, also the timeout heuristic for the
+     * false-positive comparison in DeadlockDetectionCounters); Off
+     * disables scanning entirely.
+     */
+    DeadlockDetectorKind deadlockDetector = DeadlockDetectorKind::Timeout;
+    /** Which cycle member DeadlockAction::Recover tears down. */
+    VictimPolicy victimPolicy = VictimPolicy::Youngest;
     StepMode stepMode = StepMode::Active; ///< arbitration sweep engine
     /**
      * Route-cache engine (--route-cache): memoized routing candidates
@@ -145,6 +166,22 @@ struct ChannelLoadStats
      * every count is zero.
      */
     static ChannelLoadStats fromCounts(const std::vector<double> &counts);
+};
+
+/**
+ * What the deadlock detectors saw over the run (never reset; detection
+ * is a whole-run property, not a sampling-window one). Under the exact
+ * detector, timeoutSuspects/timeoutFalsePositives compare the timeout
+ * heuristic against the fixpoint ground truth on the same scans.
+ */
+struct DeadlockDetectionCounters
+{
+    std::uint64_t scans = 0;      ///< detector passes that ran
+    std::uint64_t detections = 0; ///< confirmed deadlocks
+    std::uint64_t largestKnot = 0;
+    std::uint64_t timeoutSuspects = 0;
+    std::uint64_t timeoutFalsePositives = 0; ///< exact pass rejected it
+    std::uint64_t victims = 0; ///< worms torn down by Recover
 };
 
 /** Aggregate counters since the last resetCounters(). */
@@ -211,6 +248,13 @@ class Network
 
     /** Set the aborted-message callback (fault/recovery layer). */
     void setAbortHook(AbortHook hook) { onAbort = std::move(hook); }
+
+    /**
+     * The currently installed abort hook (empty when none). Lets a layer
+     * chain: capture the previous hook, install one that filters its own
+     * causes and forwards the rest (deadlock/recovery.hh).
+     */
+    const AbortHook &abortHook() const { return onAbort; }
 
     /**
      * Re-offer an aborted message's payload at its source (@p attempt =
@@ -325,6 +369,12 @@ class Network
     /** True when a confirmed deadlock has ever been recorded. */
     bool sawDeadlock() const { return deadlockSeen; }
 
+    /** Whole-run deadlock-detection counters (see struct docs). */
+    const DeadlockDetectionCounters &deadlockCounters() const
+    {
+        return ddCounters;
+    }
+
     // --- introspection (tests, examples) ---
     const Topology &topology() const { return net; }
     const RoutingAlgorithm &algorithm() const { return routing; }
@@ -397,6 +447,23 @@ class Network
     void applyTransfer(VirtualChannel *v, Cycle now);
     void finalizeDelivery(Message *msg, Cycle now);
     void runWatchdog(Cycle now);
+
+    /**
+     * Exact-detector pass (deadlock/wait_for_graph.hh): rebuild the
+     * wait-for graph over every waiting header, run the blocked-set
+     * fixpoint, and dispatch the configured DeadlockAction on a
+     * confirmed knot. Also runs the timeout heuristic (when patience is
+     * nonzero) purely for the false-positive comparison counters.
+     */
+    void runExactDetector(Cycle now);
+
+    /**
+     * DeadlockAction::Recover: pick one victim from @p report's cycle
+     * per the configured VictimPolicy and abort it with
+     * AbortCause::Deadlock (the recovery engine re-offers it later).
+     */
+    void recoverVictim(const DeadlockReport &report, Cycle now);
+
     void killMessage(Message *msg);
     void removeFromNeedRoute(Message *msg);
 
@@ -569,6 +636,15 @@ class Network
     std::uint64_t abortedCount = 0;
     DeadlockReport deadlockReport;
     bool deadlockSeen = false;
+    /**
+     * The exact detector's wait-for graph. Rebuilt (clear + setWaits per
+     * waiter) on each scan rather than maintained per-allocation: waits
+     * churn every cycle, so incremental upkeep would tax the hot path the
+     * six deadlock-free algorithms never benefit from. The incremental
+     * setWaits/erase API is exercised directly in tests/test_deadlock.cc.
+     */
+    WaitForGraph waitGraph;
+    DeadlockDetectionCounters ddCounters;
 
     // scratch buffers reused across cycles; reserved to worst case at
     // construction (see scratchCapacities())

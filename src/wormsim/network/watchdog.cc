@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "wormsim/common/logging.hh"
 #include "wormsim/network/message.hh"
 
 namespace wormsim
@@ -32,6 +33,7 @@ DeadlockReport::machineReadable() const
     std::ostringstream oss;
     oss << "deadlock suspected=" << (suspected ? 1 : 0)
         << " confirmed=" << (confirmed ? 1 : 0)
+        << " deadlock_confirmed=" << (exactConfirmed ? 1 : 0)
         << " cycle_size=" << cycle.size()
         << " fault_induced=" << (faultInduced ? 1 : 0) << "\n";
     for (const ChannelWait &w : waits) {
@@ -39,6 +41,56 @@ DeadlockReport::machineReadable() const
             << " channel=" << w.channel << " vc=" << w.vc << "\n";
     }
     return oss.str();
+}
+
+DeadlockReport
+DeadlockReport::parseMachineReadable(const std::string &text)
+{
+    DeadlockReport report;
+    std::istringstream in(text);
+    std::string line;
+
+    // key=value reader shared by both line kinds; fatal on mismatch so
+    // format drift fails loudly in the round-trip test.
+    auto field = [](std::istringstream &ls, const std::string &key) {
+        std::string tok;
+        WORMSIM_ASSERT(ls >> tok, "deadlock report truncated before '", key,
+                       "'");
+        WORMSIM_ASSERT(tok.rfind(key + "=", 0) == 0,
+                       "expected '", key, "=', got '", tok, "'");
+        return std::stoll(tok.substr(key.size() + 1));
+    };
+
+    bool sawHeader = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string kind;
+        ls >> kind;
+        if (kind == "deadlock") {
+            WORMSIM_ASSERT(!sawHeader, "duplicate deadlock header line");
+            sawHeader = true;
+            report.suspected = field(ls, "suspected") != 0;
+            report.confirmed = field(ls, "confirmed") != 0;
+            report.exactConfirmed = field(ls, "deadlock_confirmed") != 0;
+            auto n = static_cast<std::size_t>(field(ls, "cycle_size"));
+            report.faultInduced = field(ls, "fault_induced") != 0;
+            report.cycle.assign(n, kInvalidMessage);
+        } else if (kind == "wait") {
+            WORMSIM_ASSERT(sawHeader, "wait line before deadlock header");
+            ChannelWait w;
+            w.waiter = static_cast<MessageId>(field(ls, "waiter"));
+            w.holder = static_cast<MessageId>(field(ls, "holder"));
+            w.channel = static_cast<ChannelId>(field(ls, "channel"));
+            w.vc = static_cast<VcClass>(field(ls, "vc"));
+            report.waits.push_back(w);
+        } else {
+            WORMSIM_FATAL("unknown deadlock report line kind '", kind, "'");
+        }
+    }
+    WORMSIM_ASSERT(sawHeader, "deadlock report missing header line");
+    return report;
 }
 
 DeadlockReport

@@ -46,6 +46,14 @@ struct DeadlockReport
     bool suspected = false;  ///< a wait-for cycle exists
     bool confirmed = false;  ///< every cycle member is fully blocked
     /**
+     * True when the exact detector's wait-for-graph fixpoint confirmed
+     * this report (deadlock/wait_for_graph.hh) — a proven-permanent knot,
+     * as opposed to a timeout-watchdog `confirmed` which is still only a
+     * patience-based suspicion. Scripts key off the machineReadable()
+     * deadlock_confirmed field.
+     */
+    bool exactConfirmed = false;
+    /**
      * True when runtime fault injection had already altered the fabric
      * when this report was produced (links down or previously failed),
      * so the deadlock may be injected rather than an algorithm bug.
@@ -61,11 +69,20 @@ struct DeadlockReport
 
     /**
      * Machine-readable form: a `deadlock` header line with key=value
-     * fields (suspected, confirmed, cycle_size, fault_induced) followed
-     * by one `wait` line per channel-wait edge. Stable format for
-     * scripts/tests.
+     * fields (suspected, confirmed, deadlock_confirmed, cycle_size,
+     * fault_induced) followed by one `wait` line per channel-wait edge.
+     * Stable format for scripts/tests; parseMachineReadable() is the
+     * exact inverse (round-trip tested).
      */
     std::string machineReadable() const;
+
+    /**
+     * Parse a machineReadable() string back into a report. Fatal on a
+     * malformed header or wait line. The cycle member list is not part
+     * of the wire format; the parsed report carries cycle_size as
+     * kInvalidMessage placeholders so machineReadable() round-trips.
+     */
+    static DeadlockReport parseMachineReadable(const std::string &text);
 };
 
 /** Scans stuck messages for wait-for cycles. */

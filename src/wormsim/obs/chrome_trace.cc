@@ -171,6 +171,16 @@ ChromeTraceSink::onEvent(const TraceEvent &e)
              << ",\"dst\":" << e.arg1;
         emitRaw(instant(e, "msg_retry", args.str()));
         break;
+      case TraceEventType::DeadlockDetect:
+        args << "\"msg\":" << e.msg << ",\"cycle_size\":" << e.arg0
+             << ",\"knot_size\":" << e.arg1;
+        emitRaw(instant(e, "deadlock_detect", args.str()));
+        break;
+      case TraceEventType::DeadlockRecover:
+        args << "\"msg\":" << e.msg << ",\"cycle_size\":" << e.arg0
+             << ",\"attempt\":" << e.arg1;
+        emitRaw(instant(e, "deadlock_recover", args.str()));
+        break;
     }
     ++written;
 }

@@ -34,10 +34,12 @@ enum class TraceEventType : std::uint8_t
     LinkRepair,      ///< fault injection brought a link back up
     MsgAbort,        ///< message torn down by the fault/recovery layer
     MsgRetry,        ///< aborted message re-injected at its source
+    DeadlockDetect,  ///< exact detector confirmed a deadlock knot
+    DeadlockRecover, ///< recovery tore down a victim worm
 };
 
 /** Number of TraceEventType values (mask width). */
-constexpr int kNumTraceEventTypes = 11;
+constexpr int kNumTraceEventTypes = 13;
 
 /** Why a message (or flit) could not make progress this cycle. */
 enum class StallCause : std::uint8_t
@@ -97,6 +99,8 @@ constexpr std::uint32_t kTraceEventsNoFlits =
  * | LinkRepair      | from-node | repaired ch    | to-node     | —       |
  * | MsgAbort        | head node | faulted ch     | AbortCause  | retry attempt |
  * | MsgRetry        | source    | —              | attempt     | destination |
+ * | DeadlockDetect  | —         | —              | cycle size  | knot size |
+ * | DeadlockRecover | head node | —              | cycle size  | retry attempt |
  */
 struct TraceEvent
 {

@@ -47,6 +47,10 @@ traceEventTypeName(TraceEventType type)
         return "msg_abort";
       case TraceEventType::MsgRetry:
         return "msg_retry";
+      case TraceEventType::DeadlockDetect:
+        return "deadlock_detect";
+      case TraceEventType::DeadlockRecover:
+        return "deadlock_recover";
     }
     return "?";
 }

@@ -1,0 +1,76 @@
+#include "wormsim/routing/fully_adaptive.hh"
+
+#include "wormsim/common/logging.hh"
+#include "wormsim/routing/positive_hop.hh"
+
+namespace wormsim
+{
+
+FullyAdaptiveRouting::FullyAdaptiveRouting(int vcs_) : vcs(vcs_)
+{
+    WORMSIM_ASSERT(vcs >= 1, "ffa needs at least one virtual channel (got ",
+                   vcs, ")");
+}
+
+std::string
+FullyAdaptiveRouting::name() const
+{
+    return vcs == 2 ? "ffa" : "ffa" + std::to_string(vcs) + "x";
+}
+
+int
+FullyAdaptiveRouting::numVcClasses(const Topology &topo) const
+{
+    (void)topo;
+    return vcs;
+}
+
+void
+FullyAdaptiveRouting::initMessage(const Topology &topo, Message &msg) const
+{
+    (void)topo;
+    msg.route() = RouteState{};
+}
+
+void
+FullyAdaptiveRouting::candidates(const Topology &topo, NodeId current,
+                                 const Message &msg,
+                                 std::vector<RouteCandidate> &out) const
+{
+    // Lane-major (lane outer, directions inner), matching the LaneFan
+    // cache expansion so cached and uncached runs are bit-identical.
+    for (int lane = 0; lane < vcs; ++lane) {
+        pushMinimalDirections(topo, current, msg.dst(),
+                              static_cast<VcClass>(lane), out);
+    }
+    WORMSIM_ASSERT(!out.empty(), "ffa asked for a hop at the destination "
+                   "(", msg.str(), ")");
+}
+
+int
+FullyAdaptiveRouting::routeCacheKeySpace(const Topology &topo) const
+{
+    (void)topo;
+    return 1;
+}
+
+int
+FullyAdaptiveRouting::routeCacheKey(const Topology &topo,
+                                    const Message &msg) const
+{
+    (void)topo;
+    (void)msg;
+    return 0;
+}
+
+void
+FullyAdaptiveRouting::routeCacheLanes(const Topology &topo, int key,
+                                      int &first_lane, int &num_lanes) const
+{
+    (void)topo;
+    (void)key;
+    first_lane = 0;
+    num_lanes = vcs;
+}
+
+} // namespace wormsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The fully-flexible adaptive (ffa) routing engine: minimal routing with
+ * no virtual-channel ordering discipline at all. Every minimal direction
+ * is admissible on every VC class at every hop.
+ *
+ * This is the scheme the 1993 paper could not evaluate: the six
+ * reproduced algorithms buy deadlock freedom by construction (Lemma 1
+ * monotone class ranks), paying in VC count and routing restrictions.
+ * ffa pays nothing — and is intentionally NOT deadlock-free: cyclic
+ * channel waits can and do form under load. It exists as the workload
+ * for the runtime deadlock detection/recovery subsystem
+ * (src/wormsim/deadlock/, docs/deadlocks.md); running it with
+ * --deadlock-detector off --deadlock-action record-only will wedge.
+ */
+
+#ifndef WORMSIM_ROUTING_FULLY_ADAPTIVE_HH
+#define WORMSIM_ROUTING_FULLY_ADAPTIVE_HH
+
+#include "wormsim/routing/routing_algorithm.hh"
+
+namespace wormsim
+{
+
+/** Minimal fully-adaptive routing, any VC, no ordering (deadlock-prone). */
+class FullyAdaptiveRouting : public RoutingAlgorithm
+{
+  public:
+    /** @param vcs virtual channels per physical channel (>= 1) */
+    explicit FullyAdaptiveRouting(int vcs = 2);
+
+    std::string name() const override;
+    int numVcClasses(const Topology &topo) const override;
+    void initMessage(const Topology &topo, Message &msg) const override;
+    void candidates(const Topology &topo, NodeId current,
+                    const Message &msg,
+                    std::vector<RouteCandidate> &out) const override;
+    bool torusMinimal(const Topology &) const override { return true; }
+
+    /** Candidates ignore routing state entirely: one key fits all. */
+    int routeCacheKeySpace(const Topology &topo) const override;
+    int routeCacheKey(const Topology &topo,
+                      const Message &msg) const override;
+
+    /** Minimal directions fanned over every lane: skeleton-expandable. */
+    RouteCacheExpand
+    routeCacheExpand() const override
+    {
+        return RouteCacheExpand::LaneFan;
+    }
+    void routeCacheLanes(const Topology &topo, int key, int &first_lane,
+                         int &num_lanes) const override;
+
+  private:
+    int vcs;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_ROUTING_FULLY_ADAPTIVE_HH

@@ -5,6 +5,7 @@
 #include "wormsim/routing/bonus_cards.hh"
 #include "wormsim/routing/broken_ring.hh"
 #include "wormsim/routing/ecube.hh"
+#include "wormsim/routing/fully_adaptive.hh"
 #include "wormsim/routing/negative_hop.hh"
 #include "wormsim/routing/north_last.hh"
 #include "wormsim/routing/positive_hop.hh"
@@ -43,6 +44,14 @@ makeRoutingAlgorithm(const std::string &raw)
             BonusCardRouting::SpendMode::AnyHop);
     if (name == "broken-ring")
         return std::make_unique<BrokenRingRouting>();
+    if (name == "ffa")
+        return std::make_unique<FullyAdaptiveRouting>();
+    if (startsWith(name, "ffa") && name.size() > 4 && name.back() == 'x') {
+        long long vcs = 0;
+        if (parseInt(name.substr(3, name.size() - 4), vcs) && vcs >= 1)
+            return std::make_unique<FullyAdaptiveRouting>(
+                static_cast<int>(vcs));
+    }
     WORMSIM_FATAL("unknown routing algorithm '", raw, "' (expected one of ",
                   join(knownAlgorithms(), ", "), ")");
 }
@@ -59,8 +68,8 @@ const std::vector<std::string> &
 knownAlgorithms()
 {
     static const std::vector<std::string> names{
-        "ecube", "nlast", "2pn", "2pn-minimal",
-        "phop",  "nhop",  "nbc", "nbc-flex", "broken-ring"};
+        "ecube", "nlast", "2pn", "2pn-minimal", "phop",
+        "nhop",  "nbc",   "nbc-flex", "broken-ring", "ffa"};
     return names;
 }
 

@@ -133,6 +133,69 @@ TEST(NetworkFaults, FailingBusyLinkPanics)
     setLoggingThrows(false);
 }
 
+TEST(Analysis, FfaCandidatesCoverEveryMinimalProfitableChannel)
+{
+    // Cross-validate the ffa engine against the static reachability
+    // model: at every (current, destination) pair on a 4x4 torus, its
+    // candidate set must be exactly {minimal directions} x {all VC
+    // lanes}, lane-major — the defining property of fully-flexible
+    // adaptivity (and the order the LaneFan route cache assumes).
+    Torus topo = Torus::square(4);
+    auto ffa = makeRoutingAlgorithm("ffa");
+    const int vcs = ffa->numVcClasses(topo);
+    ASSERT_EQ(vcs, 2);
+    for (NodeId current = 0; current < topo.numNodes(); ++current) {
+        for (NodeId dst = 0; dst < topo.numNodes(); ++dst) {
+            if (current == dst)
+                continue;
+            Message m(1, current, dst, 8, 0);
+            m.setMinDistance(topo.distance(current, dst));
+            ffa->initMessage(topo, m);
+            std::vector<RouteCandidate> out;
+            ffa->candidates(topo, current, m, out);
+
+            // The minimal profitable directions from here.
+            std::vector<Direction> minimal;
+            Coord c = topo.coordOf(current), d = topo.coordOf(dst);
+            for (int dim = 0; dim < topo.numDims(); ++dim) {
+                DimTravel t = topo.travel(dim, c[dim], d[dim]);
+                if (t.plusMinimal)
+                    minimal.push_back({dim, +1});
+                if (t.minusMinimal)
+                    minimal.push_back({dim, -1});
+            }
+            ASSERT_EQ(out.size(), minimal.size() * vcs)
+                << current << "->" << dst;
+            for (int lane = 0; lane < vcs; ++lane) {
+                for (std::size_t i = 0; i < minimal.size(); ++i) {
+                    const RouteCandidate &cand =
+                        out[lane * minimal.size() + i];
+                    EXPECT_EQ(cand.dir, minimal[i]);
+                    EXPECT_EQ(cand.vc, static_cast<VcClass>(lane));
+                }
+            }
+        }
+    }
+    // Consequence: with no failures every pair is statically routable.
+    EXPECT_DOUBLE_EQ(routableFraction(*ffa, topo, {}), 1.0);
+}
+
+TEST(Analysis, FfaIsAtLeastAsFaultAdaptiveAsNbc)
+{
+    // ffa admits every minimal channel nbc admits (and more lanes), so
+    // its surviving-pair fraction can never be below nbc's.
+    Torus topo = Torus::square(6);
+    FailedLinkSet failed{
+        topo.channelId(topo.nodeId(Coord(1, 1)), Direction{0, +1}),
+        topo.channelId(topo.nodeId(Coord(4, 3)), Direction{1, -1})};
+    auto ffa = makeRoutingAlgorithm("ffa");
+    auto nbc = makeRoutingAlgorithm("nbc");
+    double f_ffa = routableFraction(*ffa, topo, failed);
+    double f_nbc = routableFraction(*nbc, topo, failed);
+    EXPECT_GE(f_ffa, f_nbc);
+    EXPECT_GT(f_ffa, 0.99);
+}
+
 TEST(NetworkFaults, UnroutablePairWedgesAndWatchdogSeesIt)
 {
     // Fail the only minimal link of an aligned pair, inject that pair:

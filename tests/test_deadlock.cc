@@ -1,0 +1,644 @@
+/**
+ * @file
+ * Deadlock detection & recovery subsystem tests (src/wormsim/deadlock/).
+ *
+ * Layers, bottom up: WaitForGraph fixpoint semantics (incremental edge
+ * updates, knots vs cycles, escape discharge), victim-policy selection,
+ * name/parse round trips, golden bit-identicality of the detector knob
+ * across the six paper algorithms (off / timeout / exact all reproduce
+ * the same run — and the exact detector confirms ZERO deadlocks for the
+ * avoidance schemes), a hand-built ffa ring deadlock that the exact
+ * detector confirms and Recover resolves, the exact-vs-timeout latency
+ * ordering on the same wedge, end-to-end recovery accounting through
+ * SimulationRunner (DeadlockStats invariants), and the sweep report
+ * surfacing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "wormsim/wormsim.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// WaitForGraph: blocked-set fixpoint
+// ---------------------------------------------------------------------
+
+WaitForGraph::Edge
+edge(MessageId holder)
+{
+    // Synthetic contested resource: channel = holder, VC class 0.
+    return {holder, static_cast<ChannelId>(holder),
+            static_cast<VcClass>(0)};
+}
+
+TEST(WaitForGraph, EmptyGraphHasNoKnot)
+{
+    WaitForGraph g;
+    EXPECT_EQ(g.size(), 0u);
+    EXPECT_FALSE(g.confirm().deadlocked());
+}
+
+TEST(WaitForGraph, TwoCycleIsAKnot)
+{
+    WaitForGraph g;
+    g.setWaits(0, true, {edge(1)});
+    g.setWaits(1, true, {edge(0)});
+    WaitForGraph::Knot k = g.confirm();
+    ASSERT_TRUE(k.deadlocked());
+    EXPECT_EQ(k.members, (std::vector<MessageId>{0, 1}));
+    EXPECT_EQ(k.cycle.size(), 2u);
+    ASSERT_EQ(k.waits.size(), 2u);
+    for (const DeadlockReport::ChannelWait &w : k.waits)
+        EXPECT_EQ(w.channel, static_cast<ChannelId>(w.holder));
+}
+
+TEST(WaitForGraph, FreeCandidateDischargesTheWholeCycle)
+{
+    // Message 1 has a free candidate VC somewhere: it will eventually
+    // move, so 0's wait on it is transient too. No knot.
+    WaitForGraph g;
+    g.setWaits(0, true, {edge(1)});
+    g.setWaits(1, /*fully_blocked=*/false, {edge(0)});
+    EXPECT_FALSE(g.confirm().deadlocked());
+}
+
+TEST(WaitForGraph, MovingHolderDischargesTransitively)
+{
+    // 0 -> 1 -> 2 where 2 has no record: 2 is a moving worm, so 1
+    // escapes, so 0 escapes. The discharge must cascade in one confirm.
+    WaitForGraph g;
+    g.setWaits(0, true, {edge(1)});
+    g.setWaits(1, true, {edge(2)});
+    EXPECT_FALSE(g.confirm().deadlocked());
+}
+
+TEST(WaitForGraph, ChainWithoutCycleIsClean)
+{
+    WaitForGraph g;
+    g.setWaits(0, true, {edge(1)});
+    g.setWaits(1, true, {edge(2)});
+    g.setWaits(2, false, {});
+    EXPECT_FALSE(g.confirm().deadlocked());
+}
+
+TEST(WaitForGraph, KnotMembersIncludeDependentsBeyondTheCycle)
+{
+    // 0 <-> 1 deadlock, and 2 waits (fully blocked) only on 0: 2 can
+    // never progress either, so the knot has three members but the
+    // representative cycle is still the 2-cycle.
+    WaitForGraph g;
+    g.setWaits(0, true, {edge(1)});
+    g.setWaits(1, true, {edge(0)});
+    g.setWaits(2, true, {edge(0)});
+    WaitForGraph::Knot k = g.confirm();
+    ASSERT_TRUE(k.deadlocked());
+    EXPECT_EQ(k.members, (std::vector<MessageId>{0, 1, 2}));
+    EXPECT_EQ(k.cycle.size(), 2u);
+}
+
+TEST(WaitForGraph, SelfWedgedWormIsASelfCycle)
+{
+    // Fully blocked with no escape edges: every candidate is held by the
+    // waiter itself, which it can never release while waiting.
+    WaitForGraph g;
+    g.setWaits(5, true, {});
+    WaitForGraph::Knot k = g.confirm();
+    ASSERT_TRUE(k.deadlocked());
+    EXPECT_EQ(k.members, (std::vector<MessageId>{5}));
+    EXPECT_EQ(k.cycle, (std::vector<MessageId>{5}));
+    EXPECT_TRUE(k.waits.empty());
+}
+
+TEST(WaitForGraph, IncrementalUpdatesTrackTheWaitSet)
+{
+    // The incremental API: edges are replaced per waiter and erased on
+    // progress; the verdict must follow the current graph exactly.
+    WaitForGraph g;
+    g.setWaits(0, true, {edge(1)});
+    g.setWaits(1, true, {edge(2)});
+    g.setWaits(2, true, {edge(0)});
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_TRUE(g.contains(1));
+    EXPECT_TRUE(g.confirm().deadlocked());
+
+    // 1 got its VC and moved on: the cycle is broken...
+    g.erase(1);
+    EXPECT_FALSE(g.contains(1));
+    EXPECT_FALSE(g.confirm().deadlocked());
+
+    // ...then wedges again on a different resource, reclosing it.
+    g.setWaits(1, true, {edge(2)});
+    EXPECT_TRUE(g.confirm().deadlocked());
+
+    // Replacing a record (not accumulating) must drop the old edges:
+    // point 2 at a moving worm and the knot dissolves.
+    g.setWaits(2, true, {edge(9)});
+    EXPECT_FALSE(g.confirm().deadlocked());
+
+    g.clear();
+    EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(WaitForGraph, ConfirmsEveryWatchdogConfirmedStructure)
+{
+    // Detector equivalence at the unit level: on the same synthetic wait
+    // structure, a timeout-watchdog *confirmed* report (a fully-blocked
+    // cycle among stuck messages) is exactly a nonempty fixpoint; a
+    // merely *suspected* one (some member retains a free candidate) is
+    // exactly what the fixpoint rejects as a false positive.
+    std::vector<Message> msgs;
+    for (MessageId i = 0; i < 5; ++i) {
+        msgs.emplace_back(i, 0, 1, 16, 0);
+        msgs.back().setWaitingSince(0);
+    }
+    auto waitInfo = [&](std::size_t who, std::vector<std::size_t> on,
+                        bool fully_blocked) {
+        DeadlockWatchdog::WaitInfo info;
+        info.msg = &msgs[who];
+        for (std::size_t idx : on)
+            info.waitingOn.push_back({&msgs[idx],
+                                      static_cast<ChannelId>(idx),
+                                      static_cast<VcClass>(0)});
+        info.fullyBlocked = fully_blocked;
+        return info;
+    };
+    auto knotFor = [&](const std::vector<DeadlockWatchdog::WaitInfo> &w) {
+        WaitForGraph g;
+        for (const DeadlockWatchdog::WaitInfo &i : w) {
+            std::vector<WaitForGraph::Edge> edges;
+            for (const DeadlockWatchdog::WaitEdge &e : i.waitingOn)
+                edges.push_back({e.holder->id(), e.channel, e.vc});
+            g.setWaits(i.msg->id(), i.fullyBlocked, std::move(edges));
+        }
+        return g.confirm();
+    };
+
+    DeadlockWatchdog dog(100);
+    // Confirmed 5-cycle: the fixpoint must agree.
+    std::vector<DeadlockWatchdog::WaitInfo> cyc{
+        waitInfo(0, {1}, true), waitInfo(1, {2}, true),
+        waitInfo(2, {3}, true), waitInfo(3, {4}, true),
+        waitInfo(4, {0}, true)};
+    ASSERT_TRUE(dog.scan(1000, cyc).confirmed);
+    EXPECT_TRUE(knotFor(cyc).deadlocked());
+
+    // Suspected-only cycle (one free candidate): the fixpoint rejects.
+    std::vector<DeadlockWatchdog::WaitInfo> sus{
+        waitInfo(0, {1}, true), waitInfo(1, {0}, false)};
+    DeadlockReport r = dog.scan(1000, sus);
+    ASSERT_TRUE(r.suspected);
+    ASSERT_FALSE(r.confirmed);
+    EXPECT_FALSE(knotFor(sus).deadlocked());
+}
+
+// ---------------------------------------------------------------------
+// Victim policies
+// ---------------------------------------------------------------------
+
+TEST(DeadlockVictim, PoliciesPickByAgeAndWorkWithIdTieBreaks)
+{
+    // id 0: created 10, 3 flits in; id 1: created 30, 1 flit; id 2:
+    // created 30, 3 flits.
+    std::vector<Message> msgs;
+    msgs.emplace_back(0, 0, 1, 16, /*created*/ 10);
+    msgs.emplace_back(1, 2, 3, 16, /*created*/ 30);
+    msgs.emplace_back(2, 4, 5, 16, /*created*/ 30);
+    for (int i = 0; i < 3; ++i)
+        msgs[0].noteFlitInjected();
+    msgs[1].noteFlitInjected();
+    for (int i = 0; i < 3; ++i)
+        msgs[2].noteFlitInjected();
+    std::vector<Message *> members{&msgs[0], &msgs[1], &msgs[2]};
+
+    // Youngest: created 30 tie between 1 and 2 -> larger id wins.
+    EXPECT_EQ(selectVictim(VictimPolicy::Youngest, members)->id(), 2u);
+    // Oldest: unique minimum created 10.
+    EXPECT_EQ(selectVictim(VictimPolicy::Oldest, members)->id(), 0u);
+    // FewestFlits: unique minimum 1 flit.
+    EXPECT_EQ(selectVictim(VictimPolicy::FewestFlits, members)->id(), 1u);
+
+    // FewestFlits tie (0 and 2, both 3 flits): larger id wins.
+    std::vector<Message *> tied{&msgs[0], &msgs[2]};
+    EXPECT_EQ(selectVictim(VictimPolicy::FewestFlits, tied)->id(), 2u);
+    // Oldest tie: smaller id wins.
+    std::vector<Message *> sameAge{&msgs[1], &msgs[2]};
+    EXPECT_EQ(selectVictim(VictimPolicy::Oldest, sameAge)->id(), 1u);
+
+    // Member order must not matter (determinism).
+    std::vector<Message *> reversed{&msgs[2], &msgs[1], &msgs[0]};
+    EXPECT_EQ(selectVictim(VictimPolicy::Youngest, reversed)->id(), 2u);
+    EXPECT_EQ(selectVictim(VictimPolicy::Oldest, reversed)->id(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Name/parse round trips
+// ---------------------------------------------------------------------
+
+TEST(Deadlock, NamesRoundTripThroughParsers)
+{
+    for (DeadlockDetectorKind k :
+         {DeadlockDetectorKind::Exact, DeadlockDetectorKind::Timeout,
+          DeadlockDetectorKind::Off})
+        EXPECT_EQ(parseDeadlockDetector(deadlockDetectorName(k)), k);
+    for (VictimPolicy p :
+         {VictimPolicy::Youngest, VictimPolicy::Oldest,
+          VictimPolicy::FewestFlits})
+        EXPECT_EQ(parseVictimPolicy(victimPolicyName(p)), p);
+    for (DeadlockAction a :
+         {DeadlockAction::Panic, DeadlockAction::RecordAndKill,
+          DeadlockAction::RecordOnly, DeadlockAction::Recover})
+        EXPECT_EQ(parseDeadlockAction(deadlockActionName(a)), a);
+    // Case/whitespace tolerance follows the other enum parsers.
+    EXPECT_EQ(parseDeadlockDetector(" Exact "),
+              DeadlockDetectorKind::Exact);
+    EXPECT_EQ(parseVictimPolicy("FEWEST-FLITS"),
+              VictimPolicy::FewestFlits);
+}
+
+TEST(Deadlock, TraceEventNamesCoverTheNewTypes)
+{
+    EXPECT_EQ(traceEventTypeName(TraceEventType::DeadlockDetect),
+              "deadlock_detect");
+    EXPECT_EQ(traceEventTypeName(TraceEventType::DeadlockRecover),
+              "deadlock_recover");
+}
+
+// ---------------------------------------------------------------------
+// Golden: the detector knob never perturbs the six avoidance algorithms
+// ---------------------------------------------------------------------
+
+std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+    return h;
+}
+
+std::uint64_t
+countDraws(std::uint64_t seed, const std::array<std::uint64_t, 4> &final,
+           std::uint64_t cap)
+{
+    Xoshiro256 replay(seed);
+    for (std::uint64_t n = 0; n <= cap; ++n) {
+        if (replay.state() == final)
+            return n;
+        replay.next();
+    }
+    ADD_FAILURE() << "RNG final state not reached within " << cap
+                  << " draws";
+    return cap + 1;
+}
+
+constexpr std::uint64_t kVcSeed = 986;
+
+struct DetectorGolden
+{
+    std::uint64_t digest = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t vcRngDraws = 0;
+    DeadlockDetectionCounters counters;
+};
+
+/** One direct-driven run, as test_route_cache.cc's runGolden. */
+DetectorGolden
+runWithDetector(const std::string &algorithm, double load,
+                DeadlockDetectorKind detector)
+{
+    Torus topo({8, 8});
+    auto algo = makeRoutingAlgorithm(algorithm);
+    Xoshiro256 vcRng(kVcSeed);
+    NetworkParams params;
+    params.deadlockDetector = detector;
+    params.deadlockAction = DeadlockAction::RecordOnly;
+    params.watchdogInterval = 256;
+    params.watchdogPatience = 200;
+    Network net(topo, *algo, params, vcRng);
+
+    DetectorGolden g;
+    net.setDeliveryHook([&g](const Message &m, Cycle now) {
+        g.digest = hashCombine(g.digest, m.id());
+        g.digest = hashCombine(g.digest, now);
+        g.digest = hashCombine(
+            g.digest, static_cast<std::uint64_t>(m.dst()));
+        g.digest = hashCombine(
+            g.digest,
+            static_cast<std::uint64_t>(m.route().hopsTaken));
+    });
+
+    UniformTraffic traffic(topo);
+    Xoshiro256 arrivals(99), dest(7);
+    Cycle t = 0;
+    for (; t < 2500; ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (bernoulli(arrivals, load))
+                net.offerMessage(n, traffic.pickDest(n, dest), 8, t);
+        }
+        net.step(t);
+    }
+    while (net.busy() && t < 20000) {
+        net.step(t);
+        ++t;
+    }
+    EXPECT_FALSE(net.busy()) << algorithm << " failed to drain";
+    g.delivered = net.counters().messagesDelivered;
+    g.vcRngDraws = countDraws(kVcSeed, vcRng.state(), 50'000'000);
+    g.counters = net.deadlockCounters();
+    return g;
+}
+
+TEST(Deadlock, DetectorKnobIsBitIdenticalAndAvoidanceSchemesAreClean)
+{
+    const std::vector<std::string> algorithms = {"ecube", "nlast", "2pn",
+                                                 "phop", "nhop", "nbc"};
+    for (const std::string &algorithm : algorithms) {
+        for (double load : {0.02, 0.05}) {
+            SCOPED_TRACE(algorithm + " load " + std::to_string(load));
+            DetectorGolden off =
+                runWithDetector(algorithm, load,
+                                DeadlockDetectorKind::Off);
+            DetectorGolden timeout =
+                runWithDetector(algorithm, load,
+                                DeadlockDetectorKind::Timeout);
+            DetectorGolden exact =
+                runWithDetector(algorithm, load,
+                                DeadlockDetectorKind::Exact);
+
+            // Detectors observe; they never steer. All three runs are
+            // the same run.
+            EXPECT_GT(off.delivered, 0u);
+            EXPECT_EQ(off.digest, timeout.digest);
+            EXPECT_EQ(off.digest, exact.digest);
+            EXPECT_EQ(off.delivered, timeout.delivered);
+            EXPECT_EQ(off.delivered, exact.delivered);
+            EXPECT_EQ(off.vcRngDraws, timeout.vcRngDraws);
+            EXPECT_EQ(off.vcRngDraws, exact.vcRngDraws);
+
+            // Off really is off; the others really scanned.
+            EXPECT_EQ(off.counters.scans, 0u);
+
+            // The paper's six schemes are deadlock-free by construction
+            // (Lemma 1): the exact fixpoint must never confirm one, and
+            // every timeout suspicion it co-scored is a false positive.
+            EXPECT_EQ(exact.counters.detections, 0u);
+            EXPECT_EQ(exact.counters.victims, 0u);
+            EXPECT_EQ(exact.counters.timeoutSuspects,
+                      exact.counters.timeoutFalsePositives);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ffa: a real wormhole deadlock, confirmed and recovered
+// ---------------------------------------------------------------------
+
+/**
+ * Wedge ffa deterministically: eight worms around one torus row, each
+ * two hops in the + direction, offset by one column. After every header
+ * takes its first hop, each holds column channel j->j+1 and waits for
+ * (j+1)->(j+2) — a circular wait covering the whole ring. With one VC
+ * (ffa1x) there is no second lane to slip through.
+ */
+void
+wedgeRing(Network &net, const Torus &topo)
+{
+    for (int j = 0; j < 8; ++j) {
+        NodeId src = topo.nodeId(Coord(0, j));
+        NodeId dst = topo.nodeId(Coord(0, (j + 2) % 8));
+        ASSERT_NE(net.offerMessage(src, dst, 8, 0), nullptr);
+    }
+}
+
+TEST(Deadlock, FfaRingDeadlockIsConfirmedAndRecovered)
+{
+    Torus topo({8, 8});
+    auto algo = makeRoutingAlgorithm("ffa1x");
+    ASSERT_EQ(algo->numVcClasses(topo), 1);
+    Xoshiro256 rng(11);
+    NetworkParams params;
+    params.deadlockDetector = DeadlockDetectorKind::Exact;
+    params.deadlockAction = DeadlockAction::Recover;
+    params.victimPolicy = VictimPolicy::Youngest;
+    params.watchdogInterval = 16;
+    params.watchdogPatience = 32;
+    Network net(topo, *algo, params, rng);
+    MemoryTraceSink sink(kAllTraceEvents);
+    net.setTraceSink(&sink);
+
+    wedgeRing(net, topo);
+    Cycle t = 0;
+    while (net.busy() && t < 5000) {
+        net.step(t);
+        ++t;
+    }
+    ASSERT_FALSE(net.busy()) << "recovery failed to unwedge the ring";
+
+    // One knot of all eight worms, one victim torn down, the other
+    // seven delivered once the victim's channel freed.
+    const DeadlockDetectionCounters &c = net.deadlockCounters();
+    EXPECT_EQ(c.detections, 1u);
+    EXPECT_EQ(c.victims, 1u);
+    EXPECT_EQ(c.largestKnot, 8u);
+    EXPECT_GE(c.scans, 1u);
+    // The exact detector needs no patience: it confirmed on the first
+    // scan, before the timeout heuristic would even have scanned.
+    EXPECT_EQ(c.timeoutSuspects, 0u);
+    EXPECT_EQ(net.counters().messagesDelivered, 7u);
+    EXPECT_EQ(net.counters().messagesAborted, 1u);
+    EXPECT_TRUE(net.sawDeadlock());
+    EXPECT_TRUE(net.lastDeadlock().confirmed);
+    EXPECT_TRUE(net.lastDeadlock().exactConfirmed);
+    EXPECT_NE(net.lastDeadlock().machineReadable().find(
+                  "deadlock_confirmed=1"),
+              std::string::npos);
+
+    // Both new trace event types fired, with the knot geometry attached.
+    int detects = 0, recovers = 0;
+    for (const TraceEvent &e : sink.events()) {
+        if (e.type == TraceEventType::DeadlockDetect) {
+            ++detects;
+            EXPECT_EQ(e.arg0, 8); // cycle covers the whole ring
+            EXPECT_EQ(e.arg1, 8); // knot == cycle here
+        }
+        if (e.type == TraceEventType::DeadlockRecover) {
+            ++recovers;
+            EXPECT_EQ(e.arg0, 8);
+        }
+    }
+    EXPECT_EQ(detects, 1);
+    EXPECT_EQ(recovers, 1);
+}
+
+TEST(Deadlock, ExactDetectorConfirmsBeforeTimeoutEscalates)
+{
+    // Same wedge, RecordOnly: measure when each detector first reports.
+    // The timeout watchdog must wait out its patience; the exact
+    // detector needs none — and both agree the wedge is a deadlock
+    // (exact finds everything timeout eventually escalates).
+    auto detectAt = [](DeadlockDetectorKind kind) {
+        Torus topo({8, 8});
+        auto algo = makeRoutingAlgorithm("ffa1x");
+        Xoshiro256 rng(11);
+        NetworkParams params;
+        params.deadlockDetector = kind;
+        params.deadlockAction = DeadlockAction::RecordOnly;
+        params.watchdogInterval = 16;
+        params.watchdogPatience = 100;
+        Network net(topo, *algo, params, rng);
+        wedgeRing(net, topo);
+        Cycle t = 0;
+        while (!net.sawDeadlock() && t < 5000) {
+            net.step(t);
+            ++t;
+        }
+        EXPECT_TRUE(net.sawDeadlock())
+            << "detector never confirmed the wedge";
+        EXPECT_EQ(net.lastDeadlock().exactConfirmed,
+                  kind == DeadlockDetectorKind::Exact);
+        return t;
+    };
+    Cycle exact = detectAt(DeadlockDetectorKind::Exact);
+    Cycle timeout = detectAt(DeadlockDetectorKind::Timeout);
+    EXPECT_LT(exact, timeout);
+    // The gap is the patience threshold, quantized to the scan cadence.
+    EXPECT_GE(timeout - exact, 96u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: SimulationRunner + RecoveryEngine accounting
+// ---------------------------------------------------------------------
+
+TEST(Deadlock, RunnerRecoversFfaTrafficAndStatsStayConsistent)
+{
+    SimulationConfig cfg;
+    cfg.radices = {6, 6};
+    cfg.algorithm = "ffa1x"; // one VC: deadlocks readily under load
+    cfg.traffic = "uniform";
+    cfg.offeredLoad = 0.3;
+    cfg.messageLength = 16;
+    cfg.warmupCycles = 1500;
+    cfg.samplePeriod = 1500;
+    cfg.sampleGap = 100;
+    cfg.maxCycles = 30000;
+    cfg.watchdogInterval = 32;
+    cfg.watchdogPatience = 64;
+    cfg.deadlockDetector = DeadlockDetectorKind::Exact;
+    cfg.deadlockAction = DeadlockAction::Recover;
+    ASSERT_TRUE(cfg.deadlockRecoveryEnabled());
+
+    SimulationRunner runner(cfg);
+    SimulationResult r = runner.run();
+
+    ASSERT_TRUE(r.deadlock.collected);
+    EXPECT_GT(r.deadlock.scans, 0u);
+    EXPECT_GT(r.deadlock.detections, 0u)
+        << "ffa1x at load 0.3 should deadlock within 30k cycles";
+    EXPECT_GT(r.deadlock.victims, 0u);
+    EXPECT_GE(r.deadlock.largestKnot, 2u);
+
+    // Victim-fate conservation: every teardown is delivered, abandoned,
+    // or still pending — nothing double-counted, nothing lost.
+    EXPECT_EQ(r.deadlock.sum(), r.deadlock.victims);
+
+    // Whole-run traffic accounting holds together.
+    EXPECT_GT(r.deadlock.generated, 0u);
+    EXPECT_GT(r.deadlock.delivered, 0u);
+    EXPECT_LE(r.deadlock.dropped + r.deadlock.delivered,
+              r.deadlock.generated);
+    EXPECT_GE(r.deadlock.deliveredFraction, 0.0);
+    EXPECT_LE(r.deadlock.deliveredFraction, 1.0);
+    // Recovery keeps the fabric moving: most offered traffic delivers.
+    EXPECT_GT(r.deadlock.deliveredFraction, 0.9);
+
+    // Delivered victims have a measurable recovery latency.
+    if (r.deadlock.victimDelivered > 0)
+        EXPECT_GT(r.deadlock.meanRecoveryLatency(), 0.0);
+
+    // The one-line summary mentions the headline counters.
+    std::string s = r.deadlock.summary();
+    EXPECT_NE(s.find("deadlocks"), std::string::npos);
+    EXPECT_NE(s.find("victims"), std::string::npos);
+}
+
+TEST(Deadlock, RecoveryIsDeterministicForAGivenSeed)
+{
+    auto once = [] {
+        SimulationConfig cfg;
+        cfg.radices = {6, 6};
+        cfg.algorithm = "ffa1x";
+        cfg.offeredLoad = 0.3;
+        cfg.messageLength = 16;
+        cfg.warmupCycles = 1000;
+        cfg.samplePeriod = 1000;
+        cfg.sampleGap = 100;
+        cfg.maxCycles = 12000;
+        cfg.watchdogInterval = 32;
+        cfg.watchdogPatience = 64;
+        cfg.deadlockDetector = DeadlockDetectorKind::Exact;
+        cfg.deadlockAction = DeadlockAction::Recover;
+        cfg.seed = 7;
+        SimulationRunner runner(cfg);
+        return runner.run();
+    };
+    SimulationResult a = once();
+    SimulationResult b = once();
+    EXPECT_EQ(a.deadlock.detections, b.deadlock.detections);
+    EXPECT_EQ(a.deadlock.victims, b.deadlock.victims);
+    EXPECT_EQ(a.deadlock.victimDelivered, b.deadlock.victimDelivered);
+    EXPECT_EQ(a.deadlock.recoveryLatencySum, b.deadlock.recoveryLatencySum);
+    EXPECT_EQ(a.messagesDelivered, b.messagesDelivered);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+}
+
+// ---------------------------------------------------------------------
+// Reporting: sweep panels and CSV columns
+// ---------------------------------------------------------------------
+
+TEST(Deadlock, SweepReportSurfacesRecoveryPanelsAndCsvColumns)
+{
+    SweepResult sweep;
+    sweep.algorithms = {"ffa"};
+    sweep.loads = {0.2};
+    SimulationResult r;
+    r.algorithm = "ffa";
+    r.traffic = "uniform";
+    r.offeredLoad = 0.2;
+    r.deadlock.collected = true;
+    r.deadlock.detections = 3;
+    r.deadlock.victims = 3;
+    r.deadlock.victimDelivered = 2;
+    r.deadlock.deliveredFraction = 0.998;
+    sweep.results = {{r}};
+
+    std::ostringstream os;
+    SweepRunner::report(sweep, "t", os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("deadlocks detected / victims recovered"),
+              std::string::npos);
+    EXPECT_NE(out.find("delivered fraction under recovery"),
+              std::string::npos);
+    EXPECT_NE(out.find("3/2"), std::string::npos);
+    EXPECT_NE(out.find("deadlock_detections"), std::string::npos);
+    EXPECT_NE(out.find("recovery_delivered_fraction"),
+              std::string::npos);
+    EXPECT_NE(out.find("0.9980"), std::string::npos);
+
+    // A sweep without recovery hides the panels but keeps the columns.
+    sweep.results[0][0].deadlock.collected = false;
+    std::ostringstream os2;
+    SweepRunner::report(sweep, "t", os2);
+    EXPECT_EQ(os2.str().find("delivered fraction under recovery"),
+              std::string::npos);
+    EXPECT_NE(os2.str().find("deadlock_detections"), std::string::npos);
+}
+
+} // namespace
+} // namespace wormsim

@@ -143,6 +143,64 @@ TEST(Config, UnknownEnumValuesFailListingValidChoices)
     setLoggingThrows(false);
 }
 
+TEST(Config, UnknownDeadlockFlagValuesFailListingValidChoices)
+{
+    setLoggingThrows(true);
+    // Same convention as the other enum flags: throw AND enumerate the
+    // accepted spellings.
+    try {
+        parseArgs({"--deadlock-detector", "psychic"});
+        FAIL() << "bad deadlock detector accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "expected exact, timeout, or off"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        parseArgs({"--victim-policy", "random"});
+        FAIL() << "bad victim policy accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "expected youngest, oldest, or fewest-flits"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        parseArgs({"--deadlock-action", "reboot"});
+        FAIL() << "bad deadlock action accepted";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "expected panic, record-kill, record-only, or "
+                      "recover"),
+                  std::string::npos)
+            << e.what();
+    }
+    setLoggingThrows(false);
+}
+
+TEST(Config, DeadlockFlagsRoundTrip)
+{
+    SimulationConfig cfg = parseArgs(
+        {"--deadlock-detector", "exact", "--victim-policy",
+         "fewest-flits", "--deadlock-action", "recover",
+         "--watchdog-interval", "64"});
+    EXPECT_EQ(cfg.deadlockDetector, DeadlockDetectorKind::Exact);
+    EXPECT_EQ(cfg.victimPolicy, VictimPolicy::FewestFlits);
+    EXPECT_EQ(cfg.deadlockAction, DeadlockAction::Recover);
+    EXPECT_EQ(cfg.watchdogInterval, 64u);
+    EXPECT_TRUE(cfg.deadlockRecoveryEnabled());
+    NetworkParams p = cfg.networkParams();
+    EXPECT_EQ(p.deadlockDetector, DeadlockDetectorKind::Exact);
+    EXPECT_EQ(p.victimPolicy, VictimPolicy::FewestFlits);
+    EXPECT_EQ(p.watchdogInterval, 64u);
+
+    // Detector off disables recovery even with the recover action.
+    cfg = parseArgs({"--deadlock-detector", "off", "--deadlock-action",
+                     "recover"});
+    EXPECT_FALSE(cfg.deadlockRecoveryEnabled());
+}
+
 TEST(Config, UnknownRegistryNamesFailListingValidChoices)
 {
     setLoggingThrows(true);

@@ -140,7 +140,8 @@ TEST_F(WatchdogFixture, MachineReadableReportListsCycleWaits)
     ASSERT_TRUE(r.confirmed);
     ASSERT_EQ(r.waits.size(), 2u);
     std::string text = r.machineReadable();
-    EXPECT_NE(text.find("deadlock suspected=1 confirmed=1 cycle_size=2"),
+    EXPECT_NE(text.find("deadlock suspected=1 confirmed=1 "
+                        "deadlock_confirmed=0 cycle_size=2"),
               std::string::npos);
     // Edges carry the contested channel/vc supplied by the fixture.
     EXPECT_NE(text.find("wait waiter=0 holder=1 channel=1 vc=0"),
@@ -154,7 +155,55 @@ TEST_F(WatchdogFixture, MachineReadableCleanReport)
     DeadlockReport r = dog.scan(1000, {});
     EXPECT_EQ(
         r.machineReadable(),
-        "deadlock suspected=0 confirmed=0 cycle_size=0 fault_induced=0\n");
+        "deadlock suspected=0 confirmed=0 deadlock_confirmed=0 "
+        "cycle_size=0 fault_induced=0\n");
+}
+
+TEST_F(WatchdogFixture, MachineReadableRoundTrips)
+{
+    std::vector<DeadlockWatchdog::WaitInfo> w{waiting(0, {1}),
+                                              waiting(1, {0})};
+    DeadlockReport r = dog.scan(1000, w);
+    r.exactConfirmed = true; // as the exact detector would stamp it
+    r.faultInduced = true;
+    std::string text = r.machineReadable();
+
+    DeadlockReport parsed = DeadlockReport::parseMachineReadable(text);
+    EXPECT_EQ(parsed.suspected, r.suspected);
+    EXPECT_EQ(parsed.confirmed, r.confirmed);
+    EXPECT_TRUE(parsed.exactConfirmed);
+    EXPECT_EQ(parsed.faultInduced, r.faultInduced);
+    EXPECT_EQ(parsed.cycle.size(), r.cycle.size());
+    ASSERT_EQ(parsed.waits.size(), r.waits.size());
+    for (std::size_t i = 0; i < r.waits.size(); ++i) {
+        EXPECT_EQ(parsed.waits[i].waiter, r.waits[i].waiter);
+        EXPECT_EQ(parsed.waits[i].holder, r.waits[i].holder);
+        EXPECT_EQ(parsed.waits[i].channel, r.waits[i].channel);
+        EXPECT_EQ(parsed.waits[i].vc, r.waits[i].vc);
+    }
+    // Byte-exact round trip: parse then re-serialize reproduces the wire
+    // form (cycle member ids are not on the wire, only the count).
+    EXPECT_EQ(parsed.machineReadable(), text);
+}
+
+TEST_F(WatchdogFixture,
+       MachineReadableDistinguishesTimeoutFromExactConfirmation)
+{
+    std::vector<DeadlockWatchdog::WaitInfo> w{waiting(0, {1}),
+                                              waiting(1, {0})};
+    DeadlockReport timeout = dog.scan(1000, w);
+    // The timeout watchdog can never set deadlock_confirmed itself.
+    EXPECT_TRUE(timeout.confirmed);
+    EXPECT_FALSE(timeout.exactConfirmed);
+    EXPECT_NE(timeout.machineReadable().find(
+                  "confirmed=1 deadlock_confirmed=0"),
+              std::string::npos);
+
+    DeadlockReport exact = timeout;
+    exact.exactConfirmed = true;
+    EXPECT_NE(exact.machineReadable().find(
+                  "confirmed=1 deadlock_confirmed=1"),
+              std::string::npos);
 }
 
 TEST_F(WatchdogFixture, WaitEdgesOutsideTheCycleAreExcluded)
