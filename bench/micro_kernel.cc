@@ -6,9 +6,9 @@
  * paper results; they track the simulator's own performance.
  *
  * Besides the google-benchmark suite, `micro_kernel --perf-baseline`
- * runs the tracked perf baseline: dense-vs-active and route-cache
- * on-vs-off cycles-per-second on the raw network-step kernel
- * (BENCH_kernel.json) and on full fig3 simulation points per
+ * runs the tracked perf baseline: dense-vs-active-vs-skip step engines
+ * and route-cache on-vs-off cycles-per-second on the raw network-step
+ * kernel (BENCH_kernel.json) and on full fig3 simulation points per
  * algorithm x load (BENCH_fig3.json). The JSON
  * files are committed at the repo root so the perf trajectory is diffable
  * PR over PR; see docs/performance.md for how to read and refresh them.
@@ -231,7 +231,8 @@ BENCHMARK_CAPTURE(BM_NetworkCycleObs, metrics, ObsMode::Metrics);
  */
 double
 kernelCps(const std::string &algorithm, StepMode mode, int inject_every,
-          Cycle measured_cycles, bool route_cache = true)
+          Cycle measured_cycles, bool route_cache = true,
+          double *idle_fraction = nullptr)
 {
     Torus topo = Torus::square(16);
     auto algo = makeRoutingAlgorithm(algorithm);
@@ -244,13 +245,46 @@ kernelCps(const std::string &algorithm, StepMode mode, int inject_every,
     UniformTraffic traffic(topo);
     Xoshiro256 dest(2);
 
+    const Cycle every = static_cast<Cycle>(inject_every);
+    const Cycle nodes = static_cast<Cycle>(topo.numNodes());
+    auto inject = [&](Cycle c) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if ((c + n) % every == 0)
+                net.offerMessage(n, traffic.pickDest(n, dest), 16, c);
+        }
+    };
+    // First cycle strictly after c at which the modular injection band
+    // fires again: some n in [0, nodes) with (c' + n) % every == 0,
+    // i.e. c' % every lands on 0 or within nodes - 1 below the modulus.
+    auto nextInject = [&](Cycle c) {
+        ++c;
+        if (every <= nodes)
+            return c;
+        Cycle r = c % every;
+        if (r == 0 || r >= every - (nodes - 1))
+            return c;
+        return c + (every - (nodes - 1) - r);
+    };
+
     Cycle t = 0;
     auto drive = [&](Cycle cycles) {
-        for (Cycle end = t + cycles; t < end; ++t) {
-            for (NodeId n = 0; n < topo.numNodes(); ++n) {
-                if ((t + n) % static_cast<Cycle>(inject_every) == 0)
-                    net.offerMessage(n, traffic.pickDest(n, dest), 16, t);
+        Cycle end = t + cycles;
+        if (mode == StepMode::Skip) {
+            // The skip drive visits only cycles where the fabric or the
+            // injection pattern has work — same injection cycles, same
+            // RNG draws, bit-identical end state (golden-tested).
+            while (t < end) {
+                inject(t);
+                net.step(t);
+                Cycle next =
+                    net.busy() ? net.nextWorkCycle(t) : kNeverCycle;
+                next = std::min(next, nextInject(t));
+                t = std::min(next, end);
             }
+            return;
+        }
+        for (; t < end; ++t) {
+            inject(t);
             net.step(t);
         }
     };
@@ -260,13 +294,21 @@ kernelCps(const std::string &algorithm, StepMode mode, int inject_every,
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
+    if (idle_fraction) {
+        // Mode-independent (golden-tested): cycles with no flit movement
+        // and no injection, over the whole driven span.
+        *idle_fraction =
+            t > 0 ? 1.0 - static_cast<double>(net.activeCycles()) /
+                              static_cast<double>(t)
+                  : 0.0;
+    }
     return secs > 0.0 ? static_cast<double>(measured_cycles) / secs : 0.0;
 }
 
 /** Full fig3-style simulation point; returns result.cyclesPerSecond. */
 double
 fig3Cps(const std::string &algorithm, double load, StepMode mode,
-        bool route_cache = true)
+        bool route_cache = true, double *idle_fraction = nullptr)
 {
     SimulationConfig cfg;
     cfg.algorithm = algorithm;
@@ -281,7 +323,13 @@ fig3Cps(const std::string &algorithm, double load, StepMode mode,
     cfg.convergence.maxSamples = 6;
     cfg.seed = 1;
     SimulationRunner runner(cfg);
-    return runner.run().cyclesPerSecond;
+    SimulationResult result = runner.run();
+    if (idle_fraction) {
+        *idle_fraction =
+            static_cast<double>(result.idleCycles) /
+            static_cast<double>(result.cyclesSimulated + 1);
+    }
+    return result.cyclesPerSecond;
 }
 
 /** Best-of-@p reps wrapper: wall-clock noise on 1-CPU hosts is one-sided. */
@@ -307,34 +355,45 @@ int
 runPerfBaseline(const std::string &out_dir)
 {
     const int kReps = 3;
-    std::cout << "perf baseline: dense vs active cycles-per-second\n";
+    std::cout << "perf baseline: dense vs active vs skip "
+                 "cycles-per-second\n";
 
-    // --- BENCH_kernel.json: raw step kernel, two loads x two algorithms.
+    // --- BENCH_kernel.json: raw step kernel, algorithm x injection gap.
     struct KernelPoint
     {
         std::string algorithm;
         int injectEvery; ///< inject at every node each N cycles
-        double dense = 0.0, active = 0.0, cacheOff = 0.0;
+        Cycle measured;  ///< measured span in simulated cycles
+        double dense = 0.0, active = 0.0, cacheOff = 0.0, skip = 0.0;
+        double idleFrac = 0.0;
     };
     std::vector<KernelPoint> kernel = {
-        {"ecube", 640, 0, 0}, // light load: mostly idle links
-        {"ecube", 160, 0, 0}, // the BM_NetworkCycle moderate load
-        {"phop", 640, 0, 0},
-        {"phop", 160, 0, 0},
+        {"ecube", 640, 20000},  // light load: mostly idle links
+        {"ecube", 160, 20000},  // the BM_NetworkCycle moderate load
+        {"phop", 640, 20000},
+        {"phop", 160, 20000},
+        // Bursty ultra-light traffic: one 256-cycle injection band every
+        // 40960 cycles, fabric idle in between — the regime the skip
+        // engine exists for (two full bands measured).
+        {"ecube", 40960, 81920},
     };
     for (KernelPoint &p : kernel) {
         p.dense = bestOf(kReps, [&] {
             return kernelCps(p.algorithm, StepMode::Dense, p.injectEvery,
-                             20000);
+                             p.measured, true, &p.idleFrac);
         });
         p.active = bestOf(kReps, [&] {
             return kernelCps(p.algorithm, StepMode::Active, p.injectEvery,
-                             20000);
+                             p.measured);
         });
         // Reference engine: active sweep, route cache + packed state off.
         p.cacheOff = bestOf(kReps, [&] {
             return kernelCps(p.algorithm, StepMode::Active, p.injectEvery,
-                             20000, false);
+                             p.measured, false);
+        });
+        p.skip = bestOf(kReps, [&] {
+            return kernelCps(p.algorithm, StepMode::Skip, p.injectEvery,
+                             p.measured);
         });
         std::cout << "  kernel " << p.algorithm << " inject-every "
                   << p.injectEvery << ": dense "
@@ -343,7 +402,10 @@ runPerfBaseline(const std::string &out_dir)
                   << formatFixed(p.active / p.dense, 2)
                   << "x), cache-off "
                   << formatFixed(p.cacheOff / 1e3, 0) << " kc/s (cache "
-                  << formatFixed(p.active / p.cacheOff, 2) << "x)\n";
+                  << formatFixed(p.active / p.cacheOff, 2) << "x), skip "
+                  << formatFixed(p.skip / 1e3, 0) << " kc/s ("
+                  << formatFixed(p.skip / p.active, 2) << "x), idle "
+                  << formatFixed(100.0 * p.idleFrac, 1) << "%\n";
     }
     {
         std::ofstream out(out_dir + "/BENCH_kernel.json");
@@ -359,10 +421,14 @@ runPerfBaseline(const std::string &out_dir)
                 << ", \"dense_cps\": " << std::llround(p.dense)
                 << ", \"active_cps\": " << std::llround(p.active)
                 << ", \"cache_off_cps\": " << std::llround(p.cacheOff)
+                << ", \"skip_cps\": " << std::llround(p.skip)
                 << ", \"speedup\": " << formatFixed(p.active / p.dense, 3)
                 << ", \"cache_speedup\": "
-                << formatFixed(p.active / p.cacheOff, 3) << "}"
-                << (i + 1 < kernel.size() ? "," : "") << "\n";
+                << formatFixed(p.active / p.cacheOff, 3)
+                << ", \"skip_speedup\": "
+                << formatFixed(p.skip / p.active, 3)
+                << ", \"idle_fraction\": " << formatFixed(p.idleFrac, 4)
+                << "}" << (i + 1 < kernel.size() ? "," : "") << "\n";
         }
         out << "  ]\n}\n";
     }
@@ -375,24 +441,30 @@ runPerfBaseline(const std::string &out_dir)
     {
         std::string algorithm;
         double load;
-        double dense, active, cacheOff;
+        double dense, active, cacheOff, skip;
+        double idleFrac = 0.0;
     };
     std::vector<Fig3Point> fig3;
     double worstLowLoadSpeedup = 1e9;
     double bestLowLoadCacheSpeedup = 0.0;
     std::string bestLowLoadCacheAlgo;
+    double worstHighLoadSkipRatio = 1e9;
     for (const std::string &algorithm : algorithms) {
         for (double load : loads) {
-            Fig3Point p{algorithm, load, 0.0, 0.0, 0.0};
+            Fig3Point p{algorithm, load, 0.0, 0.0, 0.0, 0.0};
             p.dense = bestOf(
                 kReps, [&] { return fig3Cps(algorithm, load,
-                                            StepMode::Dense); });
+                                            StepMode::Dense, true,
+                                            &p.idleFrac); });
             p.active = bestOf(
                 kReps, [&] { return fig3Cps(algorithm, load,
                                             StepMode::Active); });
             p.cacheOff = bestOf(
                 kReps, [&] { return fig3Cps(algorithm, load,
                                             StepMode::Active, false); });
+            p.skip = bestOf(
+                kReps, [&] { return fig3Cps(algorithm, load,
+                                            StepMode::Skip); });
             if (load <= 0.1) {
                 worstLowLoadSpeedup =
                     std::min(worstLowLoadSpeedup, p.active / p.dense);
@@ -403,6 +475,10 @@ runPerfBaseline(const std::string &out_dir)
                     bestLowLoadCacheAlgo = algorithm;
                 }
             }
+            if (load >= 0.3) {
+                worstHighLoadSkipRatio =
+                    std::min(worstHighLoadSkipRatio, p.skip / p.active);
+            }
             std::cout << "  fig3 " << algorithm << " load "
                       << formatFixed(load, 2) << ": dense "
                       << formatFixed(p.dense / 1e3, 0) << " kc/s, active "
@@ -411,7 +487,11 @@ runPerfBaseline(const std::string &out_dir)
                       << "x), cache-off "
                       << formatFixed(p.cacheOff / 1e3, 0)
                       << " kc/s (cache "
-                      << formatFixed(p.active / p.cacheOff, 2) << "x)\n";
+                      << formatFixed(p.active / p.cacheOff, 2)
+                      << "x), skip " << formatFixed(p.skip / 1e3, 0)
+                      << " kc/s (" << formatFixed(p.skip / p.active, 2)
+                      << "x), idle "
+                      << formatFixed(100.0 * p.idleFrac, 1) << "%\n";
             fig3.push_back(p);
         }
     }
@@ -429,18 +509,35 @@ runPerfBaseline(const std::string &out_dir)
                 << ", \"dense_cps\": " << std::llround(p.dense)
                 << ", \"active_cps\": " << std::llround(p.active)
                 << ", \"cache_off_cps\": " << std::llround(p.cacheOff)
+                << ", \"skip_cps\": " << std::llround(p.skip)
                 << ", \"speedup\": " << formatFixed(p.active / p.dense, 3)
                 << ", \"cache_speedup\": "
-                << formatFixed(p.active / p.cacheOff, 3) << "}"
-                << (i + 1 < fig3.size() ? "," : "") << "\n";
+                << formatFixed(p.active / p.cacheOff, 3)
+                << ", \"skip_speedup\": "
+                << formatFixed(p.skip / p.active, 3)
+                << ", \"idle_fraction\": " << formatFixed(p.idleFrac, 4)
+                << "}" << (i + 1 < fig3.size() ? "," : "") << "\n";
         }
         out << "  ]\n}\n";
+    }
+    double bestKernelSkip = 0.0;
+    int bestKernelSkipEvery = 0;
+    for (const KernelPoint &p : kernel) {
+        if (p.skip / p.active > bestKernelSkip) {
+            bestKernelSkip = p.skip / p.active;
+            bestKernelSkipEvery = p.injectEvery;
+        }
     }
     std::cout << "worst active/dense speedup at load <= 0.1: "
               << formatFixed(worstLowLoadSpeedup, 2) << "x\n"
               << "best adaptive cache speedup at load <= 0.1: "
               << formatFixed(bestLowLoadCacheSpeedup, 2) << "x ("
               << bestLowLoadCacheAlgo << ")\n"
+              << "best kernel skip/active speedup: "
+              << formatFixed(bestKernelSkip, 2) << "x (inject-every "
+              << bestKernelSkipEvery << ")\n"
+              << "worst fig3 skip/active ratio at load >= 0.3: "
+              << formatFixed(worstHighLoadSkipRatio, 2) << "x\n"
               << "wrote " << out_dir << "/BENCH_kernel.json and "
               << out_dir << "/BENCH_fig3.json\n";
     return 0;

@@ -96,14 +96,21 @@ checkPerfPoint(const std::string &file, const wormsim::JsonValue &pt)
 {
     std::string algo;
     stringField(file, pt, "algorithm", algo);
-    double dense = 0, active = 0, cacheOff = 0, speedup = 0, cacheSp = 0;
+    double dense = 0, active = 0, cacheOff = 0, skip = 0;
+    double speedup = 0, cacheSp = 0, skipSp = 0, idle = 0;
     cpsField(file, pt, "dense_cps", dense);
     cpsField(file, pt, "active_cps", active);
     cpsField(file, pt, "cache_off_cps", cacheOff);
+    cpsField(file, pt, "skip_cps", skip);
     if (numberField(file, pt, "speedup", speedup))
         checkRatio(file, "speedup", speedup, active, dense);
     if (numberField(file, pt, "cache_speedup", cacheSp))
         checkRatio(file, "cache_speedup", cacheSp, active, cacheOff);
+    if (numberField(file, pt, "skip_speedup", skipSp))
+        checkRatio(file, "skip_speedup", skipSp, skip, active);
+    if (numberField(file, pt, "idle_fraction", idle) &&
+        (idle < 0 || idle > 1))
+        fail(file, "'idle_fraction' must be in [0, 1]");
 }
 
 void

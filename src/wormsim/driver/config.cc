@@ -112,8 +112,9 @@ SimulationConfig::registerOptions(OptionParser &parser)
     parser.addString("switching", &optSwitching,
                      "switching mode: wh, vct, or saf");
     parser.addString("step-mode", &optStepMode,
-                     "arbitration sweep engine: active (default) or dense "
-                     "(reference scan; results are bit-identical)");
+                     "step engine: active (default), dense (reference "
+                     "scan), or skip (jumps quiescent cycles; results "
+                     "are bit-identical)");
     parser.addString("route-cache", &optRouteCache,
                      "route-computation cache: on (default) or off "
                      "(reference path; results are bit-identical)");

@@ -42,10 +42,12 @@ struct SimulationConfig
     int flitBufferDepth = 2;
     VcSelectPolicy select = VcSelectPolicy::LeastBusy;
     /**
-     * Arbitration sweep engine (--step-mode). Active (the default) visits
-     * only links holding occupied VCs; Dense scans every link. Results
-     * are bit-identical either way (golden-tested); Dense exists as an
-     * escape hatch and as the reference engine for those tests.
+     * Step engine (--step-mode). Active (the default) visits only links
+     * holding occupied VCs; Dense scans every link; Skip adds the
+     * next-event horizon so the driver jumps the clock over quiescent
+     * cycles. Results are bit-identical across all three
+     * (golden-tested); Dense exists as an escape hatch and as the
+     * reference engine for those tests.
      */
     StepMode stepMode = StepMode::Active;
     /**

@@ -16,6 +16,11 @@ SimulationResult::summary() const
         << formatFixed(avgLatency, 1) << " util="
         << formatFixed(achievedUtilization, 3) << " samples=" << numSamples
         << " cycles=" << cyclesSimulated;
+    if (cyclesSimulated > 0) {
+        double idle_pct = 100.0 * static_cast<double>(idleCycles) /
+                          (static_cast<double>(cyclesSimulated) + 1.0);
+        oss << " idle=" << formatFixed(idle_pct, 1) << "%";
+    }
     if (cyclesPerSecond > 0.0)
         oss << " rate=" << formatFixed(cyclesPerSecond / 1e6, 2) << "Mc/s";
     if (deadlockDetected)

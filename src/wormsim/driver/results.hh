@@ -62,13 +62,26 @@ struct SimulationResult
     // for a given seed, these two are not)
     double wallSeconds = 0.0;     ///< wall-clock duration of run()
     double cyclesPerSecond = 0.0; ///< cyclesSimulated / wallSeconds
-    std::string stepMode;         ///< arbitration engine used ("active"/"dense")
+    std::string stepMode;   ///< step engine used ("active"/"dense"/"skip")
     std::string routeCache;       ///< route-cache engine used ("on"/"off")
 
     // bookkeeping
     StopReason stopReason = StopReason::NotDone;
     int numSamples = 0;
     Cycle cyclesSimulated = 0;
+    /**
+     * Cycles (out of cyclesSimulated + 1, counting cycle 0) in which no
+     * flit moved and no injection was admitted — the headroom the skip
+     * engine exploits. Deterministic and identical across step modes.
+     */
+    Cycle idleCycles = 0;
+    /**
+     * Network::step() invocations over the run. Dense/active step every
+     * busy cycle; skip mode jumps quiescent spans, so fabricSteps <
+     * cyclesSimulated quantifies the jumping (mode-DEPENDENT by design;
+     * excluded from cross-mode determinism comparisons).
+     */
+    std::uint64_t fabricSteps = 0;
     std::uint64_t messagesDelivered = 0;
     std::uint64_t messagesDropped = 0;
     bool deadlockDetected = false;

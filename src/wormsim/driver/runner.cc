@@ -50,7 +50,17 @@ SimulationRunner::onArrival(NodeId node)
 void
 SimulationRunner::armTick()
 {
-    if (tickArmed || !net->busy())
+    if (!net->busy())
+        return;
+    if (cfg.stepMode == StepMode::Skip) {
+        // Pull the parked tick forward to this cycle (arrivals, retries,
+        // and fault wakeups can all create work before the old horizon).
+        if (tickAt <= sim.now())
+            return; // already stepping this cycle
+        scheduleTickSkip(sim.now());
+        return;
+    }
+    if (tickArmed)
         return;
     tickArmed = true;
     sim.scheduleAt(sim.now(), EventPriority::Cycle, [this] { tick(); });
@@ -67,9 +77,52 @@ SimulationRunner::tick()
 }
 
 void
+SimulationRunner::scheduleTickSkip(Cycle when)
+{
+    tickAt = when;
+    std::uint64_t gen = ++tickGen;
+    sim.scheduleAt(when, EventPriority::Cycle, [this, gen] {
+        if (gen != tickGen)
+            return; // superseded by an earlier re-arm
+        tickAt = kNeverCycle;
+        tickSkip();
+    });
+}
+
+void
+SimulationRunner::tickSkip()
+{
+    for (;;) {
+        Cycle now = sim.now();
+        net->step(now);
+        if (!net->busy())
+            return; // drained; the next arrival re-arms via armTick()
+        Cycle next = net->nextWorkCycle(now);
+        if (next == kNeverCycle)
+            return; // wedged quiet; an external event must wake us
+        // Jump the clock only through spans the event queue agrees are
+        // empty and that stay inside the active run() bound; otherwise
+        // park a tick at the horizon and let events drive. Same-cycle
+        // events keep their PreCycle-before-tick ordering either way.
+        if (next < sim.eventQueue().nextCycle() &&
+            next <= sim.runBound()) {
+            sim.advanceClock(next);
+            continue;
+        }
+        scheduleTickSkip(next);
+        return;
+    }
+}
+
+void
 SimulationRunner::runUntil(Cycle t)
 {
     sim.run(t);
+    // Skip mode can leave the clock short of the bound when the fabric
+    // horizon and the event queue both sit past it; dense mode can when
+    // the queue drains. Either way the remaining span is eventless.
+    if (sim.now() < t)
+        sim.advanceClock(t);
 }
 
 SampleResult
@@ -186,6 +239,8 @@ SimulationRunner::run()
         int stratum = m.minDistance() - 1;
         strata->add(static_cast<std::size_t>(stratum), latency);
     });
+    if (cfg.stepMode == StepMode::Skip)
+        net->setWakeHook([this] { armTick(); });
     setupObservability();
 
     if (cfg.faultsEnabled()) {
@@ -283,9 +338,18 @@ SimulationRunner::run()
         }
     }
 
+    // Settle metrics over any trailing span the skip engine jumped (the
+    // accumulators must cover the same cycles dense stepped through).
+    if (obsMetrics)
+        net->catchUpMetrics(sim.now());
+
     result.stopReason = reason;
     result.numSamples = static_cast<int>(ctl.numSamples());
     result.cyclesSimulated = sim.now();
+    result.fabricSteps = net->stepsExecuted();
+    result.idleCycles = sim.now() + 1 >= net->activeCycles()
+                            ? sim.now() + 1 - net->activeCycles()
+                            : 0;
     result.avgLatency = ctl.grandMean();
     result.latencyErrorBound = ctl.recentRelativeError();
     result.achievedUtilization = utilization.mean();

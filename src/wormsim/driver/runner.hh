@@ -72,6 +72,19 @@ class SimulationRunner
     void onArrival(NodeId node);
     void armTick();
     void tick();
+
+    /**
+     * Skip-mode stepping: step now, then batch-step forward while the
+     * fabric horizon stays ahead of both the event queue and the run
+     * bound, jumping the clock directly (no per-cycle events). When the
+     * next work cycle is at or past a queued event, park a tick there
+     * instead and let the event queue drive.
+     */
+    void tickSkip();
+
+    /** Schedule tickSkip() at @p when, superseding any parked tick. */
+    void scheduleTickSkip(Cycle when);
+
     void runUntil(Cycle t);
     SampleResult closeSample(Cycle start);
 
@@ -100,6 +113,12 @@ class SimulationRunner
     double meanMinDistance = 0.0;
     bool tickArmed = false;
     bool collecting = false;
+
+    // skip-mode tick state: the cycle a tick event is parked at, and a
+    // generation counter that lets a newly armed (earlier) tick supersede
+    // an already queued one — the stale event no-ops when it pops.
+    Cycle tickAt = kNeverCycle;
+    std::uint64_t tickGen = 0;
 
     // per-sample collectors
     std::unique_ptr<StratifiedEstimator> strata;

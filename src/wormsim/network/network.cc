@@ -8,6 +8,7 @@
 #include "wormsim/common/logging.hh"
 #include "wormsim/common/string_utils.hh"
 #include "wormsim/rng/distributions.hh"
+#include "wormsim/sim/horizon.hh"
 
 namespace wormsim
 {
@@ -20,8 +21,10 @@ parseStepMode(const std::string &text)
         return StepMode::Dense;
     if (t == "active")
         return StepMode::Active;
+    if (t == "skip")
+        return StepMode::Skip;
     WORMSIM_FATAL("unknown step mode '", text,
-                  "' (expected dense or active)");
+                  "' (expected dense, active, or skip)");
 }
 
 std::string
@@ -32,6 +35,8 @@ stepModeName(StepMode mode)
         return "dense";
       case StepMode::Active:
         return "active";
+      case StepMode::Skip:
+        return "skip";
     }
     return "?";
 }
@@ -185,6 +190,7 @@ Network::offerMessage(NodeId src, NodeId dst, int length_flits, Cycle now)
     raw->setRetryPending(true);
     routers[src].enqueueInjection(raw);
     pushNeedRoute(raw);
+    offeredSinceStep = true; // this cycle counts as active in every mode
     if (wantEvent(TraceEventType::Inject)) {
         TraceEvent e;
         e.type = TraceEventType::Inject;
@@ -443,6 +449,7 @@ Network::allocationPhase(Cycle now)
     // Dirty hints consumed; marks made later this cycle (tail releases in
     // the apply phase) persist into the next allocation phase.
     std::fill(nodeDirty.begin(), nodeDirty.end(), 0);
+    dirtyCount = 0;
 }
 
 void
@@ -624,11 +631,17 @@ Network::arbitrationActive()
 void
 Network::step(Cycle now)
 {
+    // Bring the metrics accumulators current over any cycles the skip
+    // engine jumped (no-op in dense/active and when nothing was skipped).
+    if (metrics && now > 0)
+        catchUpMetrics(now - 1);
+    ++stepCount;
+
     allocationPhase(now);
 
     // Arbitration: pick at most one VC per link from start-of-cycle state.
     stagedTransfers.clear();
-    if (cfg.stepMode == StepMode::Active)
+    if (usesActiveSet())
         arbitrationActive();
     else
         arbitrationDense();
@@ -636,6 +649,14 @@ Network::step(Cycle now)
     // Apply all staged transfers.
     for (VirtualChannel *v : stagedTransfers)
         applyTransfer(v, now);
+
+    // Progress/idle accounting. Any allocation implies a same-cycle
+    // transfer (a fresh VC is always eligible), so staged transfers are
+    // the complete progress signal.
+    stepProgressed = !stagedTransfers.empty();
+    if (stepProgressed || offeredSinceStep)
+        ++activeCycleCount;
+    offeredSinceStep = false;
 
     // Detector dispatch on the watchdog cadence. The Timeout branch keeps
     // the exact pre-subsystem gate (patience, interval, pending waiters),
@@ -651,6 +672,90 @@ Network::step(Cycle now)
 
     if (metrics && metrics->sampleDue(now)) {
         metrics->takeSample(now, pool.size(), needRouteLive);
+    }
+    metricsNext = now + 1; // this cycle's metrics were recorded inline
+}
+
+Cycle
+Network::nextWorkCycle(Cycle now) const
+{
+    NextEventHorizon horizon(now);
+    if (stepProgressed || (dirtyCount > 0 && needRouteLive > 0)) {
+        // Flits still streaming, or a freed VC may unblock a waiter.
+        horizon.add(now + 1);
+    } else {
+        // Frozen fabric: the only self-wakeups are routing-decision
+        // expiries. (Post-step invariant: a retry-pending header always
+        // has readyAt > now, else the allocation phase would have tried
+        // it and cleared the flag.)
+        for (const Message *m : needRoute) {
+            if (m != nullptr && m->retryPending())
+                horizon.add(m->readyAt());
+        }
+    }
+    // Detector scans can abort/kill/panic, so a frozen span must still
+    // step on the cadence while headers wait and a detector is armed.
+    if (needRouteLive > 0 && cfg.watchdogInterval > 0 &&
+        (cfg.deadlockDetector == DeadlockDetectorKind::Exact ||
+         (cfg.deadlockDetector == DeadlockDetectorKind::Timeout &&
+          cfg.watchdogPatience > 0)))
+        horizon.addCadence(cfg.watchdogInterval);
+    // Snapshots read fabric state at exactly their due cycle.
+    if (metrics && metrics->sampleInterval() > 0)
+        horizon.add(metrics->nextSampleAt());
+    return horizon.resolve();
+}
+
+void
+Network::catchUpMetrics(Cycle through)
+{
+    if (metrics == nullptr || through < metricsNext ||
+        through == kNeverCycle)
+        return;
+    std::uint64_t span = through - metricsNext + 1;
+    metricsNext = through + 1;
+    // Every skipped cycle repeats the same start-of-cycle state with no
+    // arbitration winner, so replay classifyChannelStalls() once per
+    // active link and multiply by the span. The active set covers every
+    // link with an occupied VC in skip mode; in dense/active mode a gap
+    // can only exist while the pool is empty, where the accrual below is
+    // vacuously zero.
+    for (ChannelId id : activeLinks) {
+        const Link &l = links[id];
+        if (l.activeVcs() == 0)
+            continue; // drained, pending lazy eviction
+        std::uint64_t occSum = 0;
+        std::uint64_t activeVcs = 0;
+        std::uint64_t physBusy = 0;
+        std::uint64_t bufferFull = 0;
+        for (int c = 0; c < l.numVcs(); ++c) {
+            const VirtualChannel &v = l.vc(static_cast<VcClass>(c));
+            if (v.free())
+                continue;
+            occSum += static_cast<std::uint64_t>(v.occupancy());
+            ++activeVcs;
+            if (v.flits().fullyArrived())
+                continue; // fully drained into this stage
+            if (!senderReady(v))
+                continue; // starved: the stall (if any) is upstream
+            // Same verdicts as classifyChannelStalls() with no winner.
+            // (On a frozen cycle no VC is eligible — an eligible VC
+            // would have staged a transfer and kept the horizon at
+            // now + 1 — so in practice only buffer_full accrues here;
+            // the branch mirrors the per-cycle scan for fidelity.)
+            if (Link::eligible(v, cfg.switching, cfg.flitBufferDepth))
+                ++physBusy;
+            else
+                ++bufferFull;
+        }
+        if (activeVcs > 0)
+            metrics->recordOccupancyBulk(occSum, activeVcs, span);
+        if (physBusy > 0)
+            metrics->recordChannelStallBulk(l.id(), StallCause::PhysBusy,
+                                            physBusy * span);
+        if (bufferFull > 0)
+            metrics->recordChannelStallBulk(l.id(), StallCause::BufferFull,
+                                            bufferFull * span);
     }
 }
 
@@ -1014,6 +1119,10 @@ Network::takeLinkDown(ChannelId ch, Cycle now)
     Link &l = links[ch];
     WORMSIM_ASSERT(l.exists(), "taking down a non-existent link");
     WORMSIM_ASSERT(!l.isDown(), "link ", ch, " is already down");
+    // Faults land mid-span in skip mode (PreCycle events between steps):
+    // account the quiescent cycles before mutating the state they froze.
+    if (metrics && now > 0)
+        catchUpMetrics(now - 1);
     // Abort every worm holding one of this link's VCs (each distinct
     // owner once; a worm can hold at most one VC per link). VC-class
     // order keeps the abort sequence deterministic.
@@ -1042,6 +1151,10 @@ Network::takeLinkDown(ChannelId ch, Cycle now)
         e.arg1 = static_cast<std::int64_t>(victims.size());
         sink->onEvent(e);
     }
+    // The aborts freed VCs and dirtied nodes: any horizon computed
+    // before this event is stale, so re-arm the skip driver's tick.
+    if (onWake)
+        onWake();
     return static_cast<int>(victims.size());
 }
 
@@ -1049,6 +1162,9 @@ void
 Network::takeLinkUp(ChannelId ch, Cycle now)
 {
     Link &l = links[ch];
+    // See takeLinkDown(): settle skipped-cycle metrics before mutating.
+    if (metrics && now > 0)
+        catchUpMetrics(now - 1);
     l.setUp(); // asserts the link was down
     setUsableBit(ch, true);
     --downCount;
@@ -1065,6 +1181,9 @@ Network::takeLinkUp(ChannelId ch, Cycle now)
         e.arg0 = l.toNode();
         sink->onEvent(e);
     }
+    // The repair may unblock waiting headers this very cycle.
+    if (onWake)
+        onWake();
 }
 
 void
@@ -1200,8 +1319,8 @@ Network::activeSetConsistent() const
         if (linkTracked[id] != seen[id])
             return false;
         // No occupied link may be missing from the set.
-        if (links[id].activeVcs() > 0 &&
-            cfg.stepMode == StepMode::Active && !linkTracked[id])
+        if (links[id].activeVcs() > 0 && usesActiveSet() &&
+            !linkTracked[id])
             return false;
     }
     return true;

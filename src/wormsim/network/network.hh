@@ -82,18 +82,21 @@ constexpr int kNumAbortCauses = 4;
 std::string abortCauseName(AbortCause cause);
 
 /**
- * How Network::step() visits links during arbitration. Both modes are
- * bit-identical (same staged-transfer order, same RNG consumption); Dense
- * is kept as an escape hatch and as the reference engine for golden
- * dense-vs-active tests.
+ * How Network::step() visits links during arbitration — and, for Skip,
+ * whether the driver may jump the clock over quiescent cycles entirely
+ * (see nextWorkCycle()). All modes are bit-identical (same staged-
+ * transfer order, same RNG consumption, same trace-event sequences);
+ * Dense is kept as an escape hatch and as the reference engine for the
+ * golden cross-mode tests.
  */
 enum class StepMode
 {
     Dense,  ///< scan every existing link every cycle (reference engine)
     Active, ///< scan only the incrementally maintained active-link set
+    Skip,   ///< active-set sweep + next-event horizon for clock jumping
 };
 
-/** Parse "dense" / "active"; fatal on anything else. */
+/** Parse "dense" / "active" / "skip"; fatal on anything else. */
 StepMode parseStepMode(const std::string &text);
 
 /** Short name of a step mode. */
@@ -236,6 +239,67 @@ class Network
 
     /** Advance the fabric by one cycle. @p now is the current cycle. */
     void step(Cycle now);
+
+    /**
+     * Skip-mode horizon: the earliest future cycle at which the fabric
+     * itself can make progress, valid immediately after step(@p now)
+     * with no intervening mutation. Merges (NextEventHorizon):
+     *
+     *  - now + 1 when the step progressed (staged a transfer) or a
+     *    dirty-node hint can wake a waiting header next cycle;
+     *  - else the earliest routing-decision expiry (Message::readyAt)
+     *    among retry-pending headers — the only self-wakeups a frozen
+     *    fabric has (everything else waits on a VC release, which only
+     *    transfers, fault teardowns, or repairs produce);
+     *  - the next watchdog/deadlock-detector scan while headers wait and
+     *    a detector is armed (the scan can abort/kill/panic);
+     *  - the next metrics-sampler tick when a sampling registry is
+     *    attached (the snapshot must read state at exactly that cycle).
+     *
+     * kNeverCycle means the fabric cannot change on its own: the caller
+     * sleeps until an external event (arrival, retry, fault/repair —
+     * the latter reported through the wake hook) re-arms stepping.
+     * External sources (traffic lookahead, fault cursors, retry timers)
+     * live in the event queue; the driver merges them by comparing this
+     * horizon against EventQueue::nextCycle().
+     */
+    Cycle nextWorkCycle(Cycle now) const;
+
+    /**
+     * Closed-form metrics catch-up for cycles (..through] the skip
+     * engine never stepped: a quiescent cycle repeats its start-of-cycle
+     * state, so occupancy integrals and phys_busy/buffer_full stall
+     * attribution accrue as (per-cycle contribution) x (cycle count).
+     * Idempotent (tracks the first unaccounted cycle); called by step()
+     * on entry, by takeLinkDown()/takeLinkUp() before they mutate state
+     * mid-span, and by the driver at end of run. No-op without a
+     * registry, and a no-op in dense/active modes (every busy cycle is
+     * stepped, so there is never a gap with active VCs).
+     */
+    void catchUpMetrics(Cycle through);
+
+    /**
+     * Skip-mode wake callback: invoked after a fault/repair mutates the
+     * fabric (takeLinkDown/takeLinkUp), because such events can create
+     * work before the horizon the driver last computed. The driver's
+     * hook re-arms its step tick at the current cycle.
+     */
+    using WakeHook = std::function<void()>;
+    void setWakeHook(WakeHook hook) { onWake = std::move(hook); }
+
+    /** Total step() calls over the network's lifetime (never reset). */
+    std::uint64_t stepsExecuted() const { return stepCount; }
+
+    /**
+     * Cycles in which a flit moved or an injection was admitted (never
+     * reset). Mode-independent: every such cycle is stepped in every
+     * mode, so cyclesSimulated - activeCycles() is the idle-cycle count
+     * reported in SimulationResult.
+     */
+    std::uint64_t activeCycles() const { return activeCycleCount; }
+
+    /** Did the most recent step() stage at least one flit transfer? */
+    bool lastStepProgressed() const { return stepProgressed; }
 
     /** True while any message is in flight or awaiting allocation. */
     bool busy() const { return !pool.empty(); }
@@ -501,7 +565,17 @@ class Network
                                const VirtualChannel *chosen);
 
     /** A VC on an outgoing link of @p node freed: wake its waiters. */
-    void markDirty(NodeId node) { nodeDirty[node] = 1; }
+    void
+    markDirty(NodeId node)
+    {
+        if (!nodeDirty[node]) {
+            nodeDirty[node] = 1;
+            ++dirtyCount;
+        }
+    }
+
+    /** True for the engines that maintain the active-link set. */
+    bool usesActiveSet() const { return cfg.stepMode != StepMode::Dense; }
 
     /**
      * A VC on link @p ch was just allocated: ensure the link is tracked
@@ -512,7 +586,7 @@ class Network
     void
     noteLinkActive(ChannelId ch)
     {
-        if (cfg.stepMode == StepMode::Active && !linkTracked[ch]) {
+        if (usesActiveSet() && !linkTracked[ch]) {
             linkTracked[ch] = 1;
             newlyActive.push_back(ch);
         }
@@ -620,9 +694,23 @@ class Network
      * the allocation phase O(progress) instead of O(waiting) per cycle.
      */
     std::vector<std::uint8_t> nodeDirty;
+    std::size_t dirtyCount = 0; ///< set bits in nodeDirty
+
+    // --- skip-mode / idle accounting (maintained in every mode) ---
+    std::uint64_t stepCount = 0;       ///< step() calls, never reset
+    std::uint64_t activeCycleCount = 0; ///< cycles with a transfer/inject
+    bool stepProgressed = false; ///< last step staged >= 1 transfer
+    bool offeredSinceStep = false; ///< injection admitted since last step
+    /**
+     * First cycle not yet accounted by the metrics accumulators: step(n)
+     * leaves it at n + 1, catchUpMetrics(through) advances it to
+     * through + 1 after accruing the quiescent span in closed form.
+     */
+    Cycle metricsNext = 0;
 
     DeliveryHook onDelivery;
     AbortHook onAbort;
+    WakeHook onWake; ///< skip-mode re-arm after fault/repair mutations
     TraceSink *sink = nullptr;       ///< not owned; nullptr = tracing off
     std::uint32_t sinkMask = 0;      ///< cached sink->eventMask()
     MetricsRegistry *metrics = nullptr; ///< not owned; nullptr = off

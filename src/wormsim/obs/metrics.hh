@@ -131,6 +131,31 @@ class MetricsRegistry
         activeVcCycles += 1;
     }
 
+    // --- closed-form catch-up (skip-mode engine; see Network::step) ---
+    // Over a quiescent span every cycle repeats the same start-of-cycle
+    // state, so the per-cycle record calls above collapse to one
+    // multiplication per (entity, cause). Using the same accumulators
+    // keeps the totals bit-identical to the per-cycle path.
+
+    /** @p cycles cycles of @p active_vcs VCs holding @p occupancy_sum. */
+    void
+    recordOccupancyBulk(std::uint64_t occupancy_sum,
+                        std::uint64_t active_vcs, std::uint64_t cycles)
+    {
+        occupancyIntegral += occupancy_sum * cycles;
+        activeVcCycles += active_vcs * cycles;
+    }
+
+    /** @p count stall cycles attributed to channel @p ch at once. */
+    void
+    recordChannelStallBulk(ChannelId ch, StallCause cause,
+                           std::uint64_t count)
+    {
+        channelStalls[channelIndex(ch, cause)] += count;
+        causeTotals[stallCauseIndex(cause)] += count;
+        blockCycleTotal += count;
+    }
+
     /** A message was delivered with end-to-end @p latency cycles. */
     void
     noteDelivery(double latency)
@@ -161,6 +186,9 @@ class MetricsRegistry
 
     /** Sampling cadence (0 = disabled). */
     Cycle sampleInterval() const { return interval; }
+
+    /** The next cycle a snapshot becomes due (undefined when disabled). */
+    Cycle nextSampleAt() const { return nextSample; }
 
     /** True when a snapshot is due at @p now. */
     bool

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * NextEventHorizon: merges "next cycle anything can happen" candidates
+ * from independent sources (pending injections, blocked-VC wakeups,
+ * fault/repair cursors, watchdog scans, metrics-sampler ticks) into the
+ * single cycle the skip-mode engine may jump the clock to.
+ *
+ * The contract (property-tested in tests/test_skip_mode.cc): starting
+ * from a base cycle `now`, resolve() is never before now + 1 and — given
+ * every source of externally driven change was add()ed — never past a
+ * cycle at which the fabric would actually make progress. A resolve() of
+ * kNeverCycle means no added source can fire: the caller must sleep
+ * until an external event (arrival, fault, retry) wakes it.
+ */
+
+#ifndef WORMSIM_SIM_HORIZON_HH
+#define WORMSIM_SIM_HORIZON_HH
+
+#include "wormsim/common/types.hh"
+
+namespace wormsim
+{
+
+/** Running minimum over next-work-cycle candidates, floored at base+1. */
+class NextEventHorizon
+{
+  public:
+    /** @param base the current cycle; resolve() is always > base */
+    explicit NextEventHorizon(Cycle base) : now(base) {}
+
+    /** Merge one candidate cycle (values <= base clamp to base + 1). */
+    void
+    add(Cycle when)
+    {
+        if (when < best)
+            best = when;
+    }
+
+    /**
+     * Merge a periodic source that fires whenever the clock is a
+     * multiple of @p interval (the watchdog/detector cadence): the next
+     * boundary strictly after the base cycle.
+     */
+    void
+    addCadence(Cycle interval)
+    {
+        if (interval == 0)
+            return;
+        add(now - now % interval + interval);
+    }
+
+    /** True when no source has been merged (or all were kNeverCycle). */
+    bool empty() const { return best == kNeverCycle; }
+
+    /** The merged horizon: min over sources, floored at base + 1. */
+    Cycle
+    resolve() const
+    {
+        if (best == kNeverCycle)
+            return kNeverCycle;
+        return best > now ? best : now + 1;
+    }
+
+  private:
+    Cycle now;
+    Cycle best = kNeverCycle;
+};
+
+} // namespace wormsim
+
+#endif // WORMSIM_SIM_HORIZON_HH

@@ -1,5 +1,7 @@
 #include "wormsim/sim/simulator.hh"
 
+#include "wormsim/common/logging.hh"
+
 namespace wormsim
 {
 
@@ -7,6 +9,7 @@ Cycle
 Simulator::run(Cycle until)
 {
     stopRequested = false;
+    activeBound = until;
     while (!queue.empty() && !stopRequested) {
         if (queue.nextCycle() > until) {
             currentCycle = until;
@@ -21,10 +24,22 @@ Simulator::run(Cycle until)
 }
 
 void
+Simulator::advanceClock(Cycle to)
+{
+    WORMSIM_ASSERT(to >= currentCycle, "advanceClock into the past (now ",
+                   currentCycle, ", target ", to, ")");
+    WORMSIM_ASSERT(queue.empty() || queue.nextCycle() >= to,
+                   "advanceClock to ", to, " past pending event at ",
+                   queue.nextCycle());
+    currentCycle = to;
+}
+
+void
 Simulator::reset()
 {
     queue.clear();
     currentCycle = 0;
+    activeBound = kNeverCycle;
     stopRequested = false;
 }
 

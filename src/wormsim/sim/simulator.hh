@@ -51,6 +51,21 @@ class Simulator
      */
     Cycle run(Cycle until = kNeverCycle);
 
+    /**
+     * The inclusive bound of the innermost active run() (kNeverCycle when
+     * unbounded). Event callbacks that advance the clock themselves (the
+     * skip-mode tick) must not jump past it.
+     */
+    Cycle runBound() const { return activeBound; }
+
+    /**
+     * Jump the clock forward to @p to without dispatching anything. Only
+     * legal from inside an event callback, into a span the event queue
+     * agrees is empty (asserted): the skip-mode engine uses this to hop
+     * over cycles it has proven quiescent.
+     */
+    void advanceClock(Cycle to);
+
     /** Request the run loop to stop after the current event. */
     void stop() { stopRequested = true; }
 
@@ -66,6 +81,7 @@ class Simulator
   private:
     EventQueue queue;
     Cycle currentCycle = 0;
+    Cycle activeBound = kNeverCycle; ///< bound of the active run()
     bool stopRequested = false;
     std::uint64_t dispatched = 0;
 };

@@ -119,7 +119,8 @@ TEST(Config, UnknownEnumValuesFailListingValidChoices)
         parseArgs({"--step-mode", "eager"});
         FAIL() << "bad step mode accepted";
     } catch (const std::runtime_error &e) {
-        EXPECT_NE(std::string(e.what()).find("expected dense or active"),
+        EXPECT_NE(std::string(e.what()).find(
+                      "expected dense, active, or skip"),
                   std::string::npos)
             << e.what();
     }
@@ -141,6 +142,21 @@ TEST(Config, UnknownEnumValuesFailListingValidChoices)
             << e.what();
     }
     setLoggingThrows(false);
+}
+
+TEST(Config, StepModeRoundTrips)
+{
+    // Every accepted spelling parses and prints back to itself, and the
+    // parsed enum reaches the network params unchanged.
+    for (const char *name : {"dense", "active", "skip"}) {
+        SimulationConfig cfg = parseArgs({"--step-mode", name});
+        EXPECT_EQ(stepModeName(cfg.stepMode), name);
+        EXPECT_EQ(cfg.networkParams().stepMode, cfg.stepMode);
+    }
+    EXPECT_EQ(parseStepMode("dense"), StepMode::Dense);
+    EXPECT_EQ(parseStepMode("active"), StepMode::Active);
+    EXPECT_EQ(parseStepMode("skip"), StepMode::Skip);
+    EXPECT_EQ(parseStepMode(" Skip "), StepMode::Skip); // trimmed, folded
 }
 
 TEST(Config, UnknownDeadlockFlagValuesFailListingValidChoices)

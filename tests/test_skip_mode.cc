@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Skip-mode stepping engine tests.
+ *
+ * The centerpiece is the golden dense-vs-skip comparison across all
+ * seven algorithms x {uniform, hotspot, complement} traffic, with faults
+ * on, with the exact deadlock detector recovering victims, and with a
+ * trace sink attached (full event-sequence equality) — the skip engine
+ * must be bit-identical to the dense reference in everything except
+ * Network::step() call counts. Plus the NextEventHorizon unit contract
+ * and the horizon-monotonicity property (never before now + 1, never
+ * past an actual progress cycle).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
+#include "wormsim/sim/horizon.hh"
+#include "wormsim/wormsim.hh"
+
+namespace wormsim
+{
+namespace
+{
+
+std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+    return h;
+}
+
+/** Draw count behind an observed end-of-run RNG state (see countDraws in
+ * tests/test_active_set.cc). */
+std::uint64_t
+countDraws(std::uint64_t seed, const std::array<std::uint64_t, 4> &final,
+           std::uint64_t cap)
+{
+    Xoshiro256 replay(seed);
+    for (std::uint64_t n = 0; n <= cap; ++n) {
+        if (replay.state() == final)
+            return n;
+        replay.next();
+    }
+    ADD_FAILURE() << "RNG final state not reached within " << cap
+                  << " draws";
+    return cap + 1;
+}
+
+/** Assert every deterministic field of two runner results matches. */
+void
+expectResultsIdentical(const SimulationResult &a, const SimulationResult &b)
+{
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_DOUBLE_EQ(a.achievedUtilization, b.achievedUtilization);
+    EXPECT_DOUBLE_EQ(a.rawChannelUtilization, b.rawChannelUtilization);
+    EXPECT_DOUBLE_EQ(a.avgThroughput, b.avgThroughput);
+    EXPECT_DOUBLE_EQ(a.avgHops, b.avgHops);
+    EXPECT_DOUBLE_EQ(a.dropFraction, b.dropFraction);
+    EXPECT_DOUBLE_EQ(a.latencyP50, b.latencyP50);
+    EXPECT_DOUBLE_EQ(a.latencyP99, b.latencyP99);
+    EXPECT_DOUBLE_EQ(a.channelLoadCv, b.channelLoadCv);
+    EXPECT_EQ(a.numSamples, b.numSamples);
+    EXPECT_EQ(a.cyclesSimulated, b.cyclesSimulated);
+    EXPECT_EQ(a.idleCycles, b.idleCycles);
+    EXPECT_EQ(a.messagesDelivered, b.messagesDelivered);
+    EXPECT_EQ(a.messagesDropped, b.messagesDropped);
+    EXPECT_EQ(a.messagesKilled, b.messagesKilled);
+    EXPECT_EQ(a.deadlockDetected, b.deadlockDetected);
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.samples[i].meanLatency,
+                         b.samples[i].meanLatency);
+        EXPECT_DOUBLE_EQ(a.samples[i].stratifiedLatency,
+                         b.samples[i].stratifiedLatency);
+        EXPECT_DOUBLE_EQ(a.samples[i].utilization,
+                         b.samples[i].utilization);
+        EXPECT_EQ(a.samples[i].delivered, b.samples[i].delivered);
+        EXPECT_EQ(a.samples[i].dropped, b.samples[i].dropped);
+    }
+    // Stall attribution (whole run, including any skipped spans).
+    EXPECT_EQ(a.stalls.collected, b.stalls.collected);
+    EXPECT_EQ(a.stalls.vcBusy, b.stalls.vcBusy);
+    EXPECT_EQ(a.stalls.physBusy, b.stalls.physBusy);
+    EXPECT_EQ(a.stalls.bufferFull, b.stalls.bufferFull);
+    EXPECT_EQ(a.stalls.injectionLimit, b.stalls.injectionLimit);
+    EXPECT_EQ(a.stalls.totalBlockCycles, b.stalls.totalBlockCycles);
+    EXPECT_EQ(a.stalls.flitsForwarded, b.stalls.flitsForwarded);
+    EXPECT_DOUBLE_EQ(a.stalls.meanVcOccupancy, b.stalls.meanVcOccupancy);
+    // Fault / deadlock accounting when those subsystems were armed.
+    EXPECT_EQ(a.resilience.collected, b.resilience.collected);
+    EXPECT_EQ(a.resilience.linkFailures, b.resilience.linkFailures);
+    EXPECT_EQ(a.resilience.aborted, b.resilience.aborted);
+    EXPECT_EQ(a.resilience.retriesScheduled, b.resilience.retriesScheduled);
+    EXPECT_EQ(a.deadlock.collected, b.deadlock.collected);
+    EXPECT_EQ(a.deadlock.detections, b.deadlock.detections);
+    EXPECT_EQ(a.deadlock.victims, b.deadlock.victims);
+}
+
+SimulationResult
+runPoint(SimulationConfig cfg, StepMode mode, TraceSink *sink,
+         std::uint64_t *fabric_steps = nullptr)
+{
+    cfg.stepMode = mode;
+    SimulationRunner runner(cfg);
+    if (sink)
+        runner.setTraceSink(sink);
+    SimulationResult r = runner.run();
+    if (fabric_steps)
+        *fabric_steps = r.fabricSteps;
+    return r;
+}
+
+SimulationConfig
+smallConfig(const std::string &algorithm, const std::string &traffic)
+{
+    SimulationConfig cfg;
+    cfg.radices = {8, 8};
+    cfg.algorithm = algorithm;
+    cfg.traffic = traffic;
+    cfg.offeredLoad = 0.15;
+    cfg.messageLength = 8;
+    cfg.warmupCycles = 400;
+    cfg.samplePeriod = 600;
+    cfg.sampleGap = 100;
+    cfg.maxCycles = 4000;
+    cfg.convergence.maxSamples = 3;
+    cfg.seed = 21;
+    if (algorithm == "ffa") {
+        // ffa is not deadlock-free: arm exact detection + recovery so a
+        // knot becomes deterministic victim teardown instead of a panic.
+        cfg.deadlockDetector = DeadlockDetectorKind::Exact;
+        cfg.deadlockAction = DeadlockAction::Recover;
+        cfg.watchdogInterval = 128;
+        cfg.watchdogPatience = 256;
+    }
+    return cfg;
+}
+
+TEST(SkipMode, GoldenAcrossAlgorithmsAndTraffic)
+{
+    const std::vector<std::string> algorithms = {
+        "ecube", "nlast", "2pn", "phop", "nhop", "nbc", "ffa"};
+    const std::vector<std::string> traffics = {"uniform", "hotspot",
+                                               "complement"};
+    for (const std::string &algorithm : algorithms) {
+        for (const std::string &traffic : traffics) {
+            SCOPED_TRACE(algorithm + "/" + traffic);
+            SimulationConfig cfg = smallConfig(algorithm, traffic);
+            std::uint64_t denseSteps = 0;
+            std::uint64_t skipSteps = 0;
+            SimulationResult dense =
+                runPoint(cfg, StepMode::Dense, nullptr, &denseSteps);
+            SimulationResult skip =
+                runPoint(cfg, StepMode::Skip, nullptr, &skipSteps);
+            EXPECT_EQ(dense.stepMode, "dense");
+            EXPECT_EQ(skip.stepMode, "skip");
+            EXPECT_GT(dense.messagesDelivered, 0u);
+            expectResultsIdentical(dense, skip);
+            // Skip may only ever step fewer cycles, never more.
+            EXPECT_LE(skipSteps, denseSteps);
+        }
+    }
+}
+
+TEST(SkipMode, GoldenWithSwitchingModes)
+{
+    for (SwitchingMode sw : {SwitchingMode::VirtualCutThrough,
+                             SwitchingMode::StoreAndForward}) {
+        SCOPED_TRACE(switchingModeName(sw));
+        SimulationConfig cfg = smallConfig("phop", "uniform");
+        cfg.switching = sw;
+        SimulationResult dense = runPoint(cfg, StepMode::Dense, nullptr);
+        SimulationResult skip = runPoint(cfg, StepMode::Skip, nullptr);
+        expectResultsIdentical(dense, skip);
+    }
+}
+
+TEST(SkipMode, GoldenWithFaultsAndRetries)
+{
+    // Fault events, mid-flight aborts, and backoff-timed retries all land
+    // between steps in skip mode; the wake hook must keep them lockstep
+    // with the dense engine.
+    for (const std::string algorithm : {"ecube", "nbc"}) {
+        SCOPED_TRACE(algorithm);
+        SimulationConfig cfg = smallConfig(algorithm, "uniform");
+        cfg.faultRate = 3e-6;
+        cfg.faultMttr = 400.0;
+        cfg.faultRetries = 3;
+        cfg.faultBackoff = 16;
+        cfg.maxCycles = 6000;
+        cfg.convergence.maxSamples = 4;
+        SimulationResult dense = runPoint(cfg, StepMode::Dense, nullptr);
+        SimulationResult skip = runPoint(cfg, StepMode::Skip, nullptr);
+        EXPECT_TRUE(dense.resilience.collected);
+        EXPECT_GT(dense.resilience.linkFailures, 0u);
+        expectResultsIdentical(dense, skip);
+    }
+}
+
+TEST(SkipMode, GoldenWithExactDetectorRecovery)
+{
+    // Fully flexible adaptive routing at saturating complement load:
+    // deadlock knots form, the exact detector confirms them on the
+    // watchdog cadence, and recovery tears down victims — all of which
+    // must happen at the same cycles with the same RNG draws under skip.
+    SimulationConfig cfg = smallConfig("ffa", "complement");
+    cfg.offeredLoad = 0.5;
+    cfg.maxCycles = 6000;
+    SimulationResult dense = runPoint(cfg, StepMode::Dense, nullptr);
+    SimulationResult skip = runPoint(cfg, StepMode::Skip, nullptr);
+    EXPECT_TRUE(dense.deadlock.collected);
+    expectResultsIdentical(dense, skip);
+}
+
+TEST(SkipMode, TraceEventSequenceIdentical)
+{
+    // Full event-sequence equality, with routing delay to create frozen
+    // windows and a metrics sampler whose snapshots must land on exactly
+    // the same cycles with identical contents.
+    SimulationConfig cfg = smallConfig("phop", "uniform");
+    cfg.routingDelay = 2;
+    cfg.metricsInterval = 100;
+
+    MemoryTraceSink denseSink;
+    MemoryTraceSink skipSink;
+    cfg.stepMode = StepMode::Dense;
+    SimulationRunner denseRunner(cfg);
+    denseRunner.setTraceSink(&denseSink);
+    SimulationResult dense = denseRunner.run();
+
+    cfg.stepMode = StepMode::Skip;
+    SimulationRunner skipRunner(cfg);
+    skipRunner.setTraceSink(&skipSink);
+    SimulationResult skip = skipRunner.run();
+
+    expectResultsIdentical(dense, skip);
+
+    const std::vector<TraceEvent> &de = denseSink.events();
+    const std::vector<TraceEvent> &se = skipSink.events();
+    ASSERT_EQ(de.size(), se.size());
+    ASSERT_GT(de.size(), 0u);
+    for (std::size_t i = 0; i < de.size(); ++i) {
+        ASSERT_EQ(de[i].type, se[i].type) << "event " << i;
+        ASSERT_EQ(de[i].cycle, se[i].cycle) << "event " << i;
+        ASSERT_EQ(de[i].msg, se[i].msg) << "event " << i;
+        ASSERT_EQ(de[i].node, se[i].node) << "event " << i;
+        ASSERT_EQ(de[i].channel, se[i].channel) << "event " << i;
+        ASSERT_EQ(de[i].vc, se[i].vc) << "event " << i;
+        ASSERT_EQ(de[i].cause, se[i].cause) << "event " << i;
+        ASSERT_EQ(de[i].arg0, se[i].arg0) << "event " << i;
+        ASSERT_EQ(de[i].arg1, se[i].arg1) << "event " << i;
+    }
+
+    // Time-series snapshots: same cycles, same fabric state, same
+    // closed-form-caught-up occupancy means.
+    const MetricsRegistry *dm = denseRunner.metricsRegistry();
+    const MetricsRegistry *sm = skipRunner.metricsRegistry();
+    ASSERT_NE(dm, nullptr);
+    ASSERT_NE(sm, nullptr);
+    ASSERT_EQ(dm->samples().size(), sm->samples().size());
+    ASSERT_GT(dm->samples().size(), 0u);
+    for (std::size_t i = 0; i < dm->samples().size(); ++i) {
+        const TimeSeriesSample &d = dm->samples()[i];
+        const TimeSeriesSample &s = sm->samples()[i];
+        EXPECT_EQ(d.cycle, s.cycle) << "sample " << i;
+        EXPECT_EQ(d.messagesInFlight, s.messagesInFlight) << i;
+        EXPECT_EQ(d.headersBlocked, s.headersBlocked) << i;
+        EXPECT_EQ(d.delivered, s.delivered) << i;
+        EXPECT_EQ(d.flitsForwarded, s.flitsForwarded) << i;
+        EXPECT_DOUBLE_EQ(d.meanLatency, s.meanLatency) << i;
+        EXPECT_DOUBLE_EQ(d.meanVcOccupancy, s.meanVcOccupancy) << i;
+        for (int c = 0; c < kNumStallCauses; ++c)
+            EXPECT_EQ(d.stallCycles[c], s.stallCycles[c]) << i;
+    }
+}
+
+/**
+ * Network-level golden, mirroring the drive loop the bench kernel uses:
+ * the dense reference steps every cycle; the skip drive consults
+ * nextWorkCycle() and jumps over quiescent spans (it must still visit
+ * every injection cycle). Proves end-state bit-identity including the
+ * vc-select RNG draw count.
+ */
+struct NetGolden
+{
+    std::uint64_t digest = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t flits = 0;
+    std::uint64_t vcRngDraws = 0;
+    std::uint64_t steps = 0;
+    StallSummary stalls;
+};
+
+NetGolden
+runNetGolden(StepMode mode, Cycle inject_every, Cycle routing_delay)
+{
+    constexpr std::uint64_t kSeed = 77;
+    Torus topo({8, 8});
+    auto algo = makeRoutingAlgorithm("phop");
+    Xoshiro256 vcRng(kSeed);
+    NetworkParams params;
+    params.stepMode = mode;
+    params.routingDelay = routing_delay;
+    Network net(topo, *algo, params, vcRng);
+    MetricsRegistry metrics(topo.numNodes(), topo.numChannelSlots(), 0);
+    net.setMetrics(&metrics);
+
+    NetGolden g;
+    net.setDeliveryHook([&g](const Message &m, Cycle now) {
+        g.digest = hashCombine(g.digest, m.id());
+        g.digest = hashCombine(g.digest, now);
+        g.digest = hashCombine(g.digest,
+                               static_cast<std::uint64_t>(m.dst()));
+    });
+
+    auto inject = [&](Cycle t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if ((t + n) % inject_every == 0)
+                net.offerMessage(n, topo.numNodes() - 1 - n, 8, t);
+        }
+    };
+    // First injection cycle strictly after t (the modular band sweeps one
+    // node per residue; with inject_every > numNodes there are gaps).
+    auto nextInject = [&](Cycle t) {
+        ++t;
+        Cycle n = topo.numNodes();
+        if (inject_every <= n)
+            return t;
+        Cycle r = t % inject_every;
+        if (r == 0 || r >= inject_every - (n - 1))
+            return t;
+        return t + (inject_every - (n - 1) - r);
+    };
+
+    const Cycle injectEnd = 3000;
+    const Cycle hardEnd = 30000;
+    Cycle t = 0;
+    if (mode == StepMode::Skip) {
+        while (t < hardEnd && (t < injectEnd || net.busy())) {
+            if (t < injectEnd)
+                inject(t);
+            net.step(t);
+            ++g.steps;
+            if (!net.busy() && t >= injectEnd)
+                break;
+            Cycle next = net.nextWorkCycle(t);
+            if (t < injectEnd)
+                next = std::min(next, nextInject(t));
+            if (next <= t) {
+                ADD_FAILURE() << "horizon did not advance past " << t;
+                break;
+            }
+            t = std::min(next, hardEnd);
+        }
+    } else {
+        for (; t < injectEnd; ++t) {
+            inject(t);
+            net.step(t);
+            ++g.steps;
+        }
+        while (net.busy() && t < hardEnd) {
+            net.step(t);
+            ++g.steps;
+            ++t;
+        }
+    }
+    EXPECT_FALSE(net.busy()) << "failed to drain";
+
+    g.delivered = net.counters().messagesDelivered;
+    g.flits = net.flitsTransferred();
+    g.vcRngDraws = countDraws(kSeed, vcRng.state(), 50'000'000);
+    g.stalls = metrics.summary();
+    EXPECT_TRUE(net.activeSetConsistent());
+    return g;
+}
+
+void
+runNetGoldenCase(Cycle inject_every, Cycle routing_delay, bool expect_jump)
+{
+    NetGolden dense =
+        runNetGolden(StepMode::Dense, inject_every, routing_delay);
+    NetGolden skip =
+        runNetGolden(StepMode::Skip, inject_every, routing_delay);
+    EXPECT_EQ(dense.digest, skip.digest);
+    EXPECT_EQ(dense.delivered, skip.delivered);
+    EXPECT_GT(dense.delivered, 0u);
+    EXPECT_EQ(dense.flits, skip.flits);
+    EXPECT_EQ(dense.vcRngDraws, skip.vcRngDraws);
+    EXPECT_EQ(dense.stalls.physBusy, skip.stalls.physBusy);
+    EXPECT_EQ(dense.stalls.bufferFull, skip.stalls.bufferFull);
+    EXPECT_EQ(dense.stalls.totalBlockCycles, skip.stalls.totalBlockCycles);
+    EXPECT_DOUBLE_EQ(dense.stalls.meanVcOccupancy,
+                     skip.stalls.meanVcOccupancy);
+    EXPECT_LE(skip.steps, dense.steps);
+    if (expect_jump) {
+        EXPECT_LT(skip.steps, dense.steps / 2)
+            << "sparse workload should step far less than dense";
+    }
+}
+
+TEST(SkipMode, NetworkLevelGoldenBusyWorkload)
+{
+    // Dense-ish injection: nearly every cycle has work; skip must not
+    // diverge even when it has nothing to jump over.
+    runNetGoldenCase(/*inject_every=*/96, /*routing_delay=*/0,
+                    /*expect_jump=*/false);
+}
+
+TEST(SkipMode, NetworkLevelGoldenSparseWorkloadJumps)
+{
+    // Bursty light load with a routing-delay pipeline: long quiescent
+    // spans between the injection bands — skip must jump them (fewer
+    // than half the dense step count) while staying bit-identical.
+    runNetGoldenCase(/*inject_every=*/512, /*routing_delay=*/3,
+                    /*expect_jump=*/true);
+}
+
+TEST(SkipMode, HorizonMonotoneAndNeverPastProgress)
+{
+    // Property: after any step with no external input pending, the
+    // horizon is (a) never before now + 1 and (b) never past a cycle at
+    // which the fabric actually progresses — i.e. stepping every cycle
+    // up to (but excluding) the horizon shows no progress.
+    Torus topo({8, 8});
+    auto algo = makeRoutingAlgorithm("nbc");
+    Xoshiro256 rng(3);
+    NetworkParams params;
+    params.routingDelay = 4; // readyAt expiries dominate the horizon
+    Network net(topo, *algo, params, rng);
+    UniformTraffic traffic(topo);
+    Xoshiro256 arrivals(8), dest(9);
+
+    for (Cycle t = 0; t < 600; ++t) {
+        for (NodeId n = 0; n < topo.numNodes(); ++n) {
+            if (bernoulli(arrivals, 0.01))
+                net.offerMessage(n, traffic.pickDest(n, dest), 8, t);
+        }
+        net.step(t);
+        Cycle h = net.nextWorkCycle(t);
+        ASSERT_GT(h, t) << "horizon before now + 1 at cycle " << t;
+    }
+    // Drain phase: no external input, so the horizon contract is exact.
+    Cycle t = 600;
+    while (net.busy() && t < 20000) {
+        Cycle h = net.nextWorkCycle(t - 1); // post-step(t - 1) horizon
+        ASSERT_GT(h, t - 1);
+        ASSERT_NE(h, kNeverCycle)
+            << "busy fabric must have a finite horizon (cycle " << t
+            << ")";
+        // Cycles strictly before the horizon must be progress-free.
+        std::uint64_t flitsBefore = net.flitsTransferred();
+        for (; t < h && net.busy(); ++t) {
+            net.step(t);
+            ASSERT_FALSE(net.lastStepProgressed())
+                << "progress at " << t << " before horizon " << h;
+        }
+        ASSERT_EQ(net.flitsTransferred(), flitsBefore);
+        if (!net.busy() || t >= 20000)
+            break;
+        net.step(t); // the horizon cycle itself may (or may not) progress
+        ++t;
+    }
+    EXPECT_FALSE(net.busy()) << "drain did not complete";
+}
+
+TEST(NextEventHorizon, MergesAndClampsCandidates)
+{
+    NextEventHorizon h(100);
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.resolve(), kNeverCycle);
+
+    h.add(250);
+    EXPECT_EQ(h.resolve(), 250u);
+    h.add(400); // later candidate does not move the minimum
+    EXPECT_EQ(h.resolve(), 250u);
+    h.add(150);
+    EXPECT_EQ(h.resolve(), 150u);
+
+    // Candidates at or before the base clamp to base + 1.
+    h.add(100);
+    EXPECT_EQ(h.resolve(), 101u);
+    h.add(7);
+    EXPECT_EQ(h.resolve(), 101u);
+    EXPECT_FALSE(h.empty());
+}
+
+TEST(NextEventHorizon, CadenceFindsNextBoundary)
+{
+    {
+        NextEventHorizon h(1000);
+        h.addCadence(0); // disabled cadence merges nothing
+        EXPECT_TRUE(h.empty());
+    }
+    {
+        NextEventHorizon h(1023);
+        h.addCadence(1024);
+        EXPECT_EQ(h.resolve(), 1024u);
+    }
+    {
+        // Exactly on a boundary: the next one is a full interval away
+        // (the caller already ran this boundary's scan).
+        NextEventHorizon h(1024);
+        h.addCadence(1024);
+        EXPECT_EQ(h.resolve(), 2048u);
+    }
+    {
+        NextEventHorizon h(0);
+        h.addCadence(256);
+        EXPECT_EQ(h.resolve(), 256u);
+    }
+}
+
+TEST(SkipMode, IdleCycleCounterIsModeIndependent)
+{
+    // Light bursty load: plenty of idle cycles, and every mode must
+    // report exactly the same count (the counter is defined on fabric
+    // activity, not on stepping).
+    SimulationConfig cfg = smallConfig("ecube", "uniform");
+    cfg.offeredLoad = 0.02;
+    SimulationResult dense = runPoint(cfg, StepMode::Dense, nullptr);
+    SimulationResult active = runPoint(cfg, StepMode::Active, nullptr);
+    SimulationResult skip = runPoint(cfg, StepMode::Skip, nullptr);
+    EXPECT_GT(dense.idleCycles, 0u);
+    EXPECT_EQ(dense.idleCycles, active.idleCycles);
+    EXPECT_EQ(dense.idleCycles, skip.idleCycles);
+    EXPECT_LE(dense.idleCycles, dense.cyclesSimulated + 1);
+}
+
+// Registered as its own RUN_SERIAL ctest entry (tests/CMakeLists.txt):
+// one fig3 point at rho = 0.05 in both modes, asserting the skip
+// engine's Network::step() call count is strictly below the dense cycle
+// count — the clock really jumped, it did not just relabel stepping.
+TEST(SkipModeJump, Fig3LowLoadPointStepsLessThanDenseCycles)
+{
+    SimulationConfig cfg;
+    cfg.radices = {16, 16}; // the paper's fig3 fabric
+    cfg.algorithm = "ecube";
+    cfg.traffic = "uniform";
+    cfg.offeredLoad = 0.05;
+    cfg.warmupCycles = 1000;
+    cfg.samplePeriod = 2000;
+    cfg.sampleGap = 200;
+    cfg.maxCycles = 8000;
+    cfg.convergence.minSamples = 2;
+    cfg.convergence.maxSamples = 2;
+    cfg.seed = 1;
+    std::uint64_t denseSteps = 0;
+    std::uint64_t skipSteps = 0;
+    SimulationResult dense =
+        runPoint(cfg, StepMode::Dense, nullptr, &denseSteps);
+    SimulationResult skip =
+        runPoint(cfg, StepMode::Skip, nullptr, &skipSteps);
+    expectResultsIdentical(dense, skip);
+    EXPECT_LT(skipSteps, dense.cyclesSimulated)
+        << "skip mode never jumped the clock";
+    EXPECT_LE(skipSteps, denseSteps);
+}
+
+} // namespace
+} // namespace wormsim
